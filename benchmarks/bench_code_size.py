@@ -1,0 +1,51 @@
+"""S6.4: code size before/after AOT compilation.
+
+Paper: 8 MiB of Wasm in 18080 functions grows to 52 MiB after appending
+5212 specialized JS functions and 2320 IC stubs (~6.5x).  Shape target:
+specialization appends one function per JS function and per corpus stub,
+and module size grows by a small integer factor.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.bench import format_table
+from repro.jsvm import JSRuntime
+from repro.jsvm.workloads import WORKLOADS
+
+SUBSET = ("richards", "deltablue", "raytrace", "splay")
+
+
+@pytest.fixture(scope="module")
+def sized():
+    rows = []
+    for name in SUBSET:
+        rt = JSRuntime(WORKLOADS[name], "wevaled_state")
+        before_size = rt.module.code_size()
+        before_funcs = len(rt.module.functions)
+        rt.aot_compile()
+        after_size = rt.module.code_size()
+        after_funcs = len(rt.module.functions)
+        js_funcs = len(rt.compiled.functions)
+        ic_stubs = len(rt.corpus)
+        rows.append((name, before_size, before_funcs, after_size,
+                     after_funcs, js_funcs, ic_stubs))
+    return rows
+
+
+def test_code_size_table(benchmark, sized):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = [[name, before, bf, after, af, f"{after / before:.2f}x",
+              js, ic]
+             for name, before, bf, after, af, js, ic in sized]
+    write_result("code_size",
+                 "S6.4 analog — module size before/after weval AOT\n" +
+                 format_table(["workload", "size before", "funcs",
+                               "size after", "funcs after", "growth",
+                               "JS funcs", "IC stubs"], table))
+    for name, before, bf, after, af, js, ic in sized:
+        # One new function per JS function and per IC-corpus stub.
+        assert af == bf + js + ic
+        # The module grows, by a bounded factor (paper: ~6.5x).
+        assert after > before
+        assert after < before * 40

@@ -1,0 +1,70 @@
+"""S6.5: transform speed and the specialization cache.
+
+Paper: ~1 KLoC/s of JS, with a cache keyed on module hash + request
+argument data that removes redundant work for the unchanging IC corpus
+and speeds up incremental recompilation.  Shape targets: throughput is
+measurable and the warm-cache recompile is much faster with high hit
+rate.
+"""
+
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.bench import format_table
+from repro.core import SpecializationCache
+from repro.jsvm import JSRuntime
+from repro.jsvm.workloads import WORKLOADS
+
+NAME = "richards"
+
+
+def _aot_seconds(cache=None):
+    rt = JSRuntime(WORKLOADS[NAME], "wevaled_state", cache=cache)
+    start = time.perf_counter()
+    rt.aot_compile()
+    return time.perf_counter() - start, rt
+
+
+def test_transform_speed_and_cache(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cache = SpecializationCache()
+    cold_seconds, rt = _aot_seconds(cache)
+    warm_seconds, rt2 = _aot_seconds(cache)
+    source_lines = len([l for l in WORKLOADS[NAME].splitlines()
+                        if l.strip()])
+    stats = rt.compiler.total_stats
+    rows = [
+        ["cold AOT", f"{cold_seconds:.2f}s",
+         f"{source_lines / max(cold_seconds, 1e-9):.0f} LoC/s"],
+        ["warm AOT (cache)", f"{warm_seconds:.2f}s",
+         f"hits={cache.hits} misses={cache.misses}"],
+        ["specializer blocks", stats.blocks_specialized,
+         f"revisits={stats.block_revisits}"],
+    ]
+    write_result("transform_speed",
+                 "S6.5 analog — transform speed and cache\n" +
+                 format_table(["metric", "value", "detail"], rows))
+    assert cache.hits > 0
+    assert warm_seconds < cold_seconds
+    # Functional equivalence after a cached compile.
+    vm = rt2.run()
+    assert rt2.printed == ["13120"]
+
+
+def test_cache_is_invalidated_by_bytecode_change(benchmark):
+    """Different bytecode (different constant) must miss the cache."""
+    cache = SpecializationCache()
+    rt_a = JSRuntime(WORKLOADS[NAME], "wevaled_state", cache=cache)
+    rt_a.aot_compile()
+    misses_before = cache.misses
+    changed = WORKLOADS[NAME].replace("schedule(40)", "schedule(41)")
+    rt_b = JSRuntime(changed, "wevaled_state", cache=cache)
+    rt_b.aot_compile()
+    assert cache.misses > misses_before  # main's bytecode changed
+
+    def run():
+        return rt_b.run()
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,17 @@
+"""Benchmark-suite conftest: path shim + results directory."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+os.makedirs(RESULTS_DIR, exist_ok=True)
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a paper-style table and echo it for the log."""
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,5 @@
+"""Pytest root conftest: make the in-tree package importable without install."""
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Bring your own interpreter: weval a brand-new VM in ~60 lines.
+
+The paper's pitch is that an *existing* interpreter needs only a handful
+of annotations (Min took a first-year student four hours).  This example
+writes a stack-based RPN calculator VM from scratch in mini-C, generated
+in two variants from one template — exactly the paper's Fig. 10 trick:
+a plain variant (run generically) and one whose operand stack goes
+through weval's virtualized-stack intrinsics (only ever run specialized).
+
+Run:  python examples/custom_interpreter.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import (  # noqa: E402
+    Runtime,
+    SpecializationRequest,
+    SpecializedConst,
+    SpecializedMemory,
+    specialize,
+)
+from repro.frontend import compile_source  # noqa: E402
+from repro.ir import Module, print_function  # noqa: E402
+from repro.vm import VM  # noqa: E402
+
+
+def calc_source(name: str, use_intrinsics: bool) -> str:
+    """One template, two compilations (paper Fig. 10)."""
+    if use_intrinsics:
+        push = "weval_push(stackbuf + sp * 8, {v}); sp = sp + 1;"
+        pop = "sp = sp - 1; u64 {v} = weval_pop(stackbuf + sp * 8);"
+        peek = "u64 {v} = weval_read_stack(0, stackbuf + (sp - 1) * 8);"
+    else:
+        push = "store64(stackbuf + sp * 8, {v}); sp = sp + 1;"
+        pop = "sp = sp - 1; u64 {v} = load64(stackbuf + sp * 8);"
+        peek = "u64 {v} = load64(stackbuf + (sp - 1) * 8);"
+
+    def PUSH(v):
+        return push.format(v=v)
+
+    def POP(v):
+        return pop.format(v=v)
+
+    # Opcodes: 0=PUSH imm, 1=ADD, 2=MUL, 3=DUP, 4=SWAP, 5=PUSH_ARG, 6=HALT.
+    return f"""
+u64 {name}(u64 program, u64 proglen, u64 arg) {{
+  u64 stackbuf[64];
+  u64 sp = 0;
+  u64 pc = 0;
+  weval_push_context(pc);
+  while (1) {{
+    u64 op = load64(program + pc * 8);
+    pc = pc + 1;
+    switch (op) {{
+    case 0: {{
+      {PUSH("load64(program + pc * 8)")}
+      pc = pc + 1;
+      break;
+    }}
+    case 1: {{
+      {POP("b")}
+      {POP("a")}
+      {PUSH("a + b")}
+      break;
+    }}
+    case 2: {{
+      {POP("b")}
+      {POP("a")}
+      {PUSH("a * b")}
+      break;
+    }}
+    case 3: {{
+      {peek.format(v="v")}
+      {PUSH("v")}
+      break;
+    }}
+    case 4: {{
+      {POP("b")}
+      {POP("a")}
+      {PUSH("b")}
+      {PUSH("a")}
+      break;
+    }}
+    case 5: {{
+      {PUSH("arg")}
+      break;
+    }}
+    case 6: {{
+      {POP("r")}
+      return r;
+    }}
+    default: {{ abort(); }}
+    }}
+    weval_update_context(pc);
+  }}
+  return 0;
+}}
+"""
+
+
+BASE = 0x4000
+
+
+def main():
+    # (arg + 2) * (arg + 3), in RPN.
+    program = [5, 0, 2, 1, 5, 0, 3, 1, 2, 6]
+    module = Module(memory_size=1 << 16)
+    compile_source(calc_source("calc", False)).add_to_module(module)
+    compile_source(calc_source("calc_s", True)).add_to_module(module)
+    for i, word in enumerate(program):
+        module.write_init_u64(BASE + i * 8, word)
+
+    vm = VM(module)
+    expected = vm.call("calc", [BASE, len(program), 7])
+    print(f"interpreted: {expected} (fuel {vm.stats.fuel})")
+
+    request = SpecializationRequest(
+        "calc_s",
+        [SpecializedMemory(BASE, len(program) * 8),
+         SpecializedConst(len(program)), Runtime()],
+        specialized_name="calc_compiled")
+    func = specialize(module, request)
+    module.add_function(func)
+
+    vm2 = VM(module)
+    got = vm2.call("calc_compiled", [BASE, len(program), 7])
+    print(f"compiled:    {got} (fuel {vm2.stats.fuel}, "
+          f"{vm.stats.fuel / vm2.stats.fuel:.1f}x)")
+    assert got == expected == (7 + 2) * (7 + 3)
+
+    print("\nThe entire compiled function (stack fully virtualized):")
+    print(print_function(func))
+
+
+if __name__ == "__main__":
+    main()

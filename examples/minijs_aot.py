@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Ahead-of-time compiling a MiniJS program (the SpiderMonkey S6 story).
+
+Runs one Octane-analog workload under all four engine configurations and
+prints the Fig. 11-style comparison for it.
+
+Run:  python examples/minijs_aot.py [workload]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.jsvm import JSRuntime  # noqa: E402
+from repro.jsvm.workloads import WORKLOADS  # noqa: E402
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "richards"
+    source = WORKLOADS[name]
+    print(f"workload: {name}")
+    results = {}
+    for config in ("noic", "interp_ic", "wevaled", "wevaled_state"):
+        rt = JSRuntime(source, config)
+        vm = rt.run()
+        results[config] = vm.stats.fuel
+        extra = ""
+        if rt.compiler is not None:
+            extra = (f"  [{rt.specialized_function_count()} functions "
+                     f"AOT-compiled, {len(rt.corpus)} IC-corpus stubs]")
+        print(f"  {config:14s} output={rt.printed} "
+              f"fuel={vm.stats.fuel}{extra}")
+    base = results["interp_ic"]
+    print(f"speedup over Interp+ICs: wevaled "
+          f"{base / results['wevaled']:.2f}x, wevaled+state "
+          f"{base / results['wevaled_state']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Benchmark harness utilities shared by the scripts in ``benchmarks/``."""
+
+from repro.bench.harness import (
+    WorkloadResult,
+    geomean,
+    run_js_workload,
+    format_table,
+)
+
+__all__ = ["WorkloadResult", "geomean", "run_js_workload", "format_table"]

@@ -1,0 +1,70 @@
+"""Benchmark helpers: per-config workload execution, geomean, tables."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.jsvm import JSRuntime
+from repro.jsvm.workloads import WORKLOADS
+
+
+@dataclasses.dataclass
+class WorkloadResult:
+    name: str
+    config: str
+    printed: List[str]
+    fuel: int
+    wall_seconds: float
+    compile_seconds: float = 0.0
+    specialized_functions: int = 0
+
+
+def run_js_workload(name: str, config: str,
+                    runtime: Optional[JSRuntime] = None) -> WorkloadResult:
+    """Instantiate (or reuse) a JSRuntime for one workload/config and
+    execute it once, separating compile time from run time."""
+    source = WORKLOADS[name]
+    rt = runtime or JSRuntime(source, config)
+    compile_seconds = 0.0
+    if config in ("wevaled", "wevaled_state") and not rt._aot_done:
+        start = time.perf_counter()
+        rt.aot_compile()
+        compile_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    vm = rt.run()
+    wall = time.perf_counter() - start
+    return WorkloadResult(
+        name=name,
+        config=config,
+        printed=list(rt.printed),
+        fuel=vm.stats.fuel,
+        wall_seconds=wall,
+        compile_seconds=compile_seconds,
+        specialized_functions=rt.specialized_function_count(),
+    )
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table, the way the paper's harness prints results."""
+    widths = [len(h) for h in headers]
+    rendered = [[str(c) for c in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)

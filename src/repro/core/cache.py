@@ -1,0 +1,86 @@
+"""Specialization cache (S6.5).
+
+The paper caches on "input Wasm module hash plus the function
+specialization request's argument data" to avoid redundant work for the
+unchanging AOT IC corpus and to speed up incremental compilation.  We key
+on (a) a fingerprint of the generic function body, (b) the request's
+argument modes, and (c) the contents of every memory range the request
+promises constant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from repro.core.request import (
+    SpecializationRequest,
+    SpecializedMemory,
+)
+from repro.core.specialize import SpecializeOptions, specialize
+from repro.ir.clone import clone_function
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.printer import print_function
+
+
+def _function_fingerprint(func: Function) -> str:
+    return hashlib.sha256(
+        print_function(func, order="id").encode()).hexdigest()
+
+
+def _memory_fingerprint(request: SpecializationRequest,
+                        memory: bytes) -> str:
+    h = hashlib.sha256()
+    for mode in request.args:
+        if isinstance(mode, SpecializedMemory):
+            h.update(memory[mode.pointer:mode.pointer + mode.length])
+            h.update(b"|")
+    for start, length in request.extra_const_memory:
+        h.update(memory[start:start + length])
+        h.update(b"|")
+    return h.hexdigest()
+
+
+class SpecializationCache:
+    """Memoizes weval outputs across identical requests."""
+
+    def __init__(self):
+        self._entries: Dict[tuple, Function] = {}
+        self._fingerprints: Dict[int, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _generic_fingerprint(self, func: Function) -> str:
+        cached = self._fingerprints.get(id(func))
+        if cached is None:
+            cached = _function_fingerprint(func)
+            self._fingerprints[id(func)] = cached
+        return cached
+
+    def get_or_specialize(self, module: Module,
+                          request: SpecializationRequest,
+                          options: Optional[SpecializeOptions] = None,
+                          memory: Optional[bytes] = None) -> Tuple[Function,
+                                                                   bool]:
+        """Return ``(specialized function, was_cache_hit)``.
+
+        The returned function is always a fresh clone named per the
+        request, so callers may add it to a module without aliasing
+        cached state.
+        """
+        snapshot = bytes(memory if memory is not None
+                         else module.memory_init)
+        generic = module.functions[request.generic]
+        key = (self._generic_fingerprint(generic),
+               request.cache_key(),
+               _memory_fingerprint(request, snapshot),
+               (options.ssa_mode, options.optimize) if options else None)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return clone_function(cached, request.name()), True
+        self.misses += 1
+        func = specialize(module, request, options, snapshot)
+        self._entries[key] = clone_function(func)
+        return func, False

@@ -1,0 +1,63 @@
+"""Specialization contexts (paper S3.1).
+
+A context is an immutable tuple of entries.  ``push_context(v)`` appends
+a ``("c", v)`` entry, ``update_context(v)`` replaces the most recent
+``("c", ...)`` entry (discarding any value-specialization sub-entries
+stacked above it), and ``pop_context()`` removes the top ``("c", ...)``
+entry.  ``specialized_value`` appends a ``("sv", v)`` sub-entry — the
+per-value sub-context of "The Trick" (S3.3).
+
+Context values are *not* load-bearing for correctness: they only key the
+duplication of specialized code.  An empty context is the root.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+Context = Tuple[Tuple[str, object], ...]
+
+ROOT: Context = ()
+
+# The sentinel context value used when an intrinsic receives a run-time
+# (non-constant) context: all such paths share one "generic copy" of the
+# interpreter body, keeping the context set finite.
+DYNAMIC = "__dyn__"
+
+
+def push(ctx: Context, value: int) -> Context:
+    return ctx + (("c", value),)
+
+
+def pop(ctx: Context) -> Context:
+    ctx = _strip_sv(ctx)
+    if not ctx:
+        raise ValueError("pop_context on an empty context stack")
+    return ctx[:-1]
+
+
+def update(ctx: Context, value: int) -> Context:
+    """Replace the top scalar entry (after any ``sv`` sub-entries)."""
+    ctx = _strip_sv(ctx)
+    if not ctx:
+        # update without a push: treat as push (tolerant, like the paper's
+        # "not load-bearing" stance).
+        return (("c", value),)
+    return ctx[:-1] + (("c", value),)
+
+
+def push_value(ctx: Context, value: object) -> Context:
+    """Add a value-specialization sub-entry ("The Trick")."""
+    return ctx + (("sv", value),)
+
+
+def _strip_sv(ctx: Context) -> Context:
+    while ctx and ctx[-1][0] == "sv":
+        ctx = ctx[:-1]
+    return ctx
+
+
+def describe(ctx: Context) -> str:
+    if not ctx:
+        return "root"
+    return "/".join(f"{kind}={value}" for kind, value in ctx)

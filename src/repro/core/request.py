@@ -1,0 +1,79 @@
+"""Specialization requests: the semantics-preserving interface (S3.5).
+
+A request names a generic function and gives each parameter one of three
+modes:
+
+* :class:`Runtime` — unknown at specialization time;
+* :class:`SpecializedConst` — the parameter will have this exact value;
+* :class:`SpecializedMemory` — the parameter is a pointer to ``length``
+  bytes that are constant at invocation time (e.g. bytecode).
+
+The request is a *promise*: the specialized function is equivalent to the
+generic one whenever the promise holds at the call.  To retain
+function-pointer compatibility the specialized function keeps the full
+parameter list and simply ignores specialized parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+
+class ArgMode:
+    """Base class for parameter specialization modes."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Runtime(ArgMode):
+    """The parameter is only known at run time."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecializedConst(ArgMode):
+    """The parameter will have this constant value (i64 or f64)."""
+
+    value: object
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecializedMemory(ArgMode):
+    """The parameter is a pointer to constant bytes in the heap image."""
+
+    pointer: int
+    length: int
+
+
+@dataclasses.dataclass
+class SpecializationRequest:
+    """One unit of work for the weval transform."""
+
+    generic: str
+    args: List[ArgMode]
+    specialized_name: Optional[str] = None
+    # Additional (addr, length) ranges promised constant, beyond the
+    # SpecializedMemory parameters (e.g. tables the bytecode points into).
+    extra_const_memory: List[Tuple[int, int]] = dataclasses.field(
+        default_factory=list)
+
+    def name(self) -> str:
+        if self.specialized_name:
+            return self.specialized_name
+        parts = []
+        for arg in self.args:
+            if isinstance(arg, SpecializedConst):
+                parts.append(f"c{arg.value}")
+            elif isinstance(arg, SpecializedMemory):
+                parts.append(f"m{arg.pointer:x}")
+            else:
+                parts.append("r")
+        return f"{self.generic}.spec.{'_'.join(parts)}"
+
+    def cache_key(self) -> tuple:
+        """A hashable key identifying this request's argument data (used
+        by :class:`~repro.core.cache.SpecializationCache` together with a
+        hash of the module and the referenced memory contents)."""
+        frozen_args = tuple(
+            (type(a).__name__,) + tuple(dataclasses.asdict(a).items())
+            for a in self.args)
+        return (self.generic, frozen_args, tuple(self.extra_const_memory))

@@ -1,0 +1,138 @@
+"""The Wizer-style snapshot workflow (S3.5, S6).
+
+The paper integrates weval "from the inside": the runtime enqueues
+specialization requests while it initializes (parses source, creates
+bytecode), a snapshot of the heap is taken, weval processes the requests
+and appends new functions to the module, function pointers in the heap
+are patched, and execution resumes from the snapshot.
+
+:class:`SnapshotCompiler` reproduces that life-cycle:
+
+1. ``instantiate()`` — create a VM over the module;
+2. run the guest's init export (it may call host functions that in turn
+   call :meth:`enqueue`);
+3. ``process_requests()`` — specialize each request (through the cache,
+   if one is given), append the function to the module, register it in
+   the function table, and patch the 64-bit result slot in the heap with
+   the table index;
+4. ``freeze()`` — write the heap back as the module's initial memory;
+5. ``resume()`` — a fresh VM starting from the snapshot, where the
+   runtime finds its function pointers filled in and calls specialized
+   code via ``call_indirect``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.core.cache import SpecializationCache
+from repro.core.request import SpecializationRequest
+from repro.core.specialize import SpecializeOptions, specialize
+from repro.core.stats import SpecializationStats
+from repro.ir.module import Module
+from repro.vm.machine import VM
+
+
+@dataclasses.dataclass
+class ProcessedRequest:
+    request: SpecializationRequest
+    function_name: str
+    table_index: int
+    result_addr: int
+    cache_hit: bool
+
+
+class SnapshotCompiler:
+    """Drives the enqueue -> snapshot -> specialize -> resume workflow."""
+
+    def __init__(self, module: Module,
+                 options: Optional[SpecializeOptions] = None,
+                 cache: Optional[SpecializationCache] = None):
+        self.module = module
+        self.options = options or SpecializeOptions()
+        self.cache = cache
+        self.vm: Optional[VM] = None
+        self.pending: List[Tuple[SpecializationRequest, int]] = []
+        self.processed: List[ProcessedRequest] = []
+        self.total_stats = SpecializationStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def instantiate(self) -> VM:
+        if self.vm is None:
+            self.vm = VM(self.module)
+        return self.vm
+
+    def run_init(self, func_name: str, args=()) -> object:
+        """Run the guest's initialization export (the ``wizer_init``
+        analog); requests may be enqueued during this call."""
+        return self.instantiate().call(func_name, list(args))
+
+    def enqueue(self, request: SpecializationRequest,
+                result_addr: int) -> None:
+        """Queue a request; ``result_addr`` is the heap address of the
+        64-bit slot to be patched with the new function's table index."""
+        self.pending.append((request, result_addr))
+
+    def process_requests(self) -> List[ProcessedRequest]:
+        """Specialize all pending requests against the current heap."""
+        vm = self.instantiate()
+        snapshot = bytes(vm.memory)
+        processed = []
+        for request, result_addr in self.pending:
+            name = self._unique_name(request)
+            request = dataclasses.replace(request, specialized_name=name)
+            hit = False
+            if self.cache is not None:
+                func, hit = self.cache.get_or_specialize(
+                    self.module, request, self.options, snapshot)
+            else:
+                func = specialize(self.module, request, self.options,
+                                  snapshot)
+            stats = getattr(func, "_weval_stats", None)
+            if stats is not None:
+                self.total_stats.merge(stats)
+            self.module.add_function(func)
+            index = self.module.add_table_entry(func.name)
+            vm.store_u64(result_addr, index)
+            processed.append(ProcessedRequest(request, func.name, index,
+                                              result_addr, hit))
+        self.processed.extend(processed)
+        self.pending = []
+        return processed
+
+    def _unique_name(self, request: SpecializationRequest) -> str:
+        base = request.name()
+        if not self.module.has_function(base):
+            return base
+        counter = 1
+        while self.module.has_function(f"{base}.{counter}"):
+            counter += 1
+        return f"{base}.{counter}"
+
+    def freeze(self) -> Module:
+        """Write the live heap back as the module's initial memory (the
+        snapshot itself)."""
+        vm = self.instantiate()
+        self.module.memory_init = bytearray(vm.memory)
+        self.module.globals.update(vm.globals)
+        return self.module
+
+    def resume(self) -> VM:
+        """A fresh VM resuming from the frozen snapshot."""
+        return VM(self.module)
+
+    # ------------------------------------------------------------------
+    # Convenience: the whole pipeline in one call.
+    # ------------------------------------------------------------------
+    def aot_compile(self, init_func: str, init_args=()) -> VM:
+        self.run_init(init_func, init_args)
+        self.process_requests()
+        self.freeze()
+        return self.resume()
+
+
+# The embedding-facing alias: a "runtime with weval support".
+WevalRuntime = SnapshotCompiler

@@ -1,0 +1,846 @@
+"""The weval transform: user-context-controlled constant propagation.
+
+This is the paper's core algorithm (Fig. 5).  Given a generic function
+and a :class:`~repro.core.request.SpecializationRequest`, it produces a
+new function in which:
+
+* blocks are duplicated per specialization *context* — contexts are
+  driven by the interpreter's own ``update_context(pc)`` annotations, so
+  the interpreter loop unrolls over the (constant) bytecode;
+* constant propagation runs while transcribing, folding loads from
+  promised-constant memory, so the result is a *bytecode-erased
+  compilation*: no loads from the bytecode stream survive and dispatch
+  branches fold away;
+* run-time-data-dependent control flow is handled by
+  ``specialized_value`` ("The Trick", S3.3), which emits a ``br_table``
+  over the declared range with one specialized continuation per value
+  (plus a fully generic default continuation, preserving semantics for
+  out-of-range values);
+* interpreter state annotated with register/local/stack intrinsics is
+  lifted into SSA values with lazy write-back (S4).
+
+The transform is a fixpoint: specialized blocks are keyed by
+⟨context, generic block⟩; entry states are met over predecessor edges
+and blocks are rebuilt when their entry state changes.  SSA validity of
+the output holds by construction (see :mod:`repro.core.state`); the
+``naive`` SSA mode reproduces the paper's S3.4 parameter-blow-up
+ablation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core import context as ctx_mod
+from repro.core.intrinsics import INTRINSICS
+from repro.core.lattice import (
+    AbsVal,
+    Const,
+    ConstMemoryImage,
+    Dyn,
+    fold_pure_op,
+    load_size,
+)
+from repro.core.request import (
+    Runtime,
+    SpecializationRequest,
+    SpecializedConst,
+    SpecializedMemory,
+)
+from repro.core.state import (
+    FlowState,
+    LocalSlot,
+    MeetResult,
+    SlotKey,
+    StackSlot,
+    binding_of,
+    meet_states,
+    unstable_slots,
+)
+from repro.core.stats import SpecializationStats
+from repro.ir.clone import clone_function
+from repro.ir.function import Block, Function
+from repro.ir.instructions import (
+    OPCODES,
+    BlockCall,
+    BrIf,
+    BrTable,
+    Instr,
+    Jump,
+    Ret,
+    Trap,
+    terminator_values,
+)
+from repro.ir.module import Module
+from repro.ir.types import F64, I64, Type
+
+
+class SpecializeError(Exception):
+    """Specialization failed (bad request, assert_const violation, ...)."""
+
+
+@dataclasses.dataclass
+class SpecializeOptions:
+    """Tunables for the transform."""
+
+    ssa_mode: str = "minimal"          # "minimal" | "naive" (S3.4 ablation)
+    optimize: bool = True              # run the post pipeline on the output
+    max_revisits: int = 64             # per-key convergence safeguard
+    max_value_specializations: int = 4096
+    max_iterations: int = 2_000_000
+    # Once this many distinct contexts exist, further new contexts are
+    # collapsed into the shared dynamic context.  Contexts only steer code
+    # duplication, never correctness, so this is a sound safety valve
+    # against runaway specialization of dynamically-unreachable paths.
+    max_contexts: int = 100_000
+
+    def __post_init__(self):
+        if self.ssa_mode not in ("minimal", "naive"):
+            raise ValueError(f"bad ssa_mode {self.ssa_mode!r}")
+
+
+Key = Tuple[tuple, int]  # (context, generic block id)
+
+_PROLOGUE_KEY: Key = (("__prologue__",), -1)
+
+
+@dataclasses.dataclass
+class _Edge:
+    position: int
+    succ_key: Key
+    overrides: Dict[int, AbsVal]
+    call: BlockCall
+
+
+class _KeyInfo:
+    """Bookkeeping for one specialized block (one ⟨context, block⟩ pair)."""
+
+    __slots__ = ("key", "spec_block", "entry_sig", "entry_state",
+                 "out_state", "edges_out", "in_edges", "param_ids",
+                 "param_slots", "revisits", "force_all_params", "built",
+                 "pinned_slots")
+
+    def __init__(self, key: Key, spec_block: Block):
+        self.key = key
+        self.spec_block = spec_block
+        self.entry_sig = None
+        self.entry_state: Optional[FlowState] = None
+        self.out_state: Optional[FlowState] = None
+        self.edges_out: List[_Edge] = []
+        self.in_edges: Dict[Tuple[Key, int], Dict[int, AbsVal]] = {}
+        self.param_ids: Dict[SlotKey, int] = {}
+        self.param_slots: List[SlotKey] = []
+        self.revisits = 0
+        self.force_all_params = False
+        self.built = False
+        self.pinned_slots = set()
+
+
+class _Specializer:
+    def __init__(self, module: Module, request: SpecializationRequest,
+                 options: SpecializeOptions,
+                 memory: Optional[bytes] = None):
+        self.module = module
+        self.request = request
+        self.options = options
+        self.stats = SpecializationStats()
+
+        generic = module.functions.get(request.generic)
+        if generic is None:
+            raise SpecializeError(f"unknown function {request.generic!r}")
+        if len(request.args) != len(generic.sig.params):
+            raise SpecializeError(
+                f"{request.generic}: request has {len(request.args)} arg "
+                f"modes, function has {len(generic.sig.params)} params")
+
+        self.generic = self._prepare(generic)
+        self.live_in, self.block_params = self._liveness(self.generic)
+
+        snapshot = bytes(memory if memory is not None
+                         else module.memory_init)
+        self.image = ConstMemoryImage(snapshot)
+        for arg, mode in zip(generic.sig.params, request.args):
+            if isinstance(mode, SpecializedMemory):
+                self.image.add_range(mode.pointer, mode.length)
+        for start, length in request.extra_const_memory:
+            self.image.add_range(start, length)
+
+        self.out = Function(request.name(), generic.sig)
+        self.infos: Dict[Key, _KeyInfo] = {}
+        self.worklist: deque = deque()
+        self.queued: Set[Key] = set()
+        self._iterations = 0
+        self._seen_contexts: Set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # Preparation: clone + split blocks after specialized_value calls.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _prepare(generic: Function) -> Function:
+        func = clone_function(generic)
+        work = list(func.blocks.keys())
+        for bid in work:
+            block = func.blocks[bid]
+            while True:
+                split_at = None
+                for i, instr in enumerate(block.instrs):
+                    if (instr.op == "call" and
+                            instr.imm == "weval.specialized_value" and
+                            i + 1 <= len(block.instrs)):
+                        if i + 1 < len(block.instrs) or True:
+                            split_at = i
+                            break
+                if split_at is None:
+                    break
+                cont = func.new_block()
+                cont.instrs = block.instrs[split_at + 1:]
+                cont.terminator = block.terminator
+                block.instrs = block.instrs[:split_at + 1]
+                block.terminator = Jump(BlockCall(cont.id, ()))
+                block = cont
+        return func
+
+    @staticmethod
+    def _liveness(func: Function):
+        """Backward liveness: per-block live-in sets and param id lists."""
+        uses: Dict[int, Set[int]] = {}
+        defs: Dict[int, Set[int]] = {}
+        params: Dict[int, List[int]] = {}
+        for bid, block in func.blocks.items():
+            block_defs = {v for v, _ in block.params}
+            block_uses: Set[int] = set()
+            for instr in block.instrs:
+                block_uses.update(instr.args)
+                if instr.result is not None:
+                    block_defs.add(instr.result)
+            if block.terminator is not None:
+                block_uses.update(terminator_values(block.terminator))
+            uses[bid] = block_uses - block_defs
+            defs[bid] = block_defs
+            params[bid] = [v for v, _ in block.params]
+
+        succs: Dict[int, List[int]] = {}
+        for bid, block in func.blocks.items():
+            succs[bid] = ([c.block for c in block.terminator.targets()]
+                          if block.terminator else [])
+
+        live_in: Dict[int, Set[int]] = {bid: set(uses[bid])
+                                        for bid in func.blocks}
+        changed = True
+        while changed:
+            changed = False
+            for bid in func.blocks:
+                live_out: Set[int] = set()
+                for succ in succs[bid]:
+                    live_out.update(live_in[succ])
+                new = uses[bid] | (live_out - defs[bid])
+                if new != live_in[bid]:
+                    live_in[bid] = new
+                    changed = True
+        return live_in, params
+
+    # ------------------------------------------------------------------
+    # Worklist management.
+    # ------------------------------------------------------------------
+    def _get_or_create(self, key: Key) -> _KeyInfo:
+        info = self.infos.get(key)
+        if info is None:
+            info = _KeyInfo(key, self.out.new_block())
+            self.infos[key] = info
+            self.stats.contexts_created += 1
+        return info
+
+    def _enqueue(self, key: Key) -> None:
+        if key not in self.queued:
+            self.queued.add(key)
+            self.worklist.append(key)
+
+    # ------------------------------------------------------------------
+    # Driver.
+    # ------------------------------------------------------------------
+    def run(self) -> Function:
+        start = time.perf_counter()
+        self._seed()
+        while self.worklist:
+            self._iterations += 1
+            if self._iterations > self.options.max_iterations:
+                raise SpecializeError(
+                    f"{self.request.name()}: specialization did not "
+                    f"converge after {self._iterations} iterations")
+            key = self.worklist.popleft()
+            self.queued.discard(key)
+            self._process(key)
+        self._fill_edges()
+        self.stats.output_blocks = len(self.out.blocks)
+        self.stats.output_instrs = self.out.num_instrs()
+        self.stats.output_block_params = self.out.total_block_params()
+        self.stats.wallclock_seconds = time.perf_counter() - start
+        return self.out
+
+    def _seed(self) -> None:
+        prologue = self.out.new_block()
+        self.out.entry = prologue.id
+        seed_env: Dict[int, AbsVal] = {}
+        for (gvid, ty), mode in zip(self.generic.entry_block().params,
+                                    self.request.args):
+            if isinstance(mode, Runtime):
+                vid = self.out.add_block_param(prologue, ty)
+                seed_env[gvid] = Dyn(vid, ty)
+            elif isinstance(mode, SpecializedConst):
+                vid = self.out.add_block_param(prologue, ty)  # ignored
+                value = mode.value
+                if ty == I64:
+                    value = int(value) & ((1 << 64) - 1)
+                else:
+                    value = float(value)
+                seed_env[gvid] = Const(value, ty)
+            elif isinstance(mode, SpecializedMemory):
+                vid = self.out.add_block_param(prologue, ty)  # ignored
+                if ty != I64:
+                    raise SpecializeError("SpecializedMemory arg must be i64")
+                seed_env[gvid] = Const(mode.pointer, ty)
+            else:
+                raise SpecializeError(f"bad arg mode {mode!r}")
+
+        entry_key: Key = (ctx_mod.ROOT, self.generic.entry)
+        entry_info = self._get_or_create(entry_key)
+        call = BlockCall(entry_info.spec_block.id, ())
+        prologue.terminator = Jump(call)
+
+        prologue_info = _KeyInfo(_PROLOGUE_KEY, prologue)
+        prologue_info.built = True
+        prologue_info.out_state = FlowState()
+        prologue_info.edges_out = [_Edge(0, entry_key, seed_env, call)]
+        self.infos[_PROLOGUE_KEY] = prologue_info
+        entry_info.in_edges[(_PROLOGUE_KEY, 0)] = seed_env
+        self._enqueue(entry_key)
+
+    # ------------------------------------------------------------------
+    # Per-key processing: meet entries, rebuild if changed.
+    # ------------------------------------------------------------------
+    def _process(self, key: Key) -> None:
+        info = self.infos[key]
+        contributions = []
+        for (pred_key, _pos), overrides in sorted(
+                info.in_edges.items(),
+                key=lambda item: (str(item[0][0]), item[0][1])):
+            pred = self.infos.get(pred_key)
+            if pred is None or pred.out_state is None:
+                continue
+            contributions.append((pred.out_state, overrides))
+        if not contributions:
+            return
+
+        gblock_id = key[1]
+        env_domain = set(self.live_in[gblock_id])
+        env_domain.update(self.block_params[gblock_id])
+
+        def param_for(slot: SlotKey, ty: Type) -> int:
+            vid = info.param_ids.get(slot)
+            if vid is None:
+                vid = self.out.new_value(ty)
+                info.param_ids[slot] = vid
+            return vid
+
+        def run_meet():
+            return meet_states(
+                contributions, env_domain,
+                lambda gvid: self.generic.value_types[gvid],
+                param_for,
+                naive=(self.options.ssa_mode == "naive"),
+                force_all_params=info.force_all_params,
+                pinned_slots=info.pinned_slots,
+            )
+
+        meet = run_meet()
+        sig = meet.state.signature()
+        if info.built and sig == info.entry_sig:
+            info.param_slots = meet.param_slots
+            return
+        info.revisits += 1
+        if info.revisits > self.options.max_revisits and \
+                not info.force_all_params and info.entry_state is not None:
+            # Convergence damper: SSA-id churn in cyclic regions can make
+            # entry states oscillate forever (predecessor rebuilds mint
+            # fresh value ids).  Pin exactly the slots that changed to
+            # stable block parameters; stable constants (e.g. the pc)
+            # keep flowing as constants.
+            new_pins = unstable_slots(info.entry_state, meet.state)
+            if new_pins - info.pinned_slots:
+                info.pinned_slots |= new_pins
+                meet = run_meet()
+                sig = meet.state.signature()
+            elif info.revisits > 4 * self.options.max_revisits:
+                # Last resort: everything becomes a parameter.
+                info.force_all_params = True
+                meet = run_meet()
+                sig = meet.state.signature()
+        if info.built:
+            self.stats.block_revisits += 1
+        info.entry_sig = sig
+        info.entry_state = meet.state
+        info.param_slots = meet.param_slots
+        self._rebuild(info)
+
+    # ------------------------------------------------------------------
+    # Block transcription.
+    # ------------------------------------------------------------------
+    def _slot_type(self, slot: SlotKey) -> Type:
+        if slot[0] == "env":
+            return self.generic.value_types[slot[1]]
+        return I64
+
+    def _rebuild(self, info: _KeyInfo) -> None:
+        ctx, gblock_id = info.key
+        gblock = self.generic.blocks[gblock_id]
+        block = info.spec_block
+        block.params = [(info.param_ids[slot], self._slot_type(slot))
+                        for slot in info.param_slots]
+        block.instrs = []
+        block.terminator = None
+        self.stats.blocks_specialized += 1
+
+        # Drop old outgoing edge registrations; they will be re-added.
+        for edge in info.edges_out:
+            succ = self.infos.get(edge.succ_key)
+            if succ is not None:
+                succ.in_edges.pop((info.key, edge.position), None)
+        info.edges_out = []
+
+        state = info.entry_state.copy()
+        const_cache: Dict[Tuple[object, Type], int] = {}
+        pending_sv: Optional[Tuple[Instr, int, int, AbsVal]] = None
+
+        for instr in gblock.instrs:
+            if instr.op == "call" and instr.imm in INTRINSICS:
+                ctx, pending_sv = self._transcribe_intrinsic(
+                    block, state, const_cache, ctx, instr)
+                if pending_sv is not None:
+                    break  # specialized_value is last by preparation
+            else:
+                self._transcribe_instr(block, state, const_cache, instr)
+
+        if pending_sv is not None:
+            self._emit_value_specialization(info, block, state, const_cache,
+                                            ctx, gblock, pending_sv)
+        else:
+            self._transcribe_terminator(info, block, state, const_cache,
+                                        ctx, gblock)
+        info.out_state = state
+        info.built = True
+
+    # --- plain instructions ------------------------------------------------
+    def _mat(self, block: Block,
+             const_cache: Dict[Tuple[object, Type], int],
+             value: AbsVal) -> int:
+        """Materialize an abstract value as an SSA value in ``block``."""
+        if isinstance(value, Dyn):
+            return value.vid
+        key = (value.value, value.ty)
+        vid = const_cache.get(key)
+        if vid is None:
+            op = "iconst" if value.ty == I64 else "fconst"
+            vid = self.out.new_value(value.ty)
+            block.instrs.append(Instr(op, vid, (), value.value, value.ty))
+            const_cache[key] = vid
+        return vid
+
+    def _transcribe_instr(self, block: Block, state: FlowState,
+                          const_cache, instr: Instr) -> None:
+        op = instr.op
+        info = OPCODES[op]
+        try:
+            abs_args = [state.env[a] for a in instr.args]
+        except KeyError as exc:
+            raise SpecializeError(
+                f"{self.request.name()}: value v{exc.args[0]} not bound "
+                f"during transcription (internal error)") from exc
+
+        # Loads from promised-constant memory fold to constants: this is
+        # the bytecode-erasing step.
+        size_info = load_size(op)
+        if size_info is not None and isinstance(abs_args[0], Const):
+            size, signed = size_info
+            addr = (abs_args[0].value + (instr.imm or 0)) & ((1 << 64) - 1)
+            folded = self.image.read(addr, size, signed)
+            if folded is not None:
+                state.env[instr.result] = Const(folded, I64)
+                self.stats.loads_folded_from_const_memory += 1
+                return
+        if op == "loadf64" and isinstance(abs_args[0], Const):
+            addr = (abs_args[0].value + (instr.imm or 0)) & ((1 << 64) - 1)
+            folded_f = self.image.read_f64(addr)
+            if folded_f is not None:
+                state.env[instr.result] = Const(folded_f, F64)
+                self.stats.loads_folded_from_const_memory += 1
+                return
+
+        # Pure constant folding.
+        if info.pure and all(isinstance(a, Const) for a in abs_args):
+            folded = fold_pure_op(op, instr.imm,
+                                  [a.value for a in abs_args])
+            if folded is not None:
+                ty = instr.result_type or I64
+                state.env[instr.result] = Const(folded, ty)
+                self.stats.instrs_folded += 1
+                return
+
+        args = tuple(self._mat(block, const_cache, a) for a in abs_args)
+        if instr.result is not None:
+            ty = instr.result_type
+            vid = self.out.new_value(ty)
+            state.env[instr.result] = Dyn(vid, ty)
+        else:
+            vid = None
+        block.instrs.append(Instr(op, vid, args, instr.imm,
+                                  instr.result_type))
+
+    # --- intrinsics ----------------------------------------------------------
+    def _require_const_int(self, value: AbsVal, what: str) -> int:
+        if not isinstance(value, Const):
+            raise SpecializeError(
+                f"{self.request.name()}: {what} must be a specialization-"
+                f"time constant")
+        return int(value.value)
+
+    def _transcribe_intrinsic(self, block: Block, state: FlowState,
+                              const_cache, ctx, instr: Instr):
+        name = instr.imm[len("weval."):]
+        abs_args = [state.env[a] for a in instr.args]
+        stats = self.stats
+
+        if name == "push_context":
+            if isinstance(abs_args[0], Const):
+                ctx = ctx_mod.push(ctx, abs_args[0].value)
+            else:
+                # A run-time context value collapses into the shared
+                # "generic copy" context: the worst case the paper
+                # describes (S3.1) where specialization degrades to the
+                # original interpreter body — but stays sound and keeps
+                # the context set finite.
+                stats.dynamic_context_updates += 1
+                ctx = ctx_mod.push(ctx, ctx_mod.DYNAMIC)
+            return ctx, None
+        if name == "update_context":
+            if isinstance(abs_args[0], Const):
+                ctx = ctx_mod.update(ctx, abs_args[0].value)
+            else:
+                stats.dynamic_context_updates += 1
+                ctx = ctx_mod.update(ctx, ctx_mod.DYNAMIC)
+            return ctx, None
+        if name == "pop_context":
+            return ctx_mod.pop(ctx), None
+        if name == "assert_const":
+            if not isinstance(abs_args[0], Const):
+                raise SpecializeError(
+                    f"{self.request.name()}: weval.assert_const failed: "
+                    f"value is not a specialization-time constant")
+            state.env[instr.result] = abs_args[0]
+            return ctx, None
+        if name == "specialized_value":
+            if isinstance(abs_args[0], Const):
+                state.env[instr.result] = abs_args[0]
+                return ctx, None
+            lo = self._require_const_int(abs_args[1],
+                                         "specialized_value low bound")
+            hi = self._require_const_int(abs_args[2],
+                                         "specialized_value high bound")
+            if hi < lo or hi - lo + 1 > self.options.max_value_specializations:
+                raise SpecializeError(
+                    f"{self.request.name()}: specialized_value range "
+                    f"[{lo}, {hi}] invalid or too large")
+            return ctx, (instr, lo, hi, abs_args[0])
+
+        # --- state intrinsics (S4) ----------------------------------------
+        if name == "read_reg":
+            idx = self._require_const_int(abs_args[0], "register index")
+            state.env[instr.result] = state.regs.get(idx, Const(0, I64))
+            stats.reg_reads += 1
+            return ctx, None
+        if name == "write_reg":
+            idx = self._require_const_int(abs_args[0], "register index")
+            state.regs[idx] = abs_args[1]
+            stats.reg_writes += 1
+            return ctx, None
+        if name == "read_local":
+            idx = self._require_const_int(abs_args[0], "local index")
+            slot = state.locals.get(idx)
+            if slot is not None:
+                state.env[instr.result] = slot.value
+                stats.local_loads_elided += 1
+                return ctx, None
+            addr = self._mat(block, const_cache, abs_args[1])
+            vid = self.out.new_value(I64)
+            block.instrs.append(Instr("load64", vid, (addr,), 0, I64))
+            loaded = Dyn(vid, I64)
+            state.locals[idx] = LocalSlot(abs_args[1], loaded, False)
+            state.env[instr.result] = loaded
+            stats.local_loads_real += 1
+            return ctx, None
+        if name == "write_local":
+            idx = self._require_const_int(abs_args[0], "local index")
+            state.locals[idx] = LocalSlot(abs_args[1], abs_args[2], True)
+            stats.local_stores_elided += 1
+            return ctx, None
+        if name == "flush":
+            self._flush(block, state, const_cache)
+            return ctx, None
+        if name == "push":
+            state.stack.append(StackSlot(abs_args[0], abs_args[1], True))
+            stats.stack_stores_elided += 1
+            return ctx, None
+        if name == "pop":
+            if state.stack:
+                slot = state.stack.pop()
+                state.env[instr.result] = slot.value
+                stats.stack_loads_elided += 1
+            else:
+                addr = self._mat(block, const_cache, abs_args[0])
+                vid = self.out.new_value(I64)
+                block.instrs.append(Instr("load64", vid, (addr,), 0, I64))
+                state.env[instr.result] = Dyn(vid, I64)
+                stats.stack_loads_real += 1
+            return ctx, None
+        if name == "read_stack":
+            depth = self._require_const_int(abs_args[0], "stack depth")
+            if depth < len(state.stack):
+                state.env[instr.result] = state.stack[-1 - depth].value
+                stats.stack_loads_elided += 1
+            else:
+                addr = self._mat(block, const_cache, abs_args[1])
+                vid = self.out.new_value(I64)
+                block.instrs.append(Instr("load64", vid, (addr,), 0, I64))
+                state.env[instr.result] = Dyn(vid, I64)
+                stats.stack_loads_real += 1
+            return ctx, None
+        if name == "write_stack":
+            depth = self._require_const_int(abs_args[0], "stack depth")
+            if depth < len(state.stack):
+                old = state.stack[-1 - depth]
+                state.stack[-1 - depth] = StackSlot(old.addr, abs_args[2],
+                                                    True)
+                stats.stack_stores_elided += 1
+            else:
+                addr = self._mat(block, const_cache, abs_args[1])
+                value = self._mat(block, const_cache, abs_args[2])
+                block.instrs.append(Instr("store64", None, (addr, value), 0,
+                                          None))
+                stats.stack_stores_real += 1
+            return ctx, None
+        raise SpecializeError(f"unhandled intrinsic weval.{name}")
+
+    def _flush(self, block: Block, state: FlowState, const_cache) -> None:
+        """Write back all dirty locals and stack slots (S4.2)."""
+        for idx in sorted(state.locals):
+            slot = state.locals[idx]
+            if slot.dirty:
+                addr = self._mat(block, const_cache, slot.addr)
+                value = self._mat(block, const_cache, slot.value)
+                block.instrs.append(Instr("store64", None, (addr, value),
+                                          0, None))
+                state.locals[idx] = LocalSlot(slot.addr, slot.value, False)
+                self.stats.local_stores_real += 1
+        for pos, slot in enumerate(state.stack):
+            if slot.dirty:
+                addr = self._mat(block, const_cache, slot.addr)
+                value = self._mat(block, const_cache, slot.value)
+                block.instrs.append(Instr("store64", None, (addr, value),
+                                          0, None))
+                state.stack[pos] = StackSlot(slot.addr, slot.value, False)
+                self.stats.stack_stores_real += 1
+
+    # --- terminators ---------------------------------------------------------
+    def _add_edge(self, info: _KeyInfo, position: int, ctx, gtarget: int,
+                  overrides: Dict[int, AbsVal]) -> BlockCall:
+        if ctx not in self._seen_contexts:
+            if len(self._seen_contexts) >= self.options.max_contexts:
+                ctx = (("c", ctx_mod.DYNAMIC),)
+            self._seen_contexts.add(ctx)
+        succ_key: Key = (ctx, gtarget)
+        succ = self._get_or_create(succ_key)
+        call = BlockCall(succ.spec_block.id, ())
+        succ.in_edges[(info.key, position)] = overrides
+        info.edges_out.append(_Edge(position, succ_key, overrides, call))
+        self._enqueue(succ_key)
+        return call
+
+    def _branch_overrides(self, state: FlowState,
+                          gcall: BlockCall) -> Dict[int, AbsVal]:
+        """Map generic branch arguments onto the target block's params."""
+        params = self.block_params[gcall.block]
+        return {param: state.env[arg]
+                for param, arg in zip(params, gcall.args)}
+
+    def _transcribe_terminator(self, info: _KeyInfo, block: Block,
+                               state: FlowState, const_cache, ctx,
+                               gblock: Block) -> None:
+        term = gblock.terminator
+        if isinstance(term, Jump):
+            call = self._add_edge(info, 0, ctx, term.target.block,
+                                  self._branch_overrides(state, term.target))
+            block.terminator = Jump(call)
+            return
+        if isinstance(term, BrIf):
+            cond = state.env[term.cond]
+            if isinstance(cond, Const):
+                taken = term.if_true if cond.value != 0 else term.if_false
+                call = self._add_edge(info, 0, ctx, taken.block,
+                                      self._branch_overrides(state, taken))
+                block.terminator = Jump(call)
+                self.stats.branches_folded += 1
+                return
+            cond_vid = self._mat(block, const_cache, cond)
+            tcall = self._add_edge(info, 0, ctx, term.if_true.block,
+                                   self._branch_overrides(state,
+                                                          term.if_true))
+            fcall = self._add_edge(info, 1, ctx, term.if_false.block,
+                                   self._branch_overrides(state,
+                                                          term.if_false))
+            block.terminator = BrIf(cond_vid, tcall, fcall)
+            return
+        if isinstance(term, BrTable):
+            index = state.env[term.index]
+            if isinstance(index, Const):
+                i = index.value
+                gcall = (term.cases[i] if 0 <= i < len(term.cases)
+                         else term.default)
+                call = self._add_edge(info, 0, ctx, gcall.block,
+                                      self._branch_overrides(state, gcall))
+                block.terminator = Jump(call)
+                self.stats.branches_folded += 1
+                return
+            index_vid = self._mat(block, const_cache, index)
+            cases = []
+            for pos, gcall in enumerate(term.cases):
+                cases.append(self._add_edge(
+                    info, pos, ctx, gcall.block,
+                    self._branch_overrides(state, gcall)))
+            dcall = self._add_edge(info, len(term.cases), ctx,
+                                   term.default.block,
+                                   self._branch_overrides(state,
+                                                          term.default))
+            block.terminator = BrTable(index_vid, cases, dcall)
+            return
+        if isinstance(term, Ret):
+            args = tuple(self._mat(block, const_cache, state.env[a])
+                         for a in term.args)
+            block.terminator = Ret(args)
+            return
+        if isinstance(term, Trap):
+            block.terminator = Trap(term.message)
+            return
+        raise SpecializeError(f"block{gblock.id} has no terminator")
+
+    def _emit_value_specialization(self, info: _KeyInfo, block: Block,
+                                   state: FlowState, const_cache, ctx,
+                                   gblock: Block, pending) -> None:
+        """Lower a runtime-valued ``specialized_value`` ("The Trick")."""
+        instr, lo, hi, value = pending
+        term = gblock.terminator
+        assert isinstance(term, Jump) and not term.target.args, \
+            "preparation must isolate specialized_value before a plain jump"
+        cont = term.target.block
+
+        value_vid = self._mat(block, const_cache, value)
+        lo_vid = self._mat(block, const_cache, Const(lo, I64))
+        index_vid = self.out.new_value(I64)
+        block.instrs.append(Instr("isub", index_vid, (value_vid, lo_vid),
+                                  None, I64))
+        cases = []
+        for i in range(hi - lo + 1):
+            sub_ctx = ctx_mod.push_value(ctx, lo + i)
+            overrides = {instr.result: Const((lo + i) & ((1 << 64) - 1), I64)}
+            cases.append(self._add_edge(info, i, sub_ctx, cont, overrides))
+        # Out-of-range values take a continuation specialized with no
+        # knowledge of the value: semantics are preserved for any input.
+        dyn_ctx = ctx_mod.push_value(ctx, "dyn")
+        dcall = self._add_edge(info, hi - lo + 1, dyn_ctx, cont,
+                               {instr.result: value})
+        block.terminator = BrTable(index_vid, cases, dcall)
+
+    # ------------------------------------------------------------------
+    # Phase 2: fill in branch arguments and write-back fixups.
+    # ------------------------------------------------------------------
+    def _fill_edges(self) -> None:
+        for info in self.infos.values():
+            if not info.built or not info.edges_out:
+                continue
+            block = info.spec_block
+            out = info.out_state
+            const_cache: Dict[Tuple[object, Type], int] = {}
+            flushed: Set[Tuple[str, int]] = set()
+            for edge in info.edges_out:
+                succ = self.infos[edge.succ_key]
+                if succ.entry_state is None:
+                    continue
+                self._emit_edge_fixups(block, const_cache, out,
+                                       succ.entry_state, flushed)
+                args = []
+                for slot in succ.param_slots:
+                    value = binding_of(out, edge.overrides, slot)
+                    if value is None:
+                        raise SpecializeError(
+                            f"{self.request.name()}: no value for slot "
+                            f"{slot} on edge to {edge.succ_key} "
+                            f"(internal error)")
+                    args.append(self._mat(block, const_cache, value))
+                edge.call.args = tuple(args)
+
+    def _emit_edge_fixups(self, block: Block, const_cache, out: FlowState,
+                          succ_entry: FlowState,
+                          flushed: Set[Tuple[str, int]]) -> None:
+        """Flush dirty cached state that the successor does not keep.
+
+        Writing back early is always sound: the store writes the current
+        (correct) value to the slot's canonical address.
+        """
+        for idx, slot in out.locals.items():
+            if slot.dirty and idx not in succ_entry.locals \
+                    and ("lcl", idx) not in flushed:
+                addr = self._mat(block, const_cache, slot.addr)
+                value = self._mat(block, const_cache, slot.value)
+                self._insert_before_terminator(
+                    block, Instr("store64", None, (addr, value), 0, None))
+                flushed.add(("lcl", idx))
+                self.stats.local_stores_real += 1
+        keep = len(succ_entry.stack)
+        for pos in range(keep, len(out.stack)):
+            slot = out.stack[pos]
+            if slot.dirty and ("stk", pos) not in flushed:
+                addr = self._mat(block, const_cache, slot.addr)
+                value = self._mat(block, const_cache, slot.value)
+                self._insert_before_terminator(
+                    block, Instr("store64", None, (addr, value), 0, None))
+                flushed.add(("stk", pos))
+                self.stats.stack_stores_real += 1
+
+    @staticmethod
+    def _insert_before_terminator(block: Block, instr: Instr) -> None:
+        block.instrs.append(instr)
+
+
+def specialize(module: Module, request: SpecializationRequest,
+               options: Optional[SpecializeOptions] = None,
+               memory: Optional[bytes] = None,
+               stats: Optional[SpecializationStats] = None) -> Function:
+    """Run the weval transform and return the specialized function.
+
+    ``memory`` is the heap snapshot backing constant-memory reads
+    (defaults to the module's initial memory image).  The returned
+    function is *not* added to the module; see
+    :class:`~repro.core.snapshot.SnapshotCompiler` for the integrated
+    workflow.
+    """
+    options = options or SpecializeOptions()
+    spec = _Specializer(module, request, options, memory)
+    func = spec.run()
+    if options.optimize:
+        from repro.opt.pipeline import optimize_function
+        optimize_function(func)
+    if stats is not None:
+        stats.merge(spec.stats)
+    func._weval_stats = spec.stats  # noqa: SLF001 - attached for reporting
+    return func

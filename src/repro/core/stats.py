@@ -1,0 +1,61 @@
+"""Statistics collected while specializing (S6.2, S6.4, S6.5).
+
+All counters are *static* (counts of instruction sites in generated code)
+except where a benchmark combines them with the VM's dynamic counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class SpecializationStats:
+    """Counters for one specialization (or a sum over many)."""
+
+    # State-intrinsic effectiveness (S6.2).
+    stack_loads_elided: int = 0
+    stack_loads_real: int = 0
+    stack_stores_elided: int = 0
+    stack_stores_real: int = 0
+    local_loads_elided: int = 0
+    local_loads_real: int = 0
+    local_stores_elided: int = 0
+    local_stores_real: int = 0
+    reg_reads: int = 0
+    reg_writes: int = 0
+    # Transform work.
+    blocks_specialized: int = 0
+    block_revisits: int = 0
+    contexts_created: int = 0
+    instrs_folded: int = 0
+    loads_folded_from_const_memory: int = 0
+    branches_folded: int = 0
+    dynamic_context_updates: int = 0  # update_context seen with runtime arg
+    # Output shape.
+    output_blocks: int = 0
+    output_instrs: int = 0
+    output_block_params: int = 0
+    wallclock_seconds: float = 0.0
+
+    def merge(self, other: "SpecializationStats") -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+
+    # Convenience ratios for the S6.2-style report.
+    def stack_load_elision_rate(self) -> float:
+        total = self.stack_loads_elided + self.stack_loads_real
+        return self.stack_loads_elided / total if total else 0.0
+
+    def stack_store_elision_rate(self) -> float:
+        total = self.stack_stores_elided + self.stack_stores_real
+        return self.stack_stores_elided / total if total else 0.0
+
+    def local_load_elision_rate(self) -> float:
+        total = self.local_loads_elided + self.local_loads_real
+        return self.local_loads_elided / total if total else 0.0
+
+    def local_store_elision_rate(self) -> float:
+        total = self.local_stores_elided + self.local_stores_real
+        return self.local_stores_elided / total if total else 0.0

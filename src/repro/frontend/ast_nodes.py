@@ -1,0 +1,197 @@
+"""AST node definitions for mini-C.
+
+All nodes carry a source position for diagnostics.  Types are the strings
+``"u64"``, ``"f64"``, and ``"void"`` (function results only).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+
+@dataclasses.dataclass
+class Node:
+    line: int
+    col: int
+
+
+# ---------------------------------------------------------------------------
+# Expressions.
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class IntLit(Node):
+    value: int
+
+
+@dataclasses.dataclass
+class FloatLit(Node):
+    value: float
+
+
+@dataclasses.dataclass
+class VarRef(Node):
+    name: str
+
+
+@dataclasses.dataclass
+class Unary(Node):
+    op: str            # "-", "!", "~"
+    operand: "Expr"
+
+
+@dataclasses.dataclass
+class Binary(Node):
+    op: str            # arithmetic / comparison / bitwise / "&&" / "||"
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclasses.dataclass
+class Ternary(Node):
+    cond: "Expr"
+    if_true: "Expr"
+    if_false: "Expr"
+
+
+@dataclasses.dataclass
+class Call(Node):
+    callee: str
+    args: List["Expr"]
+
+
+@dataclasses.dataclass
+class Index(Node):
+    """``base[index]``: 8-byte-scaled load from memory.  The element type
+    is ``f64`` when ``base`` names a local ``f64`` array, else ``u64``."""
+
+    base: "Expr"
+    index: "Expr"
+
+
+Expr = Node  # informal union; every expression subclasses Node
+
+
+# ---------------------------------------------------------------------------
+# Statements.
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class DeclStmt(Node):
+    type: str          # "u64" | "f64"
+    name: str
+    init: Optional[Expr]
+    array_size: Optional[int] = None  # local array on the shadow stack
+
+
+@dataclasses.dataclass
+class AssignStmt(Node):
+    name: str
+    op: str            # "=", "+=", "-=", ...
+    value: Expr
+
+
+@dataclasses.dataclass
+class IncDecStmt(Node):
+    name: str
+    op: str            # "++" | "--"
+
+
+@dataclasses.dataclass
+class StoreStmt(Node):
+    """``base[index] = value;``"""
+
+    base: Expr
+    index: Expr
+    op: str            # "=", "+=", ...
+    value: Expr
+
+
+@dataclasses.dataclass
+class ExprStmt(Node):
+    expr: Expr         # call for effect
+
+
+@dataclasses.dataclass
+class BlockStmt(Node):
+    """A bare ``{ ... }`` compound statement (its own scope)."""
+
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class IfStmt(Node):
+    cond: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class WhileStmt(Node):
+    cond: Expr
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class ForStmt(Node):
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class BreakStmt(Node):
+    pass
+
+
+@dataclasses.dataclass
+class ContinueStmt(Node):
+    pass
+
+
+@dataclasses.dataclass
+class ReturnStmt(Node):
+    value: Optional[Expr]
+
+
+@dataclasses.dataclass
+class SwitchCase:
+    values: List[int]          # one or more ``case N:`` labels
+    is_default: bool
+    body: List["Stmt"]
+
+
+@dataclasses.dataclass
+class SwitchStmt(Node):
+    selector: Expr
+    cases: List[SwitchCase]
+
+
+Stmt = Node
+
+
+# ---------------------------------------------------------------------------
+# Top level.
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class FuncDef(Node):
+    name: str
+    result: str                       # "u64" | "f64" | "void"
+    params: List[Tuple[str, str]]     # (type, name)
+    body: List[Stmt]
+
+
+@dataclasses.dataclass
+class ExternDecl(Node):
+    name: str
+    result: str
+    params: List[Tuple[str, str]]
+
+
+@dataclasses.dataclass
+class Program:
+    functions: List[FuncDef]
+    externs: List[ExternDecl]

@@ -1,0 +1,14 @@
+"""Compile-time diagnostics for mini-C."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A mini-C front-end error, with 1-based source position."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        if line:
+            message = f"{line}:{col}: {message}"
+        super().__init__(message)

@@ -1,0 +1,130 @@
+"""Tokenizer for mini-C."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List
+
+from repro.frontend.errors import CompileError
+
+KEYWORDS = {
+    "u64", "f64", "void", "if", "else", "while", "for", "do", "break",
+    "continue", "return", "switch", "case", "default", "extern",
+}
+
+# Multi-character operators, longest first so the scanner is greedy.
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ":", "?",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str        # "ident", "keyword", "int", "float", "op", "eof"
+    text: str
+    line: int
+    col: int
+    value: object = None  # parsed numeric value for int/float tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize mini-C source text, raising :class:`CompileError` on bad
+    input.  ``//`` and ``/* */`` comments are skipped."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> CompileError:
+        return CompileError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        # Whitespace.
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[i:end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        # Numbers.
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and (source[i] in "0123456789abcdefABCDEF"):
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                if i < n and source[i] == ".":
+                    is_float = True
+                    i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+                if i < n and source[i] in "eE":
+                    is_float = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                    if i >= n or not source[i].isdigit():
+                        raise error("malformed float exponent")
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            if is_float:
+                tokens.append(Token("float", text, line, col, float(text)))
+            else:
+                tokens.append(Token("int", text, line, col, int(text, 0)))
+            col += i - start
+            continue
+        # Operators and punctuation.
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

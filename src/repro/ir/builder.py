@@ -1,0 +1,197 @@
+"""Convenience builder for constructing IR functions by hand.
+
+Used by tests, by the mini-C frontend's lowering, and by the specializer
+when emitting specialized function bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.function import Block, Function, Signature
+from repro.ir.instructions import (
+    OPCODES,
+    BlockCall,
+    BrIf,
+    BrTable,
+    Instr,
+    Jump,
+    Ret,
+    Trap,
+    wrap_i64,
+)
+from repro.ir.types import F64, I64, Type
+
+
+class FunctionBuilder:
+    """Builds a :class:`Function` block by block.
+
+    Typical usage::
+
+        fb = FunctionBuilder("f", Signature((I64,), (I64,)))
+        entry = fb.entry
+        x = entry.params[0][0]
+        one = fb.iconst(1)
+        y = fb.iadd(x, one)
+        fb.ret(y)
+    """
+
+    def __init__(self, name: str, sig: Signature):
+        self.func = Function(name, sig)
+        self.entry = self.func.new_block()
+        self.func.entry = self.entry.id
+        for ty in sig.params:
+            self.func.add_block_param(self.entry, ty)
+        self.current: Block = self.entry
+
+    # ------------------------------------------------------------------
+    # Block management.
+    # ------------------------------------------------------------------
+    def new_block(self, param_types: Sequence[Type] = ()) -> Block:
+        block = self.func.new_block()
+        for ty in param_types:
+            self.func.add_block_param(block, ty)
+        return block
+
+    def switch_to(self, block: Block) -> Block:
+        self.current = block
+        return block
+
+    # ------------------------------------------------------------------
+    # Instruction emission.
+    # ------------------------------------------------------------------
+    def emit(self, op: str, args: Sequence[int] = (), imm: object = None,
+             result_type: Optional[Type] = None) -> Optional[int]:
+        info = OPCODES[op]
+        if info.result is None:
+            result = None
+            rtype = None
+        elif info.result == "poly":
+            rtype = result_type or self.func.type_of(args[1])
+            result = self.func.new_value(rtype)
+        elif info.result == "dynamic":
+            rtype = result_type
+            result = self.func.new_value(rtype) if rtype is not None else None
+        else:
+            rtype = info.result
+            result = self.func.new_value(rtype)
+        instr = Instr(op, result, tuple(args), imm, rtype)
+        self.current.instrs.append(instr)
+        return result
+
+    # Constants -----------------------------------------------------------
+    def iconst(self, value: int) -> int:
+        return self.emit("iconst", imm=wrap_i64(value))
+
+    def fconst(self, value: float) -> int:
+        return self.emit("fconst", imm=float(value))
+
+    # Generic binops / unops via __getattr__-free explicit helpers --------
+    def binop(self, op: str, a: int, b: int) -> int:
+        return self.emit(op, (a, b))
+
+    def iadd(self, a, b):
+        return self.binop("iadd", a, b)
+
+    def isub(self, a, b):
+        return self.binop("isub", a, b)
+
+    def imul(self, a, b):
+        return self.binop("imul", a, b)
+
+    def iand(self, a, b):
+        return self.binop("iand", a, b)
+
+    def ior(self, a, b):
+        return self.binop("ior", a, b)
+
+    def ixor(self, a, b):
+        return self.binop("ixor", a, b)
+
+    def ishl(self, a, b):
+        return self.binop("ishl", a, b)
+
+    def ishr_u(self, a, b):
+        return self.binop("ishr_u", a, b)
+
+    def ishr_s(self, a, b):
+        return self.binop("ishr_s", a, b)
+
+    def ieq(self, a, b):
+        return self.binop("ieq", a, b)
+
+    def ine(self, a, b):
+        return self.binop("ine", a, b)
+
+    def ilt_s(self, a, b):
+        return self.binop("ilt_s", a, b)
+
+    def ilt_u(self, a, b):
+        return self.binop("ilt_u", a, b)
+
+    def select(self, cond: int, if_true: int, if_false: int) -> int:
+        return self.emit("select", (cond, if_true, if_false))
+
+    # Memory ---------------------------------------------------------------
+    def load64(self, addr: int, offset: int = 0) -> int:
+        return self.emit("load64", (addr,), imm=offset)
+
+    def store64(self, addr: int, value: int, offset: int = 0) -> None:
+        self.emit("store64", (addr, value), imm=offset)
+
+    def loadf64(self, addr: int, offset: int = 0) -> int:
+        return self.emit("loadf64", (addr,), imm=offset)
+
+    def storef64(self, addr: int, value: int, offset: int = 0) -> None:
+        self.emit("storef64", (addr, value), imm=offset)
+
+    # Calls ------------------------------------------------------------------
+    def call(self, callee: str, args: Sequence[int],
+             result_type: Optional[Type] = None) -> Optional[int]:
+        return self.emit("call", args, imm=callee, result_type=result_type)
+
+    def call_indirect(self, sig: Signature, index: int,
+                      args: Sequence[int]) -> Optional[int]:
+        rtype = sig.results[0] if sig.results else None
+        return self.emit("call_indirect", (index, *args), imm=sig,
+                         result_type=rtype)
+
+    # Globals ------------------------------------------------------------------
+    def global_get(self, name: str) -> int:
+        return self.emit("global_get", imm=name)
+
+    def global_set(self, name: str, value: int) -> None:
+        self.emit("global_set", (value,), imm=name)
+
+    # ------------------------------------------------------------------
+    # Terminators.
+    # ------------------------------------------------------------------
+    def _terminate(self, term) -> None:
+        assert self.current.terminator is None, (
+            f"block {self.current.id} already terminated")
+        self.current.terminator = term
+
+    def jump(self, target: Block, args: Sequence[int] = ()) -> None:
+        self._terminate(Jump(BlockCall(target.id, tuple(args))))
+
+    def br_if(self, cond: int, if_true: Block, if_false: Block,
+              true_args: Sequence[int] = (),
+              false_args: Sequence[int] = ()) -> None:
+        self._terminate(BrIf(cond,
+                             BlockCall(if_true.id, tuple(true_args)),
+                             BlockCall(if_false.id, tuple(false_args))))
+
+    def br_table(self, index: int, cases: Sequence[Block],
+                 default: Block) -> None:
+        self._terminate(BrTable(index,
+                                [BlockCall(b.id) for b in cases],
+                                BlockCall(default.id)))
+
+    def ret(self, *args: int) -> None:
+        self._terminate(Ret(tuple(args)))
+
+    def trap(self, message: str = "trap") -> None:
+        self._terminate(Trap(message))
+
+    def finish(self) -> Function:
+        return self.func

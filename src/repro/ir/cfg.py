@@ -1,0 +1,73 @@
+"""CFG utilities: successor/predecessor maps and traversal orders."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+
+
+def successors(func: Function, block_id: int) -> List[int]:
+    """Successor block ids of a block, in terminator order (with dups
+    removed, preserving first occurrence)."""
+    term = func.blocks[block_id].terminator
+    if term is None:
+        return []
+    seen: Set[int] = set()
+    out: List[int] = []
+    for call in term.targets():
+        if call.block not in seen:
+            seen.add(call.block)
+            out.append(call.block)
+    return out
+
+
+def predecessors(func: Function) -> Dict[int, List[int]]:
+    """Map from block id to the list of predecessor block ids (each listed
+    once even if a terminator has multiple edges to it)."""
+    preds: Dict[int, List[int]] = {b: [] for b in func.blocks}
+    for bid in func.blocks:
+        for succ in successors(func, bid):
+            preds[succ].append(bid)
+    return preds
+
+
+def reachable_blocks(func: Function) -> Set[int]:
+    """Blocks reachable from the entry block."""
+    seen: Set[int] = set()
+    stack = [func.entry]
+    while stack:
+        bid = stack.pop()
+        if bid in seen:
+            continue
+        seen.add(bid)
+        stack.extend(successors(func, bid))
+    return seen
+
+
+def postorder(func: Function) -> List[int]:
+    """Post-order traversal of reachable blocks from the entry."""
+    seen: Set[int] = set()
+    order: List[int] = []
+    # Iterative DFS with an explicit state stack to avoid recursion limits
+    # on the very deep CFGs produced by specialization.
+    stack = [(func.entry, iter(successors(func, func.entry)))]
+    seen.add(func.entry)
+    while stack:
+        bid, succ_iter = stack[-1]
+        advanced = False
+        for succ in succ_iter:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, iter(successors(func, succ))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(bid)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(func: Function) -> List[int]:
+    """Reverse post-order: a topological order ignoring back edges."""
+    return list(reversed(postorder(func)))

@@ -1,0 +1,55 @@
+"""Deep-cloning of IR functions (value ids preserved)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.ir.function import Block, Function
+from repro.ir.instructions import (
+    BlockCall,
+    BrIf,
+    BrTable,
+    Instr,
+    Jump,
+    Ret,
+    Trap,
+)
+
+
+def _clone_terminator(term):
+    if term is None:
+        return None
+    if isinstance(term, Jump):
+        return Jump(BlockCall(term.target.block, tuple(term.target.args)))
+    if isinstance(term, BrIf):
+        return BrIf(term.cond,
+                    BlockCall(term.if_true.block, tuple(term.if_true.args)),
+                    BlockCall(term.if_false.block, tuple(term.if_false.args)))
+    if isinstance(term, BrTable):
+        return BrTable(term.index,
+                       [BlockCall(c.block, tuple(c.args)) for c in term.cases],
+                       BlockCall(term.default.block,
+                                 tuple(term.default.args)))
+    if isinstance(term, Ret):
+        return Ret(tuple(term.args))
+    if isinstance(term, Trap):
+        return Trap(term.message)
+    raise TypeError(f"not a terminator: {term!r}")
+
+
+def clone_function(func: Function, new_name: Optional[str] = None) -> Function:
+    """Deep copy of a function.  Value and block ids are preserved, so the
+    clone can be transformed (e.g. block splitting) without touching the
+    original."""
+    clone = Function(new_name or func.name, func.sig)
+    clone.entry = func.entry
+    clone.value_types = dict(func.value_types)
+    clone._next_value = func._next_value
+    clone._next_block = func._next_block
+    for bid, block in func.blocks.items():
+        new_block = Block(bid, list(block.params),
+                          [dataclasses.replace(i) for i in block.instrs],
+                          _clone_terminator(block.terminator))
+        clone.blocks[bid] = new_block
+    return clone

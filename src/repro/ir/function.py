@@ -1,0 +1,112 @@
+"""Functions, basic blocks, and signatures."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import Instr, Terminator, terminator_values
+from repro.ir.types import Type
+
+
+@dataclasses.dataclass(frozen=True)
+class Signature:
+    """A function signature: parameter types and result types.
+
+    At most one result is supported (our guest interpreters need no more),
+    but the type is a tuple so multi-result support is a local change.
+    """
+
+    params: Tuple[Type, ...]
+    results: Tuple[Type, ...] = ()
+
+    def __str__(self) -> str:
+        params = ", ".join(str(t) for t in self.params)
+        if not self.results:
+            return f"({params})"
+        results = ", ".join(str(t) for t in self.results)
+        return f"({params}) -> {results}"
+
+
+@dataclasses.dataclass
+class Block:
+    """A basic block: typed parameters, instructions, one terminator."""
+
+    id: int
+    params: List[Tuple[int, Type]] = dataclasses.field(default_factory=list)
+    instrs: List[Instr] = dataclasses.field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def param_values(self) -> List[int]:
+        return [v for v, _ in self.params]
+
+
+class Function:
+    """An SSA function: a CFG of blocks plus value bookkeeping.
+
+    The entry block's parameters are the function's parameters.  Value ids
+    are allocated monotonically via :meth:`new_value`; ``value_types``
+    records the type of every value ever created.
+    """
+
+    def __init__(self, name: str, sig: Signature):
+        self.name = name
+        self.sig = sig
+        self.blocks: Dict[int, Block] = {}
+        self.entry: Optional[int] = None
+        self.value_types: Dict[int, Type] = {}
+        self._next_value = 0
+        self._next_block = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    def new_value(self, ty: Type) -> int:
+        vid = self._next_value
+        self._next_value += 1
+        self.value_types[vid] = ty
+        return vid
+
+    def new_block(self) -> Block:
+        block = Block(self._next_block)
+        self._next_block = block.id + 1
+        self.blocks[block.id] = block
+        return block
+
+    def add_block_param(self, block: Block, ty: Type) -> int:
+        vid = self.new_value(ty)
+        block.params.append((vid, ty))
+        return vid
+
+    def entry_block(self) -> Block:
+        assert self.entry is not None, f"function {self.name} has no entry"
+        return self.blocks[self.entry]
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def type_of(self, value: int) -> Type:
+        return self.value_types[value]
+
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def num_instrs(self) -> int:
+        return sum(len(b.instrs) for b in self.blocks.values())
+
+    def total_block_params(self) -> int:
+        """Total block parameter count (excluding the entry block, whose
+        parameters are the function's own)."""
+        return sum(len(b.params) for b in self.blocks.values()
+                   if b.id != self.entry)
+
+    def used_values(self):
+        """Yield every value id referenced as an operand anywhere."""
+        for block in self.blocks.values():
+            for instr in block.instrs:
+                yield from instr.args
+            if block.terminator is not None:
+                yield from terminator_values(block.terminator)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Function {self.name} {self.sig} blocks={len(self.blocks)}>"

@@ -1,0 +1,126 @@
+"""Modules: functions, linear memory, function table, globals, imports.
+
+A module corresponds to a Wasm module in the paper's prototype: it owns a
+single linear memory (whose initial contents act as the "snapshot" that
+the weval transform may treat as constant), a table of functions used by
+``call_indirect``, and named mutable globals (all i64).
+
+Host functions (imports) are Python callables invoked by the VM.  The
+``weval.*`` intrinsics are declared as imports, matching the paper's
+argument that intrinsic calls survive optimization because they are
+external functions (S3, footnote 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.ir.function import Function, Signature
+
+
+@dataclasses.dataclass
+class HostFunc:
+    """An imported function implemented by the host (Python).
+
+    ``fn`` receives ``(vm, *args)`` and returns an int/float or ``None``
+    according to ``sig``.  ``vm`` is the executing
+    :class:`repro.vm.machine.VM` so host functions can touch memory.
+    """
+
+    name: str
+    sig: Signature
+    fn: Callable
+
+
+class Module:
+    """A compilation unit: functions + memory + table + globals."""
+
+    NULL_TABLE_INDEX = 0
+
+    def __init__(self, memory_size: int = 1 << 20):
+        self.functions: Dict[str, Function] = {}
+        self.imports: Dict[str, HostFunc] = {}
+        # Table slot 0 is reserved as "null"; calling it traps.
+        self.table: List[Optional[str]] = [None]
+        self.globals: Dict[str, int] = {}
+        self.memory_size = memory_size
+        self.memory_init = bytearray(memory_size)
+
+    # ------------------------------------------------------------------
+    # Functions and imports.
+    # ------------------------------------------------------------------
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions or func.name in self.imports:
+            raise ValueError(f"duplicate function name: {func.name}")
+        self.functions[func.name] = func
+        return func
+
+    def add_import(self, host: HostFunc) -> HostFunc:
+        if host.name in self.functions or host.name in self.imports:
+            raise ValueError(f"duplicate import name: {host.name}")
+        self.imports[host.name] = host
+        return host
+
+    def signature_of(self, name: str) -> Signature:
+        if name in self.functions:
+            return self.functions[name].sig
+        if name in self.imports:
+            return self.imports[name].sig
+        raise KeyError(f"unknown function: {name}")
+
+    def has_function(self, name: str) -> bool:
+        return name in self.functions or name in self.imports
+
+    # ------------------------------------------------------------------
+    # Table.
+    # ------------------------------------------------------------------
+    def add_table_entry(self, name: str) -> int:
+        """Append ``name`` to the function table; return its index."""
+        if not self.has_function(name):
+            raise KeyError(f"cannot table unknown function: {name}")
+        self.table.append(name)
+        return len(self.table) - 1
+
+    # ------------------------------------------------------------------
+    # Globals.
+    # ------------------------------------------------------------------
+    def add_global(self, name: str, init: int = 0) -> None:
+        if name in self.globals:
+            raise ValueError(f"duplicate global: {name}")
+        self.globals[name] = init
+
+    # ------------------------------------------------------------------
+    # Memory initialization helpers.
+    # ------------------------------------------------------------------
+    def write_init(self, addr: int, data: bytes) -> None:
+        """Write bytes into the initial memory image."""
+        end = addr + len(data)
+        if end > self.memory_size:
+            raise ValueError(f"init data [{addr}, {end}) exceeds memory")
+        self.memory_init[addr:end] = data
+
+    def write_init_u64(self, addr: int, value: int) -> None:
+        self.write_init(addr, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+
+    def read_init_u64(self, addr: int) -> int:
+        return int.from_bytes(self.memory_init[addr:addr + 8], "little")
+
+    # ------------------------------------------------------------------
+    # Size metrics (for the S6.4 code-size experiment).
+    # ------------------------------------------------------------------
+    def code_size(self) -> int:
+        """A deterministic proxy for module byte size: total instruction
+        count plus per-block and per-function overhead."""
+        size = 0
+        for func in self.functions.values():
+            size += 4  # function header
+            for block in func.blocks.values():
+                size += 2 + len(block.params)
+                size += sum(2 for _ in block.instrs)
+                size += 2  # terminator
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Module funcs={len(self.functions)} "
+                f"imports={len(self.imports)} table={len(self.table)}>")

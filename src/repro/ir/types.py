@@ -1,0 +1,26 @@
+"""Value types for the IR.
+
+The IR is intentionally minimal: two value types, 64-bit integers and
+64-bit floats.  Pointers, booleans, opcodes, and NaN-boxed dynamic values
+are all represented as ``i64``.  This mirrors the paper's Wasm substrate,
+where the interpreters under specialization traffic almost exclusively in
+``i64``/``f64`` after compilation from C.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Type(enum.Enum):
+    """An IR value type."""
+
+    I64 = "i64"
+    F64 = "f64"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+I64 = Type.I64
+F64 = Type.F64

@@ -1,0 +1,207 @@
+"""IR verification: structural, type, and SSA dominance checks.
+
+The specializer's output is always run through the verifier in tests;
+this is the main line of defence for the "semantics-preserving" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir.cfg import reachable_blocks
+from repro.ir.dominance import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    OPCODES,
+    BlockCall,
+    BrIf,
+    BrTable,
+    Instr,
+    Jump,
+    Ret,
+    Trap,
+    terminator_values,
+)
+from repro.ir.module import Module
+from repro.ir.types import I64, Type
+
+
+class VerificationError(Exception):
+    """Raised when a function or module fails verification."""
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise VerificationError(message)
+
+
+def verify_function(func: Function, module: Module = None) -> None:
+    """Verify one function.
+
+    Checks:
+      * entry block exists and its params match the signature;
+      * every reachable block has a terminator;
+      * branch argument counts/types match target block parameters;
+      * operand counts/types match each opcode's :class:`OpInfo`;
+      * every used value has a definition;
+      * defs dominate uses (SSA validity).
+    """
+    _check(func.entry is not None, f"{func.name}: no entry block")
+    entry = func.entry_block()
+    entry_types = tuple(t for _, t in entry.params)
+    _check(entry_types == func.sig.params,
+           f"{func.name}: entry params {entry_types} != sig {func.sig.params}")
+
+    reachable = reachable_blocks(func)
+
+    # Collect definitions: block of definition for each value.
+    def_block: Dict[int, int] = {}
+    def_index: Dict[int, int] = {}
+    for bid in reachable:
+        block = func.blocks[bid]
+        for value, ty in block.params:
+            _check(value not in def_block,
+                   f"{func.name}: value v{value} defined twice")
+            def_block[value] = bid
+            def_index[value] = -1
+            _check(func.value_types.get(value) == ty,
+                   f"{func.name}: block param v{value} type mismatch")
+        for i, instr in enumerate(block.instrs):
+            if instr.result is not None:
+                _check(instr.result not in def_block,
+                       f"{func.name}: value v{instr.result} defined twice")
+                def_block[instr.result] = bid
+                def_index[instr.result] = i
+
+    # Structural and type checks per block.
+    for bid in reachable:
+        block = func.blocks[bid]
+        _check(block.terminator is not None,
+               f"{func.name}: block{bid} lacks a terminator")
+        for i, instr in enumerate(block.instrs):
+            _verify_instr(func, module, bid, i, instr, def_block)
+        _verify_terminator(func, bid, block.terminator, def_block)
+
+    # Dominance checks.
+    domtree = DominatorTree(func)
+    for bid in reachable:
+        block = func.blocks[bid]
+        for i, instr in enumerate(block.instrs):
+            for arg in instr.args:
+                _verify_dominance(func, domtree, def_block, def_index,
+                                  bid, i, arg)
+        for value in terminator_values(block.terminator):
+            _verify_dominance(func, domtree, def_block, def_index,
+                              bid, len(block.instrs), value)
+
+
+def _verify_instr(func: Function, module, bid: int, index: int,
+                  instr: Instr, def_block: Dict[int, int]) -> None:
+    _check(instr.op in OPCODES, f"{func.name}: unknown opcode {instr.op}")
+    info = OPCODES[instr.op]
+    name = f"{func.name}/block{bid}[{index}]"
+    if instr.op == "call":
+        _check(isinstance(instr.imm, str), f"{name}: call imm must be a name")
+        if module is not None:
+            _check(module.has_function(instr.imm),
+                   f"{name}: call of unknown function {instr.imm}")
+            sig = module.signature_of(instr.imm)
+            _check(len(instr.args) == len(sig.params),
+                   f"{name}: call arg count {len(instr.args)} != "
+                   f"{len(sig.params)}")
+            for arg, ty in zip(instr.args, sig.params):
+                _check(func.value_types.get(arg) == ty,
+                       f"{name}: call arg v{arg} type mismatch")
+            if sig.results:
+                _check(instr.result is not None and
+                       instr.result_type == sig.results[0],
+                       f"{name}: call result type mismatch")
+        return
+    if instr.op == "call_indirect":
+        _check(len(instr.args) >= 1, f"{name}: call_indirect needs an index")
+        sig = instr.imm
+        _check(len(instr.args) - 1 == len(sig.params),
+               f"{name}: call_indirect arg count mismatch")
+        return
+    if instr.op in ("global_get", "global_set"):
+        if module is not None:
+            _check(instr.imm in module.globals,
+                   f"{name}: unknown global {instr.imm}")
+    # Fixed-arity ops.
+    _check(len(instr.args) == len(info.arg_types),
+           f"{name}: {instr.op} expects {len(info.arg_types)} args, "
+           f"got {len(instr.args)}")
+    for arg, expected in zip(instr.args, info.arg_types):
+        _check(arg in func.value_types, f"{name}: undefined value v{arg}")
+        if expected is not None:
+            _check(func.value_types[arg] == expected,
+                   f"{name}: operand v{arg} has type "
+                   f"{func.value_types[arg]}, expected {expected}")
+    if info.result == "poly":
+        _check(func.value_types[instr.args[1]] ==
+               func.value_types[instr.args[2]],
+               f"{name}: select operands disagree in type")
+
+
+def _verify_terminator(func: Function, bid: int, term,
+                       def_block: Dict[int, int]) -> None:
+    name = f"{func.name}/block{bid}"
+
+    def check_call(call: BlockCall) -> None:
+        _check(call.block in func.blocks,
+               f"{name}: branch to unknown block{call.block}")
+        params = func.blocks[call.block].params
+        _check(len(call.args) == len(params),
+               f"{name}: branch to block{call.block} passes "
+               f"{len(call.args)} args, expects {len(params)}")
+        for arg, (_, ty) in zip(call.args, params):
+            _check(func.value_types.get(arg) == ty,
+                   f"{name}: branch arg v{arg} type mismatch to "
+                   f"block{call.block}")
+
+    if isinstance(term, (Jump, BrIf, BrTable)):
+        for call in term.targets():
+            check_call(call)
+        if isinstance(term, BrIf):
+            _check(func.value_types.get(term.cond) == I64,
+                   f"{name}: br_if condition must be i64")
+        if isinstance(term, BrTable):
+            _check(func.value_types.get(term.index) == I64,
+                   f"{name}: br_table index must be i64")
+    elif isinstance(term, Ret):
+        _check(len(term.args) == len(func.sig.results),
+               f"{name}: return arity mismatch")
+        for arg, ty in zip(term.args, func.sig.results):
+            _check(func.value_types.get(arg) == ty,
+                   f"{name}: return value v{arg} type mismatch")
+    elif isinstance(term, Trap):
+        pass
+    else:
+        raise VerificationError(f"{name}: bad terminator {term!r}")
+
+
+def _verify_dominance(func: Function, domtree: DominatorTree,
+                      def_block: Dict[int, int], def_index: Dict[int, int],
+                      use_block: int, use_index: int, value: int) -> None:
+    _check(value in def_block,
+           f"{func.name}: use of undefined value v{value} in "
+           f"block{use_block}")
+    dblock = def_block[value]
+    if dblock == use_block:
+        _check(def_index[value] < use_index,
+               f"{func.name}: v{value} used before defined in "
+               f"block{use_block}")
+    else:
+        _check(domtree.dominates(dblock, use_block),
+               f"{func.name}: def of v{value} in block{dblock} does not "
+               f"dominate use in block{use_block}")
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in a module, plus table entries."""
+    for entry in module.table:
+        if entry is not None:
+            _check(module.has_function(entry),
+                   f"table entry {entry} is not a function")
+    for func in module.functions.values():
+        verify_function(func, module)

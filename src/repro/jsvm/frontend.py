@@ -1,0 +1,671 @@
+"""MiniJS frontend: lexer, parser, and bytecode compiler.
+
+A JavaScript-subset language: top-level ``function`` declarations,
+``var`` (function-scoped), ``if``/``else``, ``while``, ``for``,
+``return``, object and array literals, property and index access,
+method calls (with ``this``), first-class function references, numbers
+(doubles), booleans, ``null``/``undefined``, and ``print``.
+``Math.sqrt/floor/abs`` map to dedicated opcodes.  Assignments are
+statements (not expressions); closures, ``new``, strings, and
+prototypes are out of scope — the workloads use factory functions and
+method properties instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.jsvm.bytecode import JSFunction, Op
+from repro.jsvm.shapes import NameTable, ShapeTable
+from repro.jsvm.values import (
+    VALUE_NULL,
+    VALUE_UNDEFINED,
+    box_bool,
+    box_double,
+    box_function,
+)
+
+
+class JSCompileError(Exception):
+    pass
+
+
+KEYWORDS = {"function", "var", "if", "else", "while", "for", "return",
+            "true", "false", "null", "undefined", "this", "break"}
+
+_OPS = ["===", "!==", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+        "+=", "-=", "*=", "/=", "%=",
+        "<", ">", "+", "-", "*", "/", "%", "!", "=", "(", ")", "{", "}",
+        "[", "]", ";", ",", ".", ":"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Tok:
+    kind: str
+    text: str
+    line: int
+    value: Optional[float] = None
+
+
+def tokenize(source: str) -> List[Tok]:
+    toks: List[Tok] = []
+    i, line, n = 0, 1, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise JSCompileError(f"line {line}: unterminated comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch in "_$":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            text = source[start:i]
+            toks.append(Tok("keyword" if text in KEYWORDS else "ident",
+                            text, line))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n
+                            and source[i + 1].isdigit()):
+            start = i
+            while i < n and (source[i].isdigit() or source[i] in ".eE" or
+                             (source[i] in "+-" and source[i - 1] in "eE")):
+                i += 1
+            toks.append(Tok("num", source[start:i], line,
+                            float(source[start:i])))
+            continue
+        for op in _OPS:
+            if source.startswith(op, i):
+                toks.append(Tok("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise JSCompileError(f"line {line}: bad character {ch!r}")
+    toks.append(Tok("eof", "", line))
+    return toks
+
+
+@dataclasses.dataclass
+class CompiledJS:
+    functions: List[JSFunction]      # index 0 is top-level main
+    names: NameTable
+    shapes: ShapeTable
+
+
+class Compiler:
+    """Single-pass parser + bytecode emitter (per function)."""
+
+    def __init__(self, source: str):
+        self.toks = tokenize(source)
+        self.pos = 0
+        self.names = NameTable()
+        self.shapes = ShapeTable()
+        self.function_ids: Dict[str, int] = {}
+        self.functions: List[JSFunction] = []
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self, offset: int = 0) -> Tok:
+        return self.toks[min(self.pos + offset, len(self.toks) - 1)]
+
+    def next(self) -> Tok:
+        tok = self.toks[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Tok]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Tok:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise JSCompileError(
+                f"line {tok.line}: expected {text or kind!r}, found "
+                f"{tok.text!r}")
+        return self.next()
+
+    # -- driver ------------------------------------------------------------
+    def compile(self) -> CompiledJS:
+        # Pass 1: collect function names so forward references resolve.
+        save = self.pos
+        while self.peek().kind != "eof":
+            tok = self.next()
+            if tok.kind == "keyword" and tok.text == "function":
+                name = self.expect("ident").text
+                if name in self.function_ids:
+                    raise JSCompileError(f"duplicate function {name!r}")
+                self.function_ids[name] = len(self.functions) + 1
+                self.functions.append(None)  # placeholder
+        self.pos = save
+
+        main = JSFunction("main", 0, num_params=1)  # implicit `this`
+        self.functions.insert(0, main)
+        # Re-map collected ids (main occupies index 0).
+        emitter = _FunctionEmitter(self, main, [])
+        while self.peek().kind != "eof":
+            if self.peek().text == "function":
+                self.compile_function()
+            else:
+                emitter.statement()
+        emitter.finish()
+        return CompiledJS(self.functions, self.names, self.shapes)
+
+    def compile_function(self) -> None:
+        self.expect("keyword", "function")
+        name = self.expect("ident").text
+        index = self.function_ids[name]
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.accept("op", ")"):
+            while True:
+                params.append(self.expect("ident").text)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        func = JSFunction(name, index, num_params=len(params) + 1)
+        self.functions[index] = func
+        emitter = _FunctionEmitter(self, func, params)
+        self.expect("op", "{")
+        while not self.accept("op", "}"):
+            emitter.statement()
+        emitter.finish()
+
+
+class _FunctionEmitter:
+    def __init__(self, compiler: Compiler, func: JSFunction,
+                 params: List[str]):
+        self.c = compiler
+        self.func = func
+        self.locals: Dict[str, int] = {"this": 0}
+        for i, param in enumerate(params):
+            self.locals[param] = i + 1
+        func.num_locals = len(params) + 1
+        self.depth = 0
+        self.break_patches: List[List[int]] = []
+
+    # -- emit helpers (track operand-stack depth) ---------------------------
+    def emit(self, op: Op, a: int = 0, b: int = 0, delta: int = 0) -> int:
+        pc = self.func.emit(op, a, b)
+        self.depth += delta
+        if self.depth < 0:
+            raise JSCompileError(
+                f"internal: stack underflow in {self.func.name}")
+        self.func.max_stack = max(self.func.max_stack, self.depth)
+        return pc
+
+    def local_slot(self, name: str, declare: bool = False) -> int:
+        if name in self.locals:
+            return self.locals[name]
+        if not declare:
+            raise JSCompileError(
+                f"{self.func.name}: undeclared variable {name!r}")
+        slot = self.func.num_locals
+        self.func.num_locals += 1
+        self.locals[name] = slot
+        return slot
+
+    def finish(self) -> None:
+        # Implicit `return undefined`.
+        self.emit(Op.LOADK,
+                  self.func.const_index(VALUE_UNDEFINED), delta=1)
+        self.emit(Op.RET, delta=-1)
+
+    # -- statements ----------------------------------------------------------
+    def statement(self) -> None:
+        tok = self.c.peek()
+        if tok.text == "var":
+            self.c.next()
+            name = self.c.expect("ident").text
+            slot = self.local_slot(name, declare=True)
+            if self.c.accept("op", "="):
+                self.expression()
+            else:
+                self.emit(Op.LOADK,
+                          self.func.const_index(VALUE_UNDEFINED), delta=1)
+            self.emit(Op.STORELOCAL, slot, delta=-1)
+            self.c.expect("op", ";")
+            return
+        if tok.text == "if":
+            self._if_statement()
+            return
+        if tok.text == "while":
+            self.c.next()
+            self.c.expect("op", "(")
+            top = self.func.here()
+            self.expression()
+            self.c.expect("op", ")")
+            exit_jump = self.emit(Op.JMPF, 0, delta=-1)
+            self.break_patches.append([])
+            self._block_or_stmt()
+            self.emit(Op.JMP, top)
+            after = self.func.here()
+            self.func.patch(exit_jump, 1, after)
+            for pc in self.break_patches.pop():
+                self.func.patch(pc, 1, after)
+            return
+        if tok.text == "for":
+            self._for_statement()
+            return
+        if tok.text == "return":
+            self.c.next()
+            if self.c.accept("op", ";"):
+                self.emit(Op.LOADK,
+                          self.func.const_index(VALUE_UNDEFINED), delta=1)
+            else:
+                self.expression()
+                self.c.expect("op", ";")
+            self.emit(Op.RET, delta=-1)
+            return
+        if tok.text == "break":
+            self.c.next()
+            self.c.expect("op", ";")
+            if not self.break_patches:
+                raise JSCompileError("break outside loop")
+            self.break_patches[-1].append(self.emit(Op.JMP, 0))
+            return
+        if tok.text == "{":
+            self.c.next()
+            while not self.c.accept("op", "}"):
+                self.statement()
+            return
+        self._simple_statement()
+        self.c.expect("op", ";")
+
+    def _block_or_stmt(self) -> None:
+        if self.c.accept("op", "{"):
+            while not self.c.accept("op", "}"):
+                self.statement()
+        else:
+            self.statement()
+
+    def _if_statement(self) -> None:
+        self.c.expect("keyword", "if")
+        self.c.expect("op", "(")
+        self.expression()
+        self.c.expect("op", ")")
+        else_jump = self.emit(Op.JMPF, 0, delta=-1)
+        self._block_or_stmt()
+        if self.c.accept("keyword", "else"):
+            end_jump = self.emit(Op.JMP, 0)
+            self.func.patch(else_jump, 1, self.func.here())
+            self._block_or_stmt()
+            self.func.patch(end_jump, 1, self.func.here())
+        else:
+            self.func.patch(else_jump, 1, self.func.here())
+
+    def _for_statement(self) -> None:
+        self.c.expect("keyword", "for")
+        self.c.expect("op", "(")
+        if not self.c.accept("op", ";"):
+            if self.c.peek().text == "var":
+                self.statement()  # consumes the ';'
+            else:
+                self._simple_statement()
+                self.c.expect("op", ";")
+        top = self.func.here()
+        exit_jump = None
+        if not self.c.accept("op", ";"):
+            self.expression()
+            self.c.expect("op", ";")
+            exit_jump = self.emit(Op.JMPF, 0, delta=-1)
+        step_toks: Optional[int] = None
+        if not self.c.accept("op", ")"):
+            step_toks = self.c.pos   # re-parse after the body
+            depth = 0
+            while True:
+                tok = self.c.peek()
+                if tok.text in ("(", "[", "{"):
+                    depth += 1
+                if tok.text in (")", "]", "}"):
+                    if depth == 0:
+                        break
+                    depth -= 1
+                self.c.next()
+            self.c.expect("op", ")")
+        self.break_patches.append([])
+        self._block_or_stmt()
+        if step_toks is not None:
+            resume = self.c.pos
+            self.c.pos = step_toks
+            self._simple_statement()
+            self.c.pos = resume
+        self.emit(Op.JMP, top)
+        after = self.func.here()
+        if exit_jump is not None:
+            self.func.patch(exit_jump, 1, after)
+        for pc in self.break_patches.pop():
+            self.func.patch(pc, 1, after)
+
+    def _simple_statement(self) -> None:
+        """Assignment, increment, call-for-effect, or print."""
+        tok = self.c.peek()
+        nxt = self.c.peek(1)
+        if tok.kind == "ident" and nxt.kind == "op" and nxt.text in (
+                "=", "+=", "-=", "*=", "/=", "%=", "++", "--"):
+            name = self.c.next().text
+            op = self.c.next().text
+            slot = self.local_slot(name)
+            if op == "=":
+                self.expression()
+            else:
+                self.emit(Op.LOADLOCAL, slot, delta=1)
+                if op in ("++", "--"):
+                    one = self.func.const_index(box_double(1.0))
+                    self.emit(Op.LOADK, one, delta=1)
+                    self.emit(Op.ADD if op == "++" else Op.SUB, delta=-1)
+                else:
+                    self.expression()
+                    binop = {"+=": Op.ADD, "-=": Op.SUB, "*=": Op.MUL,
+                             "/=": Op.DIV, "%=": Op.MOD}[op]
+                    self.emit(binop, delta=-1)
+            self.emit(Op.STORELOCAL, slot, delta=-1)
+            return
+        # General postfix target: property store, index store, or call.
+        target = self._postfix(store_context=True)
+        if target == "prop":
+            name_id = self._pending_prop
+            self.c.expect("op", "=")
+            self.expression()
+            site = self.func.new_ic_site()
+            self.emit(Op.SETPROP, name_id, site, delta=-2)
+            return
+        if target == "index":
+            self.c.expect("op", "=")
+            self.expression()
+            self.emit(Op.SETIDX, delta=-3)
+            return
+        # Plain expression (a call): discard its value.
+        self.emit(Op.POP, delta=-1)
+
+    # -- expressions ------------------------------------------------------------
+    def expression(self) -> None:
+        self._logical_or()
+
+    def _logical_or(self) -> None:
+        self._logical_and()
+        while self.c.accept("op", "||"):
+            # a || b  ==>  if truthy(a) keep a else b
+            end = self.emit(Op.DUP, delta=1)
+            jump = self.emit(Op.JMPF, 0, delta=-1)
+            done = self.emit(Op.JMP, 0)
+            self.func.patch(jump, 1, self.func.here())
+            self.emit(Op.POP, delta=-1)
+            self._logical_and()
+            self.func.patch(done, 1, self.func.here())
+
+    def _logical_and(self) -> None:
+        self._equality()
+        while self.c.accept("op", "&&"):
+            self.emit(Op.DUP, delta=1)
+            jump = self.emit(Op.JMPF, 0, delta=-1)
+            # truthy: discard the dup'd copy, evaluate rhs
+            self.emit(Op.POP, delta=-1)
+            self._equality()
+            done = self.emit(Op.JMP, 0)
+            self.func.patch(jump, 1, self.func.here())
+            self.func.patch(done, 1, self.func.here())
+
+    def _equality(self) -> None:
+        self._relational()
+        while True:
+            if self.c.accept("op", "==") or self.c.accept("op", "==="):
+                self._relational()
+                self.emit(Op.EQ, delta=-1)
+            elif self.c.accept("op", "!=") or self.c.accept("op", "!=="):
+                self._relational()
+                self.emit(Op.NE, delta=-1)
+            else:
+                return
+
+    def _relational(self) -> None:
+        self._additive()
+        ops = {"<": Op.LT, "<=": Op.LE, ">": Op.GT, ">=": Op.GE}
+        while self.c.peek().kind == "op" and self.c.peek().text in ops:
+            op = ops[self.c.next().text]
+            self._additive()
+            self.emit(op, delta=-1)
+
+    def _additive(self) -> None:
+        self._multiplicative()
+        while self.c.peek().kind == "op" and self.c.peek().text in ("+",
+                                                                    "-"):
+            op = Op.ADD if self.c.next().text == "+" else Op.SUB
+            self._multiplicative()
+            self.emit(op, delta=-1)
+
+    def _multiplicative(self) -> None:
+        self._unary()
+        ops = {"*": Op.MUL, "/": Op.DIV, "%": Op.MOD}
+        while self.c.peek().kind == "op" and self.c.peek().text in ops:
+            op = ops[self.c.next().text]
+            self._unary()
+            self.emit(op, delta=-1)
+
+    def _unary(self) -> None:
+        if self.c.accept("op", "-"):
+            self._unary()
+            self.emit(Op.NEG)
+            return
+        if self.c.accept("op", "!"):
+            self._unary()
+            self.emit(Op.NOT)
+            return
+        self._postfix(store_context=False)
+
+    def _postfix(self, store_context: bool) -> Optional[str]:
+        """Parse a primary plus postfix operators.  In store context,
+        stops *before* a trailing ``.prop =`` / ``[index] =`` store and
+        returns "prop"/"index"; otherwise returns None."""
+        self._primary()
+        while True:
+            if self.c.accept("op", "."):
+                name = self.c.expect("ident").text
+                if self.c.peek().text == "(":
+                    self._method_call(name)
+                    continue
+                name_id = self.c.names.intern(name)
+                if store_context and self.c.peek().text == "=":
+                    self._pending_prop = name_id
+                    return "prop"
+                site = self.func.new_ic_site()
+                self.emit(Op.GETPROP, name_id, site)
+                continue
+            if self.c.accept("op", "["):
+                self.expression()
+                self.c.expect("op", "]")
+                if store_context and self.c.peek().text == "=":
+                    return "index"
+                self.emit(Op.GETIDX, delta=-1)
+                continue
+            return None
+
+    def _method_call(self, name: str) -> None:
+        """obj.name(args): stack [obj] -> [result]."""
+        self.emit(Op.DUP, delta=1)                 # [obj, obj]
+        name_id = self.c.names.intern(name)
+        site = self.func.new_ic_site()
+        self.emit(Op.GETPROP, name_id, site)        # [obj, fn]
+        self.emit(Op.SWAP)                          # [fn, this]
+        nargs = 1 + self._arguments()
+        self.emit(Op.CALLV, 0, nargs, delta=-nargs)  # pops fn + nargs,
+        # pushes result: net -nargs
+
+    def _arguments(self) -> int:
+        self.c.expect("op", "(")
+        count = 0
+        if not self.c.accept("op", ")"):
+            while True:
+                self.expression()
+                count += 1
+                if not self.c.accept("op", ","):
+                    break
+            self.c.expect("op", ")")
+        return count
+
+    def _primary(self) -> None:
+        tok = self.c.next()
+        if tok.kind == "num":
+            self.emit(Op.LOADK,
+                      self.func.const_index(box_double(tok.value)), delta=1)
+            return
+        if tok.text == "true" or tok.text == "false":
+            self.emit(Op.LOADK,
+                      self.func.const_index(box_bool(tok.text == "true")),
+                      delta=1)
+            return
+        if tok.text == "null":
+            self.emit(Op.LOADK, self.func.const_index(VALUE_NULL), delta=1)
+            return
+        if tok.text == "undefined":
+            self.emit(Op.LOADK, self.func.const_index(VALUE_UNDEFINED),
+                      delta=1)
+            return
+        if tok.text == "this":
+            self.emit(Op.LOADLOCAL, 0, delta=1)
+            return
+        if tok.text == "(":
+            self.expression()
+            self.c.expect("op", ")")
+            return
+        if tok.text == "[":
+            self._array_literal()
+            return
+        if tok.text == "{":
+            self._object_literal()
+            return
+        if tok.kind == "ident":
+            self._identifier(tok.text)
+            return
+        raise JSCompileError(
+            f"line {tok.line}: unexpected {tok.text!r} in expression")
+
+    HOST_FUNCTIONS = {"regexMatchCount": 0}
+
+    def _identifier(self, name: str) -> None:
+        if name in self.HOST_FUNCTIONS and self.c.peek().text == "(":
+            host_id = self.HOST_FUNCTIONS[name]
+            self.c.expect("op", "(")
+            self.expression()
+            self.c.expect("op", ",")
+            self.expression()
+            self.c.expect("op", ")")
+            self.emit(Op.HOSTCALL2, host_id, delta=-1)
+            return
+        # Math.sqrt(x) / Math.floor(x) / Math.abs(x) fast paths.
+        if name == "Math" and self.c.peek().text == ".":
+            self.c.next()
+            fn = self.c.expect("ident").text
+            ops = {"sqrt": Op.SQRT, "floor": Op.FLOOR, "abs": Op.ABS}
+            if fn not in ops:
+                raise JSCompileError(f"unsupported Math.{fn}")
+            self.c.expect("op", "(")
+            self.expression()
+            self.c.expect("op", ")")
+            self.emit(ops[fn])
+            return
+        if name == "print" and self.c.peek().text == "(":
+            self.c.expect("op", "(")
+            self.expression()
+            self.c.expect("op", ")")
+            self.emit(Op.PRINT, delta=-1)
+            self.emit(Op.LOADK, self.func.const_index(VALUE_UNDEFINED),
+                      delta=1)
+            return
+        if self.c.peek().text == "(" and name in self.c.function_ids:
+            # Direct call: push undefined `this`, then args.
+            fid = self.c.function_ids[name]
+            self.emit(Op.LOADK, self.func.const_index(VALUE_UNDEFINED),
+                      delta=1)
+            nargs = 1 + self._arguments()
+            self.emit(Op.CALL, fid, nargs, delta=1 - nargs)
+            return
+        if name in self.c.function_ids:
+            # Function reference as a value.
+            fid = self.c.function_ids[name]
+            self.emit(Op.LOADK,
+                      self.func.const_index(box_function(fid)), delta=1)
+            return
+        slot = self.local_slot(name)
+        self.emit(Op.LOADLOCAL, slot, delta=1)
+        if self.c.peek().text == "(":
+            # Calling a local that holds a function value.
+            self.emit(Op.LOADK, self.func.const_index(VALUE_UNDEFINED),
+                      delta=1)
+            nargs = 1 + self._arguments()
+            self.emit(Op.CALLV, 0, nargs, delta=-nargs)
+
+    def _array_literal(self) -> None:
+        # Create the array first with its length, then fill element by
+        # element (each element expression is re-parsed from its tokens).
+        exprs: List[Tuple[int, int]] = []
+        if not self.c.accept("op", "]"):
+            # We need the length before elements; collect token ranges.
+            while True:
+                start = self.c.pos
+                depth = 0
+                while True:
+                    tok = self.c.peek()
+                    if tok.text in ("(", "[", "{"):
+                        depth += 1
+                    if tok.text in (")", "]", "}"):
+                        if depth == 0:
+                            break
+                        depth -= 1
+                    if tok.text == "," and depth == 0:
+                        break
+                    if tok.kind == "eof":
+                        raise JSCompileError("unterminated array literal")
+                    self.c.next()
+                exprs.append((start, self.c.pos))
+                if not self.c.accept("op", ","):
+                    break
+            self.c.expect("op", "]")
+        self.emit(Op.LOADK,
+                  self.func.const_index(box_double(float(len(exprs)))),
+                  delta=1)
+        self.emit(Op.NEWARR)
+        resume = self.c.pos
+        for index, (start, _end) in enumerate(exprs):
+            self.emit(Op.DUP, delta=1)
+            self.emit(Op.LOADK,
+                      self.func.const_index(box_double(float(index))),
+                      delta=1)
+            self.c.pos = start
+            self.expression()
+            self.emit(Op.SETIDX, delta=-3)
+        self.c.pos = resume
+
+    def _object_literal(self) -> None:
+        names: List[int] = []
+        if not self.c.accept("op", "}"):
+            while True:
+                prop = self.c.expect("ident").text
+                self.c.expect("op", ":")
+                self.expression()
+                names.append(self.c.names.intern(prop))
+                if not self.c.accept("op", ","):
+                    break
+            self.c.expect("op", "}")
+        shape = self.c.shapes.shape_for_literal(tuple(names))
+        self.emit(Op.NEWOBJ, shape, len(names), delta=-len(names) + 1)
+
+
+def compile_js(source: str) -> CompiledJS:
+    return Compiler(source).compile()

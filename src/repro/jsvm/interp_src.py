@@ -1,0 +1,547 @@
+"""mini-C sources for the two MiniJS interpreter loops (S6.1).
+
+Like SpiderMonkey's Portable Baseline Interpreter, MiniJS has *two*
+interpreter loops: one over JS bytecode (stack machine) and one over
+CacheIR (the register-based IC mini-IR).  Each is generated in up to
+three variants from one template, exactly the paper's Fig. 10 macro
+trick:
+
+* ``js_interp_noic`` — no inline caches: property ops call the host slow
+  path directly ("Generic Interp" in Fig. 11);
+* ``js_interp`` / ``ic_interp`` — IC chains, plain state (in-memory
+  operand stack and locals; CacheIR registers in a local array);
+* ``js_interp_s`` / ``ic_interp_s`` — the variants routed through
+  weval's state intrinsics (virtualized stack/locals for JS, virtual
+  registers for CacheIR); only ever executed in specialized form.
+
+Heap layout constants must match :mod:`repro.jsvm.runtime`:
+``FUNC_TABLE_PTR`` at address 24, the bump-allocator pointer at 32.
+Function structs are ten words ``[code, code_words, consts, nconsts,
+nparams, nlocals, sites, nsites, spec, frame_slots]``; IC stubs are four
+words ``[cacheir, cacheir_len, next, spec]``.
+"""
+
+from __future__ import annotations
+
+IC_FAIL_LITERAL = "0xFFFF000000000001"
+MASK48 = "0xFFFFFFFFFFFF"
+
+_TAG_BOOL = "0xFFF9"
+_TAG_NULL = "0xFFFA"
+_TAG_UNDEF = "0xFFFB"
+_TAG_OBJ = "0xFFFC"
+_TAG_FUN = "0xFFFD"
+_TAG_ARR = "0xFFFE"
+
+EXTERNS = """
+extern u64 js_getprop_slow(u64 obj, u64 name_id, u64 site);
+extern u64 js_setprop_slow(u64 obj, u64 name_id, u64 value, u64 site);
+extern void js_print(u64 value);
+extern void js_trap(u64 code);
+extern u64 js_hostcall(u64 host_id, u64 arg1, u64 arg2);
+"""
+
+
+def js_interp_source(name: str, use_ics: bool, use_state: bool,
+                     fallback: str) -> str:
+    """The JS-bytecode interpreter loop.
+
+    ``fallback`` is the function guest calls dispatch to when the callee
+    has no specialized code (the generic interpreter of the same
+    configuration).
+    """
+    if use_state:
+        push = ("weval_push(stack_base + sp * 8, {v});\n"
+                "      sp = sp + 1;")
+        pop = ("sp = sp - 1;\n"
+               "      u64 {v} = weval_pop(stack_base + sp * 8);")
+        peek0 = "u64 {v} = weval_read_stack(0, stack_base + (sp - 1) * 8);"
+        local_read = "weval_read_local({i}, frame + ({i}) * 8)"
+        local_write = "weval_write_local({i}, frame + ({i}) * 8, {v});"
+        flush = "weval_flush();"
+    else:
+        push = ("store64(stack_base + sp * 8, {v});\n"
+                "      sp = sp + 1;")
+        pop = ("sp = sp - 1;\n"
+               "      u64 {v} = load64(stack_base + sp * 8);")
+        peek0 = "u64 {v} = load64(stack_base + (sp - 1) * 8);"
+        local_read = "load64(frame + ({i}) * 8)"
+        local_write = "store64(frame + ({i}) * 8, {v});"
+        flush = ""
+
+    def PUSH(v):
+        return push.format(v=v)
+
+    def POP(v):
+        return pop.format(v=v)
+
+    def PEEK0(v):
+        return peek0.format(v=v)
+
+    def LREAD(i):
+        return local_read.format(i=i)
+
+    def LWRITE(i, v):
+        return local_write.format(i=i, v=v)
+
+    # Binary arithmetic template: double fast path inline, abort on
+    # anything else (MiniJS has no string concat or coercions).
+    def arith(fop):
+        return f"""
+      {POP("vb")}
+      {POP("va")}
+      if ((va >> 48) < {_TAG_BOOL} && (vb >> 48) < {_TAG_BOOL}) {{
+        {PUSH(f"fbits(ffrombits(va) {fop} ffrombits(vb))")}
+      }} else {{
+        {flush}
+        js_trap(1);
+        abort();
+      }}
+      break;"""
+
+    def compare(fop):
+        return f"""
+      {POP("vb")}
+      {POP("va")}
+      if ((va >> 48) < {_TAG_BOOL} && (vb >> 48) < {_TAG_BOOL}) {{
+        {PUSH(f"({_TAG_BOOL} << 48) | (ffrombits(va) {fop} ffrombits(vb))")}
+      }} else {{
+        {flush}
+        js_trap(2);
+        abort();
+      }}
+      break;"""
+
+    def equality(negate):
+        invert = "1 - " if negate else ""
+        return f"""
+      {POP("vb")}
+      {POP("va")}
+      u64 eqr = 0;
+      if ((va >> 48) < {_TAG_BOOL} && (vb >> 48) < {_TAG_BOOL}) {{
+        eqr = ffrombits(va) == ffrombits(vb);
+      }} else {{
+        eqr = va == vb;
+      }}
+      {PUSH(f"({_TAG_BOOL} << 48) | ({invert}eqr)")}
+      break;"""
+
+    truthy = f"""
+      u64 tag = cond >> 48;
+      u64 truth = 0;
+      if (tag == {_TAG_BOOL}) {{ truth = cond & 1; }}
+      else if (tag == {_TAG_NULL} || tag == {_TAG_UNDEF}) {{ truth = 0; }}
+      else if (tag >= {_TAG_OBJ} && tag <= {_TAG_ARR}) {{ truth = 1; }}
+      else {{
+        f64 d = ffrombits(cond);
+        truth = (d != 0.0) && (d == d);
+      }}"""
+
+    # IC dispatch for GETPROP/SETPROP.  v1 is 0 for gets, the value for
+    # sets.  The chain walk is a run-time loop even in specialized code:
+    # stubs are late-bound data (the paper's key insight, S6).
+    def ic_chain(slow_call, v0, v1):
+        if use_ics:
+            return f"""
+      u64 site = sites + b * 8;
+      u64 stub = load64(site);
+      u64 result = {IC_FAIL_LITERAL};
+      while (stub != 0) {{
+        u64 icspec = load64(stub + 24);
+        if (icspec != 0) {{
+          result = icall4(icspec, load64(stub), load64(stub + 8),
+                          {v0}, {v1});
+        }} else {{
+          result = ic_interp(load64(stub), load64(stub + 8), {v0}, {v1});
+        }}
+        if (result != {IC_FAIL_LITERAL}) {{ break; }}
+        stub = load64(stub + 16);
+      }}
+      if (result == {IC_FAIL_LITERAL}) {{
+        {flush}
+        result = {slow_call};
+      }}"""
+        return f"""
+      u64 site = 0;
+      {flush}
+      u64 result = {slow_call};"""
+
+    # Argument copy into the callee frame: unrolled via a nested context
+    # (the paper notes contexts may nest for manual loop unrolling, S3.1).
+    arg_copy = f"""
+      u64 i = 0;
+      weval_push_context(i);
+      while (i < b) {{
+        {POP("av")}
+        store64(callee_frame + (b - 1 - i) * 8, av);
+        i = i + 1;
+        weval_update_context(i);
+      }}
+      weval_pop_context();"""
+
+    return EXTERNS + f"""
+u64 {name}(u64 func, u64 frame) {{
+  u64 code = load64(func);
+  u64 consts = load64(func + 16);
+  u64 nlocals = load64(func + 40);
+  u64 sites = load64(func + 48);
+  u64 stack_base = frame + nlocals * 8;
+  u64 sp = 0;
+  u64 pc = 0;
+  weval_push_context(pc);
+  while (1) {{
+    u64 op = load64(code + pc * 8);
+    u64 a = load64(code + pc * 8 + 8);
+    u64 b = load64(code + pc * 8 + 16);
+    pc = pc + 3;
+    switch (op) {{
+    case 0: {{ // LOADK
+      {PUSH("load64(consts + a * 8)")}
+      break;
+    }}
+    case 1: {{ // LOADLOCAL
+      {PUSH(LREAD("a"))}
+      break;
+    }}
+    case 2: {{ // STORELOCAL
+      {POP("v")}
+      {LWRITE("a", "v")}
+      break;
+    }}
+    case 3: {{ // POP
+      {POP("discard")}
+      break;
+    }}
+    case 4: {{ // DUP
+      {PEEK0("v")}
+      {PUSH("v")}
+      break;
+    }}
+    case 5: {{ // ADD
+      {arith("+")}
+    }}
+    case 6: {{ // SUB
+      {arith("-")}
+    }}
+    case 7: {{ // MUL
+      {arith("*")}
+    }}
+    case 8: {{ // DIV
+      {arith("/")}
+    }}
+    case 9: {{ // MOD
+      {POP("vb")}
+      {POP("va")}
+      if ((va >> 48) < {_TAG_BOOL} && (vb >> 48) < {_TAG_BOOL}) {{
+        f64 da = ffrombits(va);
+        f64 db = ffrombits(vb);
+        f64 q = itof(ftoi(da / db)); // JS %: truncate toward zero
+        {PUSH("fbits(da - q * db)")}
+      }} else {{
+        {flush}
+        js_trap(1);
+        abort();
+      }}
+      break;
+    }}
+    case 10: {{ // LT
+      {compare("<")}
+    }}
+    case 11: {{ // LE
+      {compare("<=")}
+    }}
+    case 12: {{ // GT
+      {compare(">")}
+    }}
+    case 13: {{ // GE
+      {compare(">=")}
+    }}
+    case 14: {{ // EQ
+      {equality(False)}
+    }}
+    case 15: {{ // NE
+      {equality(True)}
+    }}
+    case 16: {{ // JMP
+      pc = a;
+      weval_update_context(pc);
+      continue;
+    }}
+    case 17: {{ // JMPF (two-backedge form, S3.3)
+      {POP("cond")}
+      {truthy}
+      if (truth == 0) {{
+        pc = a;
+        weval_update_context(pc);
+        continue;
+      }}
+      weval_update_context(pc);
+      continue;
+    }}
+    case 18: {{ // CALL fid=a nargs=b
+      u64 ftab = load64(24);
+      u64 callee = load64(ftab + a * 8);
+      u64 callee_frame = frame + load64(func + 72) * 8;
+      {flush}
+      {arg_copy}
+      u64 spec = load64(callee + 64);
+      u64 r = 0;
+      if (spec != 0) {{
+        r = icall2(spec, callee, callee_frame);
+      }} else {{
+        r = {fallback}(callee, callee_frame);
+      }}
+      {PUSH("r")}
+      break;
+    }}
+    case 19: {{ // CALLV nargs=b; stack: [fn, this, args...]
+      u64 ftab = load64(24);
+      u64 callee_frame = frame + load64(func + 72) * 8;
+      {flush}
+      {arg_copy}
+      {POP("fnval")}
+      if ((fnval >> 48) != {_TAG_FUN}) {{
+        js_trap(3);
+        abort();
+      }}
+      u64 callee = load64(ftab + (fnval & {MASK48}) * 8);
+      u64 spec = load64(callee + 64);
+      u64 r = 0;
+      if (spec != 0) {{
+        r = icall2(spec, callee, callee_frame);
+      }} else {{
+        r = {fallback}(callee, callee_frame);
+      }}
+      {PUSH("r")}
+      break;
+    }}
+    case 20: {{ // RET
+      {POP("rv")}
+      return rv;
+    }}
+    case 21: {{ // GETPROP name=a site=b
+      {POP("obj")}
+      {ic_chain("js_getprop_slow(obj, a, site)", "obj", "0")}
+      {PUSH("result")}
+      break;
+    }}
+    case 22: {{ // SETPROP name=a site=b; stack: [obj, value]
+      {POP("val")}
+      {POP("obj")}
+      {ic_chain("js_setprop_slow(obj, a, val, site)", "obj", "val")}
+      break;
+    }}
+    case 23: {{ // NEWOBJ shape=a nprops=b
+      {flush}
+      u64 objp = load64(32);
+      store64(32, objp + 8 + 24 * 8);
+      store64(objp, a);
+      u64 i = 0;
+      weval_push_context(i);
+      while (i < b) {{
+        {POP("pv")}
+        store64(objp + 8 + (b - 1 - i) * 8, pv);
+        i = i + 1;
+        weval_update_context(i);
+      }}
+      weval_pop_context();
+      {PUSH(f"({_TAG_OBJ} << 48) | objp")}
+      break;
+    }}
+    case 24: {{ // NEWARR: pops length
+      {flush}
+      {POP("lenv")}
+      u64 n = ftoi(ffrombits(lenv));
+      u64 cap = n * 2 + 64;
+      u64 arrp = load64(32);
+      store64(32, arrp + 16 + cap * 8);
+      store64(arrp, n);
+      store64(arrp + 8, cap);
+      u64 zero = fbits(0.0);
+      u64 i = 0;
+      while (i < n) {{
+        store64(arrp + 16 + i * 8, zero);
+        i = i + 1;
+      }}
+      {PUSH(f"({_TAG_ARR} << 48) | arrp")}
+      break;
+    }}
+    case 25: {{ // GETIDX: pops idx, arr
+      {POP("idxv")}
+      {POP("arrv")}
+      if ((arrv >> 48) != {_TAG_ARR}) {{
+        {flush}
+        js_trap(4);
+        abort();
+      }}
+      u64 arrp = arrv & {MASK48};
+      u64 i = ftoi(ffrombits(idxv));
+      if (i >= load64(arrp)) {{
+        {flush}
+        js_trap(5);
+        abort();
+      }}
+      {PUSH("load64(arrp + 16 + i * 8)")}
+      break;
+    }}
+    case 26: {{ // SETIDX: pops value, idx, arr
+      {POP("val")}
+      {POP("idxv")}
+      {POP("arrv")}
+      if ((arrv >> 48) != {_TAG_ARR}) {{
+        {flush}
+        js_trap(4);
+        abort();
+      }}
+      u64 arrp = arrv & {MASK48};
+      u64 i = ftoi(ffrombits(idxv));
+      u64 len = load64(arrp);
+      if (i < len) {{
+        store64(arrp + 16 + i * 8, val);
+        break;
+      }}
+      // JS-style growth: appending right at the end extends the array.
+      if (i == len && i < load64(arrp + 8)) {{
+        store64(arrp, len + 1);
+        store64(arrp + 16 + i * 8, val);
+        break;
+      }}
+      {flush}
+      js_trap(5);
+      abort();
+    }}
+    case 27: {{ // LEN
+      {POP("arrv")}
+      if ((arrv >> 48) != {_TAG_ARR}) {{
+        {flush}
+        js_trap(4);
+        abort();
+      }}
+      {PUSH("fbits(itof(load64(arrv & " + MASK48 + ")))")}
+      break;
+    }}
+    case 28: {{ // PRINT
+      {POP("v")}
+      {flush}
+      js_print(v);
+      break;
+    }}
+    case 29: {{ // NEG
+      {POP("v")}
+      if ((v >> 48) < {_TAG_BOOL}) {{
+        {PUSH("fbits(-(ffrombits(v)))")}
+      }} else {{
+        {flush}
+        js_trap(1);
+        abort();
+      }}
+      break;
+    }}
+    case 30: {{ // NOT
+      {POP("cond")}
+      {truthy}
+      {PUSH(f"({_TAG_BOOL} << 48) | (1 - truth)")}
+      break;
+    }}
+    case 31: {{ // SWAP
+      {POP("x")}
+      {POP("y")}
+      {PUSH("x")}
+      {PUSH("y")}
+      break;
+    }}
+    case 32: {{ // SQRT
+      {POP("v")}
+      {PUSH("fbits(fsqrt(ffrombits(v)))")}
+      break;
+    }}
+    case 33: {{ // FLOOR
+      {POP("v")}
+      {PUSH("fbits(ffloor(ffrombits(v)))")}
+      break;
+    }}
+    case 34: {{ // ABS
+      {POP("v")}
+      {PUSH("fbits(fabs(ffrombits(v)))")}
+      break;
+    }}
+    case 35: {{ // HOSTCALL2: a = host fn id (e.g. the regex engine)
+      {POP("h2")}
+      {POP("h1")}
+      {flush}
+      {PUSH("js_hostcall(a, h1, h2)")}
+      break;
+    }}
+    default: {{
+      {flush}
+      js_trap(9);
+      abort();
+    }}
+    }}
+    weval_update_context(pc);
+  }}
+  return 0;
+}}
+"""
+
+
+def ic_interp_source(name: str, use_state: bool) -> str:
+    """The CacheIR interpreter loop (register machine, straight-line)."""
+    if use_state:
+        decl = ""
+        reg_read = "weval_read_reg(%s)"
+        reg_write = "weval_write_reg(%s, %s);"
+    else:
+        decl = ("u64 regs[8];\n"
+                "  for (u64 ri = 0; ri < 8; ri++) { regs[ri] = 0; }")
+        reg_read = "regs[%s]"
+        reg_write = "regs[%s] = %s;"
+
+    def rd(expr):
+        return reg_read % expr
+
+    def wr(idx, value):
+        return reg_write % (idx, value)
+
+    return f"""
+u64 {name}(u64 code, u64 iclen, u64 v0, u64 v1) {{
+  {decl}
+  {wr("0", "v0")}
+  {wr("1", "v1")}
+  u64 pc = 0;
+  weval_push_context(pc);
+  while (1) {{
+    u64 op = load64(code + pc * 8);
+    u64 a = load64(code + pc * 8 + 8);
+    u64 b = load64(code + pc * 8 + 16);
+    u64 c = load64(code + pc * 8 + 24);
+    pc = pc + 4;
+    switch (op) {{
+    case 0: {{ // GUARD_SHAPE reg=a shape=b
+      u64 v = {rd("a")};
+      if ((v >> 48) != {_TAG_OBJ}) {{ return {IC_FAIL_LITERAL}; }}
+      if (load64(v & {MASK48}) != b) {{ return {IC_FAIL_LITERAL}; }}
+      break;
+    }}
+    case 1: {{ // LOAD_SLOT dest=a objreg=b slot=c
+      u64 v = {rd("b")};
+      {wr("a", f"load64((v & {MASK48}) + 8 + c * 8)")}
+      break;
+    }}
+    case 2: {{ // STORE_SLOT objreg=a slot=b valreg=c
+      u64 v = {rd("a")};
+      store64((v & {MASK48}) + 8 + b * 8, {rd("c")});
+      break;
+    }}
+    case 3: {{ // RET reg=a
+      return {rd("a")};
+    }}
+    default: {{
+      abort();
+    }}
+    }}
+    weval_update_context(pc);
+  }}
+  return 0;
+}}
+"""

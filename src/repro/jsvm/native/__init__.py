@@ -1,0 +1,12 @@
+"""Pure-Python MiniJS tiers: the "native platform" side of Fig. 12.
+
+The paper compares tier-to-tier speedup ratios on two platforms: the
+Wasm-hosted engine (our IR VM) and the native engine (SpiderMonkey on
+x86).  Here the host platform is Python itself: four tiers over the same
+MiniJS bytecode, from a generic interpreter up to a type-specializing
+compiler, mirroring ``--no-ion --no-baseline --no-blinterp`` and friends.
+"""
+
+from repro.jsvm.native.pytiers import PyEngine, NATIVE_TIERS
+
+__all__ = ["PyEngine", "NATIVE_TIERS"]

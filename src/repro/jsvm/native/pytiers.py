@@ -1,0 +1,495 @@
+"""Four execution tiers for MiniJS on the host (Python) platform.
+
+* ``generic`` — bytecode interpreter; property access consults the shape
+  table on every hit (``js --no-ion --no-baseline --no-blinterp``);
+* ``interp_ic`` — interpreter with per-site monomorphic inline caches
+  (``--no-ion --no-baseline``);
+* ``baseline`` — a baseline compiler: each function's bytecode is
+  translated to Python source (dispatch removed, IC sites kept) and
+  ``exec``-ed, the analog of SpiderMonkey's baseline JIT and of wevaled
+  code (``--no-ion``);
+* ``optimized`` — profile-guided compilation: a profiling run records
+  each site's observed shape, then code is regenerated with the slot
+  offset burned in behind a single shape guard (the type-specialized
+  tier; full ``js``).
+
+Values: Python ``float`` (numbers), ``bool``, ``None`` (null),
+``UNDEF``, ``JSObject`` (shape id + slots), Python ``list`` (arrays),
+``FuncRef`` (function values).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.jsvm.bytecode import JSFunction, Op, WORDS_PER_INSTR
+from repro.jsvm.frontend import CompiledJS, compile_js
+from repro.jsvm.workloads import regex_match_count_host
+
+
+class _Undefined:
+    def __repr__(self):
+        return "undefined"
+
+
+UNDEF = _Undefined()
+
+NATIVE_TIERS = ("generic", "interp_ic", "baseline", "optimized")
+
+
+class JSObject:
+    __slots__ = ("shape", "slots")
+
+    def __init__(self, shape: int, slots: List[object]):
+        self.shape = shape
+        self.slots = slots
+
+
+class FuncRef(int):
+    pass
+
+
+def _truthy(value) -> bool:
+    if value is None or value is UNDEF:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value == value and value != 0.0
+    return True
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    if value is UNDEF:
+        return "undefined"
+    if isinstance(value, float):
+        if value == int(value):
+            return str(int(value))
+        return repr(value)
+    return f"<{type(value).__name__}>"
+
+
+class PyEngine:
+    """One MiniJS program on one native tier."""
+
+    def __init__(self, source: str, tier: str = "generic"):
+        if tier not in NATIVE_TIERS:
+            raise ValueError(f"bad tier {tier!r}")
+        self.tier = tier
+        self.compiled: CompiledJS = compile_js(source)
+        self.shapes = self.compiled.shapes
+        self.printed: List[str] = []
+        # Per-function, per-site monomorphic caches: (shape -> slot).
+        self.site_caches: Dict[int, List[Optional[tuple]]] = {
+            f.index: [None] * max(f.num_ic_sites, 1)
+            for f in self.compiled.functions}
+        self._compiled_fns: Dict[int, object] = {}
+        self._profiled_shapes: Dict[int, List[Optional[int]]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self):
+        self.printed = []
+        if self.tier in ("baseline", "optimized"):
+            if self.tier == "optimized" and not self._profiled_shapes:
+                self._profile()
+            for func in self.compiled.functions:
+                if func.index not in self._compiled_fns:
+                    self._compiled_fns[func.index] = self._translate(func)
+            return self._call_compiled(0, [UNDEF])
+        return self._interpret(self.compiled.functions[0], [UNDEF])
+
+    def _profile(self) -> None:
+        """Interpret once, recording each property site's shape."""
+        self._profiled_shapes = {
+            f.index: [None] * max(f.num_ic_sites, 1)
+            for f in self.compiled.functions}
+        self._profiling = True
+        self._interpret(self.compiled.functions[0], [UNDEF])
+        self._profiling = False
+        self.printed = []
+
+    # ------------------------------------------------------------------
+    # Shared property access helpers.
+    # ------------------------------------------------------------------
+    def _getprop(self, func_index: int, site: int, obj, name_id: int):
+        if not isinstance(obj, JSObject):
+            raise RuntimeError("property access on non-object")
+        if getattr(self, "_profiling", False):
+            self._profiled_shapes[func_index][site] = obj.shape
+        if self.tier in ("interp_ic", "baseline", "optimized"):
+            cached = self.site_caches[func_index][site]
+            if cached is not None and cached[0] == obj.shape:
+                return obj.slots[cached[1]]
+        slot = self.shapes.lookup(obj.shape, name_id)
+        if slot is None:
+            return UNDEF
+        if self.tier != "generic":
+            self.site_caches[func_index][site] = (obj.shape, slot)
+        return obj.slots[slot]
+
+    def _setprop(self, func_index: int, site: int, obj, name_id: int,
+                 value) -> None:
+        if not isinstance(obj, JSObject):
+            raise RuntimeError("property store on non-object")
+        if self.tier in ("interp_ic", "baseline", "optimized"):
+            cached = self.site_caches[func_index][site]
+            if cached is not None and cached[0] == obj.shape:
+                obj.slots[cached[1]] = value
+                return
+        slot = self.shapes.lookup(obj.shape, name_id)
+        if slot is None:
+            new_shape = self.shapes.transition(obj.shape, name_id)
+            slot = self.shapes.lookup(new_shape, name_id)
+            obj.shape = new_shape
+            while len(obj.slots) <= slot:
+                obj.slots.append(UNDEF)
+        elif self.tier != "generic":
+            self.site_caches[func_index][site] = (obj.shape, slot)
+        obj.slots[slot] = value
+
+    def _call(self, callee_id: int, args: List[object]):
+        if self.tier in ("baseline", "optimized") and \
+                not getattr(self, "_profiling", False):
+            return self._call_compiled(callee_id, args)
+        return self._interpret(self.compiled.functions[callee_id], args)
+
+    def _call_compiled(self, callee_id: int, args: List[object]):
+        return self._compiled_fns[callee_id](self, args)
+
+    # ------------------------------------------------------------------
+    # Tier 1/2: the interpreter.
+    # ------------------------------------------------------------------
+    def _interpret(self, func: JSFunction, args: List[object]):
+        locals_ = list(args) + [UNDEF] * (func.num_locals - len(args))
+        stack: List[object] = []
+        consts = func.constants
+        code = func.code
+        pc = 0
+        from repro.jsvm.values import (
+            TAG_BOOL, TAG_FUNCTION, TAG_NULL, TAG_UNDEFINED, tag_of,
+            payload, unbox_double)
+
+        def decode_const(boxed: int):
+            tag = tag_of(boxed)
+            if tag == TAG_BOOL:
+                return bool(payload(boxed))
+            if tag == TAG_NULL:
+                return None
+            if tag == TAG_UNDEFINED:
+                return UNDEF
+            if tag == TAG_FUNCTION:
+                return FuncRef(payload(boxed))
+            return unbox_double(boxed)
+
+        while True:
+            op = code[pc]
+            a = code[pc + 1]
+            b = code[pc + 2]
+            pc += WORDS_PER_INSTR
+            if op == Op.LOADK:
+                stack.append(decode_const(consts[a]))
+            elif op == Op.LOADLOCAL:
+                stack.append(locals_[a])
+            elif op == Op.STORELOCAL:
+                locals_[a] = stack.pop()
+            elif op == Op.POP:
+                stack.pop()
+            elif op == Op.DUP:
+                stack.append(stack[-1])
+            elif op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD):
+                vb = stack.pop()
+                va = stack.pop()
+                if op == Op.ADD:
+                    stack.append(va + vb)
+                elif op == Op.SUB:
+                    stack.append(va - vb)
+                elif op == Op.MUL:
+                    stack.append(va * vb)
+                elif op == Op.DIV:
+                    stack.append(va / vb if vb else math.inf * va
+                                 if va else math.nan)
+                else:
+                    stack.append(math.fmod(va, vb))
+            elif op in (Op.LT, Op.LE, Op.GT, Op.GE):
+                vb = stack.pop()
+                va = stack.pop()
+                stack.append({Op.LT: va < vb, Op.LE: va <= vb,
+                              Op.GT: va > vb, Op.GE: va >= vb}[op])
+            elif op == Op.EQ:
+                vb = stack.pop()
+                stack.append(stack.pop() is vb
+                             if isinstance(vb, (JSObject, _Undefined))
+                             else stack.pop() == vb)
+            elif op == Op.NE:
+                vb = stack.pop()
+                stack.append(not (stack.pop() is vb
+                                  if isinstance(vb, (JSObject, _Undefined))
+                                  else stack.pop() == vb))
+            elif op == Op.JMP:
+                pc = a
+            elif op == Op.JMPF:
+                if not _truthy(stack.pop()):
+                    pc = a
+            elif op == Op.CALL:
+                args_list = stack[-b:]
+                del stack[-b:]
+                stack.append(self._call(a, args_list))
+            elif op == Op.CALLV:
+                args_list = stack[-b:]
+                del stack[-b:]
+                fn = stack.pop()
+                if not isinstance(fn, FuncRef):
+                    raise RuntimeError("call of non-function")
+                stack.append(self._call(int(fn), args_list))
+            elif op == Op.RET:
+                return stack.pop()
+            elif op == Op.GETPROP:
+                obj = stack.pop()
+                stack.append(self._getprop(func.index, b, obj, a))
+            elif op == Op.SETPROP:
+                value = stack.pop()
+                obj = stack.pop()
+                self._setprop(func.index, b, obj, a, value)
+            elif op == Op.NEWOBJ:
+                slots = stack[-b:] if b else []
+                if b:
+                    del stack[-b:]
+                stack.append(JSObject(a, list(slots)))
+            elif op == Op.NEWARR:
+                stack.append([0.0] * int(stack.pop()))
+            elif op == Op.GETIDX:
+                idx = int(stack.pop())
+                stack.append(stack.pop()[idx])
+            elif op == Op.SETIDX:
+                value = stack.pop()
+                idx = int(stack.pop())
+                arr = stack.pop()
+                if idx == len(arr):
+                    arr.append(value)
+                else:
+                    arr[idx] = value
+            elif op == Op.LEN:
+                stack.append(float(len(stack.pop())))
+            elif op == Op.PRINT:
+                self.printed.append(_fmt(stack.pop()))
+            elif op == Op.NEG:
+                stack.append(-stack.pop())
+            elif op == Op.NOT:
+                stack.append(not _truthy(stack.pop()))
+            elif op == Op.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif op == Op.SQRT:
+                stack.append(math.sqrt(stack.pop()))
+            elif op == Op.FLOOR:
+                stack.append(float(math.floor(stack.pop())))
+            elif op == Op.ABS:
+                stack.append(abs(stack.pop()))
+            elif op == Op.HOSTCALL2:
+                a2 = stack.pop()
+                a1 = stack.pop()
+                stack.append(float(regex_match_count_host(a1, a2)))
+            else:
+                raise RuntimeError(f"bad opcode {op}")
+
+    # ------------------------------------------------------------------
+    # Tier 3/4: the baseline / optimizing compiler (bytecode -> Python).
+    # ------------------------------------------------------------------
+    def _translate(self, func: JSFunction):
+        """Generate a Python function from bytecode.  Structured as a
+        while/elif dispatch over *basic blocks* (labels are jump
+        targets), i.e. dispatch per block instead of per opcode —
+        exactly the baseline-compiler speedup."""
+        from repro.jsvm.values import (
+            TAG_BOOL, TAG_FUNCTION, TAG_NULL, TAG_UNDEFINED, tag_of,
+            payload, unbox_double)
+
+        consts = []
+        for boxed in func.constants:
+            tag = tag_of(boxed)
+            if tag == TAG_BOOL:
+                consts.append(bool(payload(boxed)))
+            elif tag == TAG_NULL:
+                consts.append(None)
+            elif tag == TAG_UNDEFINED:
+                consts.append(UNDEF)
+            elif tag == TAG_FUNCTION:
+                consts.append(FuncRef(payload(boxed)))
+            else:
+                consts.append(unbox_double(boxed))
+
+        # Identify block leaders.
+        leaders = {0}
+        for pc in range(0, len(func.code), WORDS_PER_INSTR):
+            op, a, b = func.code[pc:pc + WORDS_PER_INSTR]
+            if op in (Op.JMP, Op.JMPF):
+                leaders.add(a)
+                leaders.add(pc + WORDS_PER_INSTR)
+
+        profiled = self._profiled_shapes.get(func.index)
+        optimized = self.tier == "optimized" and profiled is not None
+
+        lines = ["def _fn(engine, args):",
+                 " locals_ = list(args) + [UNDEF] * %d" %
+                 max(func.num_locals, 0),
+                 " stack = []",
+                 " label = 0",
+                 " while True:"]
+
+        def emit_block(start: int):
+            lines.append(f"  if label == {start}:" if start == 0
+                         else f"  elif label == {start}:")
+            pc = start
+            emitted = False
+            while pc < len(func.code):
+                op, a, b = func.code[pc:pc + WORDS_PER_INSTR]
+                next_pc = pc + WORDS_PER_INSTR
+                body = self._translate_op(func, op, a, b, consts,
+                                          optimized, profiled)
+                for line in body:
+                    lines.append("   " + line)
+                    emitted = True
+                if op == Op.JMP:
+                    lines.append(f"   label = {a}; continue")
+                    return
+                if op == Op.JMPF:
+                    lines.append("   if not _truthy(stack.pop()):")
+                    lines.append(f"    label = {a}; continue")
+                    if next_pc in leaders and next_pc < len(func.code):
+                        lines.append(f"   label = {next_pc}; continue")
+                        return
+                if op == Op.RET:
+                    return
+                if next_pc in leaders:
+                    lines.append(f"   label = {next_pc}; continue")
+                    return
+                pc = next_pc
+            if not emitted:
+                lines.append("   raise RuntimeError('fell off end')")
+
+        for leader in sorted(leaders):
+            if leader < len(func.code):
+                emit_block(leader)
+        lines.append("  else:")
+        lines.append("   raise RuntimeError('bad label')")
+
+        namespace = {"UNDEF": UNDEF, "_truthy": _truthy, "math": math,
+                     "JSObject": JSObject, "FuncRef": FuncRef,
+                     "_fmt": _fmt, "consts": consts,
+                     "regex_match": regex_match_count_host}
+        exec("\n".join(lines), namespace)  # noqa: S102 - the JIT analog
+        return namespace["_fn"]
+
+    def _translate_op(self, func, op, a, b, consts, optimized,
+                      profiled) -> List[str]:
+        fi = func.index
+        if op == Op.LOADK:
+            return [f"stack.append(consts[{a}])"]
+        if op == Op.LOADLOCAL:
+            return [f"stack.append(locals_[{a}])"]
+        if op == Op.STORELOCAL:
+            return [f"locals_[{a}] = stack.pop()"]
+        if op == Op.POP:
+            return ["stack.pop()"]
+        if op == Op.DUP:
+            return ["stack.append(stack[-1])"]
+        if op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV):
+            pyop = {Op.ADD: "+", Op.SUB: "-", Op.MUL: "*",
+                    Op.DIV: "/"}[op]
+            return ["_b = stack.pop(); _a = stack.pop()",
+                    f"stack.append(_a {pyop} _b)"]
+        if op == Op.MOD:
+            return ["_b = stack.pop(); _a = stack.pop()",
+                    "stack.append(math.fmod(_a, _b))"]
+        if op in (Op.LT, Op.LE, Op.GT, Op.GE):
+            pyop = {Op.LT: "<", Op.LE: "<=", Op.GT: ">", Op.GE: ">="}[op]
+            return ["_b = stack.pop(); _a = stack.pop()",
+                    f"stack.append(_a {pyop} _b)"]
+        if op == Op.EQ:
+            return ["_b = stack.pop(); _a = stack.pop()",
+                    "stack.append(_a is _b if isinstance(_b, JSObject) "
+                    "else _a == _b)"]
+        if op == Op.NE:
+            return ["_b = stack.pop(); _a = stack.pop()",
+                    "stack.append(not (_a is _b if isinstance(_b, "
+                    "JSObject) else _a == _b))"]
+        if op in (Op.JMP, Op.JMPF, Op.RET):
+            if op == Op.RET:
+                return ["return stack.pop()"]
+            return []  # control handled by the block emitter
+        if op == Op.CALL:
+            return [f"_args = stack[-{b}:]; del stack[-{b}:]",
+                    f"stack.append(engine._call({a}, _args))"]
+        if op == Op.CALLV:
+            return [f"_args = stack[-{b}:]; del stack[-{b}:]",
+                    "_fn_ref = stack.pop()",
+                    "stack.append(engine._call(int(_fn_ref), _args))"]
+        if op == Op.GETPROP:
+            if optimized and profiled[b] is not None:
+                shape = profiled[b]
+                slot = self.shapes.lookup(shape, a)
+                if slot is not None:
+                    # Type-specialized fast path: one guard, direct slot.
+                    return [
+                        "_o = stack.pop()",
+                        f"if type(_o) is JSObject and _o.shape == {shape}:",
+                        f" stack.append(_o.slots[{slot}])",
+                        "else:",
+                        f" stack.append(engine._getprop({fi}, {b}, _o, "
+                        f"{a}))"]
+            return ["_o = stack.pop()",
+                    f"stack.append(engine._getprop({fi}, {b}, _o, {a}))"]
+        if op == Op.SETPROP:
+            if optimized and profiled[b] is not None:
+                shape = profiled[b]
+                slot = self.shapes.lookup(shape, a)
+                if slot is not None:
+                    return [
+                        "_v = stack.pop(); _o = stack.pop()",
+                        f"if type(_o) is JSObject and _o.shape == {shape}:",
+                        f" _o.slots[{slot}] = _v",
+                        "else:",
+                        f" engine._setprop({fi}, {b}, _o, {a}, _v)"]
+            return ["_v = stack.pop(); _o = stack.pop()",
+                    f"engine._setprop({fi}, {b}, _o, {a}, _v)"]
+        if op == Op.NEWOBJ:
+            if b:
+                return [f"_slots = stack[-{b}:]; del stack[-{b}:]",
+                        f"stack.append(JSObject({a}, list(_slots)))"]
+            return [f"stack.append(JSObject({a}, []))"]
+        if op == Op.NEWARR:
+            return ["stack.append([0.0] * int(stack.pop()))"]
+        if op == Op.GETIDX:
+            return ["_i = int(stack.pop())",
+                    "stack.append(stack.pop()[_i])"]
+        if op == Op.SETIDX:
+            return ["_v = stack.pop(); _i = int(stack.pop()); "
+                    "_arr = stack.pop()",
+                    "if _i == len(_arr):",
+                    " _arr.append(_v)",
+                    "else:",
+                    " _arr[_i] = _v"]
+        if op == Op.LEN:
+            return ["stack.append(float(len(stack.pop())))"]
+        if op == Op.PRINT:
+            return ["engine.printed.append(_fmt(stack.pop()))"]
+        if op == Op.NEG:
+            return ["stack.append(-stack.pop())"]
+        if op == Op.NOT:
+            return ["stack.append(not _truthy(stack.pop()))"]
+        if op == Op.SWAP:
+            return ["stack[-1], stack[-2] = stack[-2], stack[-1]"]
+        if op == Op.SQRT:
+            return ["stack.append(math.sqrt(stack.pop()))"]
+        if op == Op.FLOOR:
+            return ["stack.append(float(math.floor(stack.pop())))"]
+        if op == Op.ABS:
+            return ["stack.append(abs(stack.pop()))"]
+        if op == Op.HOSTCALL2:
+            return ["_a2 = stack.pop(); _a1 = stack.pop()",
+                    "stack.append(float(regex_match(_a1, _a2)))"]
+        raise RuntimeError(f"bad opcode {op}")

@@ -1,0 +1,383 @@
+"""Octane-analog MiniJS workloads (Fig. 11).
+
+Thirteen small programs named after the Octane suite, each exercising
+the engine the way its namesake stresses a JS engine (object-heavy OO
+dispatch, double crunching, array traffic, ...).  Two are deliberate
+outliers, as in the paper:
+
+* ``regexp`` spends its time in a host-implemented matching helper (the
+  analog of SpiderMonkey's separate regex-engine interpreter, which
+  weval does not touch), so specialization barely helps;
+* ``codeload`` runs many functions once each (cold code), so removing
+  dispatch from hot loops buys little.
+
+Each workload has a scale parameter baked in small enough for the IR VM.
+``PRINTS`` maps each name to the expected printed output, used by tests
+to confirm all four engine configurations agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+WORKLOADS: Dict[str, str] = {}
+
+# ---------------------------------------------------------------------------
+# richards: OO task-queue scheduler kernel — method dispatch + state flags.
+WORKLOADS["richards"] = """
+function makeTask(id, priority) {
+  return {id: id, priority: priority, state: 0, count: 0, run: taskRun};
+}
+function taskRun(quantum) {
+  var i = 0;
+  while (i < quantum) {
+    this.count = this.count + this.priority;
+    this.state = (this.state + 1) % 3;
+    i++;
+  }
+  return this.count;
+}
+function schedule(rounds) {
+  var t1 = makeTask(1, 1);
+  var t2 = makeTask(2, 2);
+  var t3 = makeTask(3, 3);
+  var total = 0;
+  for (var r = 0; r < rounds; r++) {
+    total = total + t1.run(4) + t2.run(3) + t3.run(2);
+  }
+  return total;
+}
+print(schedule(40));
+"""
+
+# deltablue: constraint propagation — chained object updates.
+WORKLOADS["deltablue"] = """
+function makeVar(value) {
+  return {value: value, stay: false};
+}
+function makeConstraint(input, output, scale, offset) {
+  return {input: input, output: output, scale: scale, offset: offset,
+          execute: constraintExecute};
+}
+function constraintExecute() {
+  this.output.value = this.input.value * this.scale + this.offset;
+  return this.output.value;
+}
+function chain(length, rounds) {
+  var first = makeVar(1);
+  var vars = [first];
+  var constraints = [];
+  for (var i = 0; i < length; i++) {
+    var next = makeVar(0);
+    constraints[i] = makeConstraint(vars[i], next, 2, 1);
+    vars[i + 1] = next;
+  }
+  var total = 0;
+  for (var r = 0; r < rounds; r++) {
+    first.value = r;
+    for (var i = 0; i < length; i++) {
+      constraints[i].execute();
+    }
+    total = total + vars[length].value;
+  }
+  return total;
+}
+print(chain(6, 25));
+"""
+
+# crypto: modular exponentiation on doubles-as-integers.
+WORKLOADS["crypto"] = """
+function modpow(base, exponent, modulus) {
+  var result = 1;
+  var b = base % modulus;
+  var e = exponent;
+  while (e > 0) {
+    if (e % 2 == 1) {
+      result = (result * b) % modulus;
+    }
+    e = Math.floor(e / 2);
+    b = (b * b) % modulus;
+  }
+  return result;
+}
+function run(n) {
+  var acc = 0;
+  for (var i = 1; i <= n; i++) {
+    acc = (acc + modpow(i, 13, 497)) % 1000000;
+  }
+  return acc;
+}
+print(run(60));
+"""
+
+# raytrace: vector objects, dot products, sqrt.
+WORKLOADS["raytrace"] = """
+function vec(x, y, z) {
+  return {x: x, y: y, z: z, dot: vecDot};
+}
+function vecDot(other) {
+  return this.x * other.x + this.y * other.y + this.z * other.z;
+}
+function traceRow(width) {
+  var origin = vec(0, 0, -5);
+  var acc = 0;
+  for (var i = 0; i < width; i++) {
+    var dir = vec(i / width, 0.5, 1);
+    var b = 2 * origin.dot(dir);
+    var c = origin.dot(origin) - 16;
+    var disc = b * b - 4 * c;
+    if (disc > 0) {
+      acc = acc + Math.sqrt(disc);
+    }
+  }
+  return Math.floor(acc);
+}
+print(traceRow(120));
+"""
+
+# earleyboyer: symbolic list manipulation via linked objects.
+WORKLOADS["earleyboyer"] = """
+function cons(head, tail) {
+  return {head: head, tail: tail};
+}
+function listSum(list) {
+  var total = 0;
+  var node = list;
+  while (node != null) {
+    total = total + node.head;
+    node = node.tail;
+  }
+  return total;
+}
+function rewrite(depth) {
+  var list = null;
+  for (var i = 0; i < depth; i++) {
+    list = cons(i % 7, list);
+  }
+  var total = 0;
+  for (var r = 0; r < 20; r++) {
+    total = total + listSum(list);
+  }
+  return total;
+}
+print(rewrite(60));
+"""
+
+# regexp: host-side matching engine (the outlier: weval can't touch it).
+WORKLOADS["regexp"] = """
+function run(rounds) {
+  var text = [1, 2, 3, 1, 2, 1, 2, 3, 3, 1, 2, 3, 1, 1, 2];
+  var pattern = [1, 2, 3];
+  var matches = 0;
+  for (var r = 0; r < rounds; r++) {
+    matches = matches + regexMatchCount(text, pattern);
+  }
+  return matches;
+}
+print(run(150));
+"""
+
+# splay: binary-tree insert/lookup via objects (pointer chasing).
+WORKLOADS["splay"] = """
+function makeNode(key) {
+  return {key: key, left: null, right: null};
+}
+function insert(root, key) {
+  if (root == null) { return makeNode(key); }
+  var node = root;
+  while (true) {
+    if (key < node.key) {
+      if (node.left == null) { node.left = makeNode(key); break; }
+      node = node.left;
+    } else {
+      if (node.right == null) { node.right = makeNode(key); break; }
+      node = node.right;
+    }
+  }
+  return root;
+}
+function depthOf(root, key) {
+  var depth = 0;
+  var node = root;
+  while (node != null) {
+    if (key == node.key) { return depth; }
+    if (key < node.key) { node = node.left; } else { node = node.right; }
+    depth++;
+  }
+  return 0 - 1;
+}
+function run(n) {
+  var root = null;
+  var seed = 7;
+  for (var i = 0; i < n; i++) {
+    seed = (seed * 131 + 17) % 1000;
+    root = insert(root, seed);
+  }
+  var total = 0;
+  seed = 7;
+  for (var i = 0; i < n; i++) {
+    seed = (seed * 131 + 17) % 1000;
+    total = total + depthOf(root, seed);
+  }
+  return total;
+}
+print(run(60));
+"""
+
+# navierstokes: double array stencil kernel.
+WORKLOADS["navierstokes"] = """
+function relax(cells, iterations) {
+  var grid = [];
+  for (var i = 0; i < cells; i++) {
+    grid[i] = i % 5;
+  }
+  for (var it = 0; it < iterations; it++) {
+    for (var i = 1; i < cells - 1; i++) {
+      grid[i] = (grid[i - 1] + grid[i] * 2 + grid[i + 1]) / 4;
+    }
+  }
+  var total = 0;
+  for (var i = 0; i < cells; i++) {
+    total = total + grid[i];
+  }
+  return Math.floor(total * 1000);
+}
+print(relax(40, 12));
+"""
+
+# pdfjs: byte-array decoding (masks, shifts via arithmetic).
+WORKLOADS["pdfjs"] = """
+function decode(n) {
+  var data = [];
+  for (var i = 0; i < n; i++) {
+    data[i] = (i * 37 + 11) % 256;
+  }
+  var checksum = 0;
+  for (var pass = 0; pass < 15; pass++) {
+    for (var i = 0; i < n; i++) {
+      var b = data[i];
+      var high = Math.floor(b / 16);
+      var low = b % 16;
+      checksum = (checksum + high * 31 + low * 7) % 65536;
+    }
+  }
+  return checksum;
+}
+print(decode(64));
+"""
+
+# mandreel: mixed arithmetic + memory, compiled-C-style code.
+WORKLOADS["mandreel"] = """
+function body(n) {
+  var xs = [];
+  var ys = [];
+  for (var i = 0; i < n; i++) {
+    xs[i] = i * 0.5;
+    ys[i] = n - i;
+  }
+  var acc = 0;
+  for (var step = 0; step < 20; step++) {
+    for (var i = 0; i < n; i++) {
+      var x = xs[i] + ys[i] * 0.25;
+      var y = ys[i] - xs[i] * 0.125;
+      xs[i] = x;
+      ys[i] = y;
+      if (x * x + y * y > 1000000) {
+        xs[i] = 0;
+        ys[i] = 0;
+      }
+    }
+    acc = acc + xs[step % n];
+  }
+  return Math.floor(acc);
+}
+print(body(48));
+"""
+
+# gameboy: an emulator-style inner interpreter over an array "memory".
+WORKLOADS["gameboy"] = """
+function emulate(steps) {
+  var mem = [];
+  for (var i = 0; i < 64; i++) {
+    mem[i] = (i * 7 + 3) % 256;
+  }
+  var a = 0;
+  var pc = 0;
+  for (var s = 0; s < steps; s++) {
+    var op = mem[pc % 64] % 4;
+    if (op == 0) { a = (a + mem[(pc + 1) % 64]) % 256; }
+    else { if (op == 1) { a = (a * 2) % 256; }
+    else { if (op == 2) { mem[(pc + 2) % 64] = a; }
+    else { a = (a + 1) % 256; } } }
+    pc = pc + 3;
+  }
+  return a;
+}
+print(emulate(500));
+"""
+
+# codeload: many functions, each run once — cold-code outlier.
+_codeload_fns = "\n".join(
+    f"function cold{i}(x) {{ return x * {i} + {i % 7}; }}"
+    for i in range(40))
+_codeload_calls = " + ".join(f"cold{i}(2)" for i in range(40))
+WORKLOADS["codeload"] = f"""
+{_codeload_fns}
+function run() {{
+  return {_codeload_calls};
+}}
+print(run());
+"""
+
+# box2d: physics-ish vector integration over object bodies.
+WORKLOADS["box2d"] = """
+function makeBody(x, y) {
+  return {x: x, y: y, vx: 1, vy: 0, step: bodyStep};
+}
+function bodyStep(dt) {
+  this.vy = this.vy + 10 * dt;
+  this.x = this.x + this.vx * dt;
+  this.y = this.y + this.vy * dt;
+  if (this.y > 100) {
+    this.y = 100;
+    this.vy = 0 - this.vy * 0.5;
+  }
+  return this.y;
+}
+function simulate(bodies, steps) {
+  var world = [];
+  for (var i = 0; i < bodies; i++) {
+    world[i] = makeBody(i, i * 2);
+  }
+  var total = 0;
+  for (var s = 0; s < steps; s++) {
+    for (var i = 0; i < bodies; i++) {
+      total = total + world[i].step(0.1);
+    }
+  }
+  return Math.floor(total);
+}
+print(simulate(6, 50));
+"""
+
+BENCHMARK_NAMES = [
+    "richards", "deltablue", "crypto", "raytrace", "earleyboyer",
+    "regexp", "splay", "navierstokes", "pdfjs", "mandreel", "gameboy",
+    "codeload", "box2d",
+]
+
+assert set(BENCHMARK_NAMES) == set(WORKLOADS)
+
+
+def regex_match_count_host(text_values, pattern_values) -> int:
+    """Host-side 'regex engine': counts occurrences of ``pattern`` in
+    ``text`` (both lists of numbers).  This models the separate regex
+    interpreter that weval does not specialize (the Fig. 11 RegExp
+    outlier)."""
+    count = 0
+    n, m = len(text_values), len(pattern_values)
+    for start in range(n - m + 1):
+        if all(text_values[start + j] == pattern_values[j]
+               for j in range(m)):
+            count += 1
+    return count

@@ -1,0 +1,86 @@
+"""MiniLua bytecode: fixed-width register-machine instructions.
+
+Every instruction is four 64-bit words ``[op, a, b, c]`` (unused
+operands are zero), so ``pc`` advances in steps of four and branch
+targets are word indices divisible by four.  Registers are frame slots
+in linear memory (like PUC-Lua's stack), numbers are 64-bit signed
+integers, and booleans are 1/0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List
+
+
+class Op(enum.IntEnum):
+    LOADK = 0    # R[a] = K[b]
+    MOVE = 1     # R[a] = R[b]
+    ADD = 2      # R[a] = R[b] + R[c]
+    SUB = 3
+    MUL = 4
+    DIV = 5      # signed truncating division
+    MOD = 6      # signed remainder
+    LT = 7       # R[a] = R[b] < R[c] (signed)
+    LE = 8
+    EQ = 9
+    NE = 10
+    JMP = 11     # pc = a
+    JMPZ = 12    # if R[a] == 0: pc = b
+    JMPNZ = 13   # if R[a] != 0: pc = b
+    CALL = 14    # R[a] = call proto[b] with frame at R[c]
+    RETURN = 15  # return R[a]
+    UNM = 16     # R[a] = -R[b]
+    PRINT = 17   # host call: print R[a] (returns R[a])
+
+
+WORDS_PER_INSTR = 4
+
+
+@dataclasses.dataclass
+class Proto:
+    """One compiled MiniLua function (PUC-Lua's ``Proto`` analog)."""
+
+    name: str
+    index: int                  # position in the runtime's proto table
+    num_params: int
+    num_registers: int          # frame size in slots
+    code: List[int] = dataclasses.field(default_factory=list)  # flat words
+    constants: List[int] = dataclasses.field(default_factory=list)
+
+    def emit(self, op: Op, a: int = 0, b: int = 0, c: int = 0) -> int:
+        """Append an instruction; returns its word index (the pc)."""
+        pc = len(self.code)
+        self.code.extend([int(op), a & ((1 << 64) - 1),
+                          b & ((1 << 64) - 1), c & ((1 << 64) - 1)])
+        return pc
+
+    def patch(self, pc: int, operand: int, value: int) -> None:
+        """Backpatch operand ``operand`` (1=a, 2=b, 3=c) of the
+        instruction at word index ``pc``."""
+        self.code[pc + operand] = value & ((1 << 64) - 1)
+
+    def here(self) -> int:
+        return len(self.code)
+
+    def const_index(self, value: int) -> int:
+        value &= (1 << 64) - 1
+        try:
+            return self.constants.index(value)
+        except ValueError:
+            self.constants.append(value)
+            return len(self.constants) - 1
+
+
+def disassemble(proto: Proto) -> str:
+    """Human-readable listing, used in tests and examples."""
+    lines = [f"proto {proto.name} (params={proto.num_params}, "
+             f"regs={proto.num_registers})"]
+    for pc in range(0, len(proto.code), WORDS_PER_INSTR):
+        op, a, b, c = proto.code[pc:pc + WORDS_PER_INSTR]
+        lines.append(f"  {pc:4d}: {Op(op).name:8s} {a} {b} {c}")
+    if proto.constants:
+        lines.append("  constants: " + ", ".join(
+            str(k) for k in proto.constants))
+    return "\n".join(lines)

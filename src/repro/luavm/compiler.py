@@ -1,0 +1,325 @@
+"""MiniLua compiler: AST to register bytecode (PUC-Lua style)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.luavm.bytecode import Op, Proto, WORDS_PER_INSTR
+from repro.luavm.frontend import (
+    AssignStmt,
+    BinOp,
+    Bool,
+    BreakStmt,
+    CallExpr,
+    CallStmt,
+    Chunk,
+    FunctionDef,
+    IfStmt,
+    LocalStmt,
+    LuaCompileError,
+    Name,
+    Num,
+    NumericForStmt,
+    ReturnStmt,
+    UnOp,
+    WhileStmt,
+    parse,
+)
+
+_ARITH = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.MOD}
+_CMP = {"<": (Op.LT, False), "<=": (Op.LE, False),
+        ">": (Op.LT, True), ">=": (Op.LE, True),
+        "==": (Op.EQ, False), "~=": (Op.NE, False)}
+
+
+class _FuncCompiler:
+    def __init__(self, proto: Proto, params: List[str],
+                 function_ids: Dict[str, int]):
+        self.proto = proto
+        self.function_ids = function_ids
+        self.locals: Dict[str, int] = {}
+        for i, param in enumerate(params):
+            self.locals[param] = i
+        self.next_reg = len(params)
+        self.high_water = self.next_reg
+        self.break_patches: List[List[int]] = []
+
+    # -- register bookkeeping ---------------------------------------------
+    def alloc(self) -> int:
+        reg = self.next_reg
+        self.next_reg += 1
+        self.high_water = max(self.high_water, self.next_reg)
+        return reg
+
+    def free_to(self, mark: int) -> None:
+        self.next_reg = mark
+
+    def new_local(self, name: str) -> int:
+        reg = self.alloc()
+        self.locals[name] = reg
+        return reg
+
+    # -- statements ----------------------------------------------------------
+    def compile_block(self, stmts: List[object]) -> None:
+        for stmt in stmts:
+            self.compile_stmt(stmt)
+
+    def compile_stmt(self, stmt: object) -> None:
+        proto = self.proto
+        if isinstance(stmt, LocalStmt):
+            mark = self.next_reg
+            value = self.compile_expr(stmt.value)
+            self.free_to(mark)
+            reg = self.new_local(stmt.name)
+            if value != reg:
+                proto.emit(Op.MOVE, reg, value)
+            return
+        if isinstance(stmt, AssignStmt):
+            if stmt.name not in self.locals:
+                raise LuaCompileError(
+                    f"assignment to undeclared variable {stmt.name!r} "
+                    f"(globals are not supported; use 'local')")
+            dest = self.locals[stmt.name]
+            mark = self.next_reg
+            value = self.compile_expr(stmt.value)
+            self.free_to(mark)
+            if value != dest:
+                proto.emit(Op.MOVE, dest, value)
+            return
+        if isinstance(stmt, CallStmt):
+            mark = self.next_reg
+            self.compile_expr(stmt.call)
+            self.free_to(mark)
+            return
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                zero = self.alloc()
+                proto.emit(Op.LOADK, zero, proto.const_index(0))
+                proto.emit(Op.RETURN, zero)
+                self.free_to(zero)
+            else:
+                mark = self.next_reg
+                value = self.compile_expr(stmt.value)
+                proto.emit(Op.RETURN, value)
+                self.free_to(mark)
+            return
+        if isinstance(stmt, BreakStmt):
+            if not self.break_patches:
+                raise LuaCompileError("break outside loop")
+            pc = self.proto.emit(Op.JMP, 0)
+            self.break_patches[-1].append(pc)
+            return
+        if isinstance(stmt, IfStmt):
+            self._compile_if(stmt)
+            return
+        if isinstance(stmt, WhileStmt):
+            self._compile_while(stmt)
+            return
+        if isinstance(stmt, NumericForStmt):
+            self._compile_for(stmt)
+            return
+        raise LuaCompileError(f"unhandled statement {type(stmt).__name__}")
+
+    def _compile_if(self, stmt: IfStmt) -> None:
+        proto = self.proto
+        end_patches: List[int] = []
+        for i, (cond, body) in enumerate(stmt.arms):
+            if cond is None:
+                self.compile_block(body)
+                break
+            mark = self.next_reg
+            creg = self.compile_expr(cond)
+            skip = proto.emit(Op.JMPZ, creg, 0)
+            self.free_to(mark)
+            self.compile_block(body)
+            is_last = (i == len(stmt.arms) - 1)
+            if not is_last:
+                end_patches.append(proto.emit(Op.JMP, 0))
+            proto.patch(skip, 2, proto.here())
+        for pc in end_patches:
+            proto.patch(pc, 1, proto.here())
+
+    def _compile_while(self, stmt: WhileStmt) -> None:
+        proto = self.proto
+        top = proto.here()
+        mark = self.next_reg
+        creg = self.compile_expr(stmt.cond)
+        exit_jump = proto.emit(Op.JMPZ, creg, 0)
+        self.free_to(mark)
+        self.break_patches.append([])
+        self.compile_block(stmt.body)
+        proto.emit(Op.JMP, top)
+        after = proto.here()
+        proto.patch(exit_jump, 2, after)
+        for pc in self.break_patches.pop():
+            proto.patch(pc, 1, after)
+
+    def _compile_for(self, stmt: NumericForStmt) -> None:
+        proto = self.proto
+        ivar = self.new_local(stmt.var)
+        start = self.compile_expr(stmt.start)
+        if start != ivar:
+            proto.emit(Op.MOVE, ivar, start)
+        limit = self.alloc()
+        stop = self.compile_expr(stmt.stop)
+        if stop != limit:
+            proto.emit(Op.MOVE, limit, stop)
+        step_reg = self.alloc()
+        if stmt.step is None:
+            proto.emit(Op.LOADK, step_reg, proto.const_index(1))
+        else:
+            step = self.compile_expr(stmt.step)
+            if step != step_reg:
+                proto.emit(Op.MOVE, step_reg, step)
+        top = proto.here()
+        mark = self.next_reg
+        cond = self.alloc()
+        # Only constant-positive or default steps are supported; a general
+        # implementation would branch on the step's sign.
+        proto.emit(Op.LE, cond, ivar, limit)
+        exit_jump = proto.emit(Op.JMPZ, cond, 0)
+        self.free_to(mark)
+        self.break_patches.append([])
+        self.compile_block(stmt.body)
+        proto.emit(Op.ADD, ivar, ivar, step_reg)
+        proto.emit(Op.JMP, top)
+        after = proto.here()
+        proto.patch(exit_jump, 2, after)
+        for pc in self.break_patches.pop():
+            proto.patch(pc, 1, after)
+
+    # -- expressions -----------------------------------------------------------
+    def compile_expr(self, expr: object) -> int:
+        proto = self.proto
+        if isinstance(expr, Num):
+            reg = self.alloc()
+            proto.emit(Op.LOADK, reg, proto.const_index(expr.value))
+            return reg
+        if isinstance(expr, Bool):
+            reg = self.alloc()
+            proto.emit(Op.LOADK, reg, proto.const_index(int(expr.value)))
+            return reg
+        if isinstance(expr, Name):
+            if expr.name not in self.locals:
+                raise LuaCompileError(f"undeclared variable {expr.name!r}")
+            return self.locals[expr.name]
+        if isinstance(expr, UnOp):
+            mark = self.next_reg
+            operand = self.compile_expr(expr.operand)
+            self.free_to(mark)
+            dest = self.alloc()
+            if expr.op == "-":
+                proto.emit(Op.UNM, dest, operand)
+            else:  # not
+                zero = self.alloc()
+                proto.emit(Op.LOADK, zero, proto.const_index(0))
+                proto.emit(Op.EQ, dest, operand, zero)
+                self.free_to(dest + 1)
+            return dest
+        if isinstance(expr, BinOp):
+            if expr.op in ("and", "or"):
+                return self._compile_logical(expr)
+            mark = self.next_reg
+            left = self.compile_expr(expr.left)
+            right = self.compile_expr(expr.right)
+            self.free_to(mark)
+            dest = self.alloc()
+            if expr.op in _ARITH:
+                proto.emit(_ARITH[expr.op], dest, left, right)
+            elif expr.op in _CMP:
+                op, swap = _CMP[expr.op]
+                if swap:
+                    left, right = right, left
+                proto.emit(op, dest, left, right)
+            else:
+                raise LuaCompileError(f"unhandled operator {expr.op!r}")
+            return dest
+        if isinstance(expr, CallExpr):
+            return self._compile_call(expr)
+        raise LuaCompileError(f"unhandled expression {type(expr).__name__}")
+
+    def _compile_logical(self, expr: BinOp) -> int:
+        """Short-circuit and/or with Lua value semantics: ``a and b``
+        yields ``b`` when ``a`` is truthy, else ``a`` (MiniLua
+        truthiness: non-zero — a documented deviation, since MiniLua's
+        only values are integers)."""
+        proto = self.proto
+        dest = self.alloc()
+        mark = self.next_reg
+        left = self.compile_expr(expr.left)
+        self.free_to(mark)
+        if left != dest:
+            proto.emit(Op.MOVE, dest, left)
+        if expr.op == "and":
+            skip = proto.emit(Op.JMPZ, dest, 0)
+        else:
+            skip = proto.emit(Op.JMPNZ, dest, 0)
+        right = self.compile_expr(expr.right)
+        self.free_to(mark)
+        if right != dest:
+            proto.emit(Op.MOVE, dest, right)
+        proto.patch(skip, 2, proto.here())
+        return dest
+
+    def _compile_call(self, expr: CallExpr) -> int:
+        proto = self.proto
+        if expr.func == "print":
+            if len(expr.args) != 1:
+                raise LuaCompileError("print takes exactly one argument")
+            mark = self.next_reg
+            value = self.compile_expr(expr.args[0])
+            proto.emit(Op.PRINT, value)
+            self.free_to(mark)
+            return value
+        if expr.func not in self.function_ids:
+            raise LuaCompileError(f"call to unknown function {expr.func!r}")
+        fid = self.function_ids[expr.func]
+        base = self.next_reg
+        for arg in expr.args:
+            mark = self.next_reg
+            value = self.compile_expr(arg)
+            self.free_to(mark)
+            dest = self.alloc()
+            if value != dest:
+                proto.emit(Op.MOVE, dest, value)
+        self.free_to(base)
+        dest = self.alloc()
+        proto.emit(Op.CALL, dest, fid, base)
+        return dest
+
+
+def compile_lua(source: str) -> List[Proto]:
+    """Compile a MiniLua chunk to a list of prototypes.
+
+    The chunk's top-level statements become proto 0 (``main``); each
+    ``function`` definition becomes its own proto.  Arity is checked at
+    compile time.
+    """
+    chunk = parse(source)
+    function_ids: Dict[str, int] = {}
+    protos: List[Proto] = []
+
+    main = Proto("main", 0, 0, 0)
+    protos.append(main)
+    for i, fdef in enumerate(chunk.functions):
+        if fdef.name in function_ids:
+            raise LuaCompileError(f"duplicate function {fdef.name!r}")
+        function_ids[fdef.name] = i + 1
+        protos.append(Proto(fdef.name, i + 1, len(fdef.params), 0))
+
+    for fdef, proto in zip(chunk.functions, protos[1:]):
+        fc = _FuncCompiler(proto, fdef.params, function_ids)
+        fc.compile_block(fdef.body)
+        # Implicit "return 0" if control reaches the end.
+        zero = fc.alloc()
+        proto.emit(Op.LOADK, zero, proto.const_index(0))
+        proto.emit(Op.RETURN, zero)
+        proto.num_registers = fc.high_water + 1
+
+    fc = _FuncCompiler(main, [], function_ids)
+    fc.compile_block(chunk.main)
+    zero = fc.alloc()
+    main.emit(Op.LOADK, zero, main.const_index(0))
+    main.emit(Op.RETURN, zero)
+    main.num_registers = fc.high_water + 1
+    return protos

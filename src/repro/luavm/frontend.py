@@ -1,0 +1,379 @@
+"""MiniLua lexer and parser (Lua-subset syntax, integer arithmetic).
+
+Supported: ``local`` declarations, assignment, ``if/elseif/else``,
+``while``, numeric ``for``, top-level ``function`` definitions, calls,
+``return``, ``and``/``or``/``not``, comparison and arithmetic operators,
+``true``/``false``, and integer literals.  Unsupported Lua features
+(tables, strings, closures, metamethods, floats) are outside the slice
+the paper's S7 benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+
+class LuaCompileError(Exception):
+    pass
+
+
+KEYWORDS = {
+    "local", "if", "then", "elseif", "else", "end", "while", "do", "for",
+    "function", "return", "and", "or", "not", "true", "false", "break",
+}
+
+_OPS = ["==", "~=", "<=", ">=", "<", ">", "+", "-", "*", "/", "%",
+        "(", ")", ",", "=", ";"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Tok:
+    kind: str     # ident, keyword, int, op, eof
+    text: str
+    line: int
+    value: Optional[int] = None
+
+
+def tokenize(source: str) -> List[Tok]:
+    toks: List[Tok] = []
+    i, line, n = 0, 1, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            toks.append(Tok("keyword" if text in KEYWORDS else "ident",
+                            text, line))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            text = source[start:i]
+            toks.append(Tok("int", text, line, int(text)))
+            continue
+        for op in _OPS:
+            if source.startswith(op, i):
+                toks.append(Tok("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LuaCompileError(f"line {line}: bad character {ch!r}")
+    toks.append(Tok("eof", "", line))
+    return toks
+
+
+# --------------------------------------------------------------------------
+# AST
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Num:
+    value: int
+
+
+@dataclasses.dataclass
+class Bool:
+    value: bool
+
+
+@dataclasses.dataclass
+class Name:
+    name: str
+
+
+@dataclasses.dataclass
+class BinOp:
+    op: str
+    left: object
+    right: object
+
+
+@dataclasses.dataclass
+class UnOp:
+    op: str            # "-" | "not"
+    operand: object
+
+
+@dataclasses.dataclass
+class CallExpr:
+    func: str
+    args: List[object]
+
+
+@dataclasses.dataclass
+class LocalStmt:
+    name: str
+    value: object
+
+
+@dataclasses.dataclass
+class AssignStmt:
+    name: str
+    value: object
+
+
+@dataclasses.dataclass
+class CallStmt:
+    call: CallExpr
+
+
+@dataclasses.dataclass
+class IfStmt:
+    # list of (condition, body); final plain-else body may be last with
+    # condition None.
+    arms: List[Tuple[Optional[object], List[object]]]
+
+
+@dataclasses.dataclass
+class WhileStmt:
+    cond: object
+    body: List[object]
+
+
+@dataclasses.dataclass
+class NumericForStmt:
+    var: str
+    start: object
+    stop: object
+    step: Optional[object]
+    body: List[object]
+
+
+@dataclasses.dataclass
+class BreakStmt:
+    pass
+
+
+@dataclasses.dataclass
+class ReturnStmt:
+    value: Optional[object]
+
+
+@dataclasses.dataclass
+class FunctionDef:
+    name: str
+    params: List[str]
+    body: List[object]
+
+
+@dataclasses.dataclass
+class Chunk:
+    functions: List[FunctionDef]
+    main: List[object]      # top-level statements
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+class Parser:
+    def __init__(self, source: str):
+        self.toks = tokenize(source)
+        self.pos = 0
+
+    def peek(self) -> Tok:
+        return self.toks[self.pos]
+
+    def next(self) -> Tok:
+        tok = self.toks[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Tok]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Tok:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise LuaCompileError(
+                f"line {tok.line}: expected {text or kind!r}, found "
+                f"{tok.text!r}")
+        return self.next()
+
+    # -- statements ------------------------------------------------------
+    def parse_chunk(self) -> Chunk:
+        functions: List[FunctionDef] = []
+        main: List[object] = []
+        while self.peek().kind != "eof":
+            if self.peek().text == "function":
+                functions.append(self.parse_function())
+            else:
+                main.append(self.parse_statement())
+        return Chunk(functions, main)
+
+    def parse_function(self) -> FunctionDef:
+        self.expect("keyword", "function")
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.accept("op", ")"):
+            while True:
+                params.append(self.expect("ident").text)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        body = self.parse_block({"end"})
+        self.expect("keyword", "end")
+        return FunctionDef(name, params, body)
+
+    def parse_block(self, stops: set) -> List[object]:
+        stmts: List[object] = []
+        while True:
+            tok = self.peek()
+            if tok.kind == "eof" or (tok.kind == "keyword"
+                                     and tok.text in stops):
+                return stmts
+            stmts.append(self.parse_statement())
+
+    def parse_statement(self) -> object:
+        tok = self.peek()
+        if tok.text == "local":
+            self.next()
+            name = self.expect("ident").text
+            self.expect("op", "=")
+            return LocalStmt(name, self.parse_expr())
+        if tok.text == "if":
+            return self.parse_if()
+        if tok.text == "while":
+            self.next()
+            cond = self.parse_expr()
+            self.expect("keyword", "do")
+            body = self.parse_block({"end"})
+            self.expect("keyword", "end")
+            return WhileStmt(cond, body)
+        if tok.text == "for":
+            return self.parse_for()
+        if tok.text == "return":
+            self.next()
+            value = None
+            nxt = self.peek()
+            if not (nxt.kind == "eof" or
+                    (nxt.kind == "keyword" and
+                     nxt.text in ("end", "else", "elseif"))):
+                value = self.parse_expr()
+            self.accept("op", ";")
+            return ReturnStmt(value)
+        if tok.text == "break":
+            self.next()
+            return BreakStmt()
+        if tok.kind == "ident":
+            name = self.next().text
+            if self.accept("op", "="):
+                return AssignStmt(name, self.parse_expr())
+            if self.peek().text == "(":
+                return CallStmt(self.parse_call(name))
+            raise LuaCompileError(
+                f"line {tok.line}: expected '=' or call after {name!r}")
+        raise LuaCompileError(
+            f"line {tok.line}: unexpected token {tok.text!r}")
+
+    def parse_if(self) -> IfStmt:
+        self.expect("keyword", "if")
+        arms: List[Tuple[Optional[object], List[object]]] = []
+        cond = self.parse_expr()
+        self.expect("keyword", "then")
+        arms.append((cond, self.parse_block({"elseif", "else", "end"})))
+        while self.accept("keyword", "elseif"):
+            cond = self.parse_expr()
+            self.expect("keyword", "then")
+            arms.append((cond, self.parse_block({"elseif", "else", "end"})))
+        if self.accept("keyword", "else"):
+            arms.append((None, self.parse_block({"end"})))
+        self.expect("keyword", "end")
+        return IfStmt(arms)
+
+    def parse_for(self) -> NumericForStmt:
+        self.expect("keyword", "for")
+        var = self.expect("ident").text
+        self.expect("op", "=")
+        start = self.parse_expr()
+        self.expect("op", ",")
+        stop = self.parse_expr()
+        step = None
+        if self.accept("op", ","):
+            step = self.parse_expr()
+        self.expect("keyword", "do")
+        body = self.parse_block({"end"})
+        self.expect("keyword", "end")
+        return NumericForStmt(var, start, stop, step, body)
+
+    # -- expressions ------------------------------------------------------
+    _LEVELS = [["or"], ["and"], ["<", "<=", ">", ">=", "==", "~="],
+               ["+", "-"], ["*", "/", "%"]]
+
+    def parse_expr(self, level: int = 0) -> object:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        ops = self._LEVELS[level]
+        while True:
+            tok = self.peek()
+            if tok.text in ops and tok.kind in ("op", "keyword"):
+                self.next()
+                right = self.parse_expr(level + 1)
+                left = BinOp(tok.text, left, right)
+            else:
+                return left
+
+    def parse_unary(self) -> object:
+        tok = self.peek()
+        if tok.text == "not":
+            self.next()
+            return UnOp("not", self.parse_unary())
+        if tok.text == "-":
+            self.next()
+            return UnOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> object:
+        tok = self.next()
+        if tok.kind == "int":
+            return Num(tok.value)
+        if tok.text == "true":
+            return Bool(True)
+        if tok.text == "false":
+            return Bool(False)
+        if tok.text == "(":
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if tok.kind == "ident":
+            if self.peek().text == "(":
+                return self.parse_call(tok.text)
+            return Name(tok.text)
+        raise LuaCompileError(
+            f"line {tok.line}: unexpected {tok.text!r} in expression")
+
+    def parse_call(self, name: str) -> CallExpr:
+        self.expect("op", "(")
+        args: List[object] = []
+        if not self.accept("op", ")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        return CallExpr(name, args)
+
+
+def parse(source: str) -> Chunk:
+    return Parser(source).parse_chunk()

@@ -1,0 +1,35 @@
+"""The Min register machine: the paper's S5 minimal case study.
+
+Min is a 64-bit unsigned integer machine with a program counter, 256
+indexed registers, and an accumulator.  This package contains its ISA and
+assembler, two mini-C interpreter variants (with and without weval's
+register intrinsics, mirroring the paper's Fig. 10 template trick), a
+pure-Python reference interpreter (the "native interpreter" analog), and
+the harness that reproduces Fig. 8.
+"""
+
+from repro.min.isa import Opcode, assemble, MinProgram
+from repro.min.interp import (
+    interp_source,
+    build_min_module,
+    specialize_min,
+    PROGRAM_BASE,
+)
+from repro.min.harness import (
+    PyMinInterpreter,
+    sum_to_n_program,
+    run_fig8_configs,
+)
+
+__all__ = [
+    "Opcode",
+    "assemble",
+    "MinProgram",
+    "interp_source",
+    "build_min_module",
+    "specialize_min",
+    "PROGRAM_BASE",
+    "PyMinInterpreter",
+    "sum_to_n_program",
+    "run_fig8_configs",
+]

@@ -1,0 +1,169 @@
+"""The Min interpreter in mini-C, in two variants (paper Fig. 9/10).
+
+The paper generates two compilations of the interpreter body from one
+source using a C++ template parameter: one storing registers in a
+conventional array (run generically), one routing register accesses
+through weval's register intrinsics (only ever run in specialized form).
+We do the same with a Python-side template over the mini-C source.
+
+``JMPNZ`` uses the two-backedge pattern: each arm updates the context and
+continues separately, so the next pc stays constant on both paths
+(S3.3's structural alternative to ``specialized_value``; our test suite
+exercises both styles).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core import (
+    Runtime,
+    SpecializationRequest,
+    SpecializedConst,
+    SpecializedMemory,
+    specialize,
+)
+from repro.core.specialize import SpecializeOptions
+from repro.ir import Module
+from repro.ir.function import Function
+from repro.min.isa import MinProgram, NUM_REGISTERS
+
+PROGRAM_BASE = 0x1000
+
+
+def interp_source(use_intrinsics: bool) -> str:
+    """mini-C source for the Min interpreter.
+
+    ``use_intrinsics=False``: registers live in a shadow-stack array
+    (Fig. 9's plain interpreter).  ``use_intrinsics=True``: register
+    accesses become ``weval_read_reg``/``weval_write_reg`` (Fig. 10).
+    """
+    if use_intrinsics:
+        name = "min_interp_spec"
+        decl = ""
+        reg_read = "weval_read_reg(%s)"
+        reg_write = "weval_write_reg(%s, %s);"
+    else:
+        name = "min_interp"
+        decl = (f"u64 registers[{NUM_REGISTERS}];\n"
+                f"  for (u64 ri = 0; ri < {NUM_REGISTERS}; ri++) "
+                "{ registers[ri] = 0; }")
+        reg_read = "registers[%s]"
+        reg_write = "registers[%s] = %s;"
+
+    def rd(expr: str) -> str:
+        return reg_read % expr
+
+    def wr(idx: str, value: str) -> str:
+        return reg_write % (idx, value)
+
+    return f"""
+u64 {name}(u64 program, u64 proglen, u64 input) {{
+  u64 accumulator = input;
+  u64 pc = 0;
+  {decl}
+  weval_push_context(pc);
+  while (1) {{
+    u64 op = load64(program + pc * 8);
+    pc = pc + 1;
+    switch (op) {{
+    case 0: {{ // LOAD_IMMEDIATE
+      accumulator = load64(program + pc * 8);
+      pc = pc + 1;
+      break;
+    }}
+    case 1: {{ // STORE_REG
+      u64 idx = load64(program + pc * 8);
+      pc = pc + 1;
+      {wr("idx", "accumulator")}
+      break;
+    }}
+    case 2: {{ // LOAD_REG
+      u64 idx = load64(program + pc * 8);
+      pc = pc + 1;
+      accumulator = {rd("idx")};
+      break;
+    }}
+    case 3: {{ // ADD
+      u64 idx1 = load64(program + pc * 8);
+      u64 idx2 = load64(program + pc * 8 + 8);
+      pc = pc + 2;
+      accumulator = {rd("idx1")} + {rd("idx2")};
+      break;
+    }}
+    case 4: {{ // SUB
+      u64 idx1 = load64(program + pc * 8);
+      u64 idx2 = load64(program + pc * 8 + 8);
+      pc = pc + 2;
+      accumulator = {rd("idx1")} - {rd("idx2")};
+      break;
+    }}
+    case 5: {{ // MUL
+      u64 idx1 = load64(program + pc * 8);
+      u64 idx2 = load64(program + pc * 8 + 8);
+      pc = pc + 2;
+      accumulator = {rd("idx1")} * {rd("idx2")};
+      break;
+    }}
+    case 6: {{ // ADD_IMMEDIATE
+      accumulator = accumulator + load64(program + pc * 8);
+      pc = pc + 1;
+      break;
+    }}
+    case 7: {{ // JMPNZ: two-backedge form keeps the next pc constant
+      u64 target = load64(program + pc * 8);
+      pc = pc + 1;
+      if (accumulator != 0) {{
+        pc = target;
+        weval_update_context(pc);
+        continue;
+      }}
+      weval_update_context(pc);
+      continue;
+    }}
+    case 8: {{ // JMP
+      pc = load64(program + pc * 8);
+      break;
+    }}
+    case 9: {{ // HALT
+      return accumulator;
+    }}
+    default: {{
+      abort();
+    }}
+    }}
+    weval_update_context(pc);
+  }}
+  return 0;
+}}
+"""
+
+
+def build_min_module(program: MinProgram,
+                     memory_size: int = 1 << 20) -> Module:
+    """A module containing both interpreter variants and the program's
+    bytecode at :data:`PROGRAM_BASE` in the heap image."""
+    from repro.frontend import compile_source
+
+    module = Module(memory_size=memory_size)
+    compile_source(interp_source(False)).add_to_module(module)
+    compile_source(interp_source(True)).add_to_module(module)
+    for i, word in enumerate(program.words):
+        module.write_init_u64(PROGRAM_BASE + i * 8, word)
+    return module
+
+
+def specialize_min(module: Module, program: MinProgram,
+                   use_intrinsics: bool,
+                   options: Optional[SpecializeOptions] = None,
+                   name: Optional[str] = None) -> Function:
+    """Run the first Futamura projection on a Min interpreter variant."""
+    generic = "min_interp_spec" if use_intrinsics else "min_interp"
+    request = SpecializationRequest(
+        generic,
+        [SpecializedMemory(PROGRAM_BASE, program.size_bytes()),
+         SpecializedConst(len(program.words)), Runtime()],
+        specialized_name=name or f"{generic}.compiled")
+    func = specialize(module, request, options)
+    module.add_function(func)
+    return func

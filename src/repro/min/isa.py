@@ -1,0 +1,140 @@
+"""The Min instruction set and assembler.
+
+Min (paper S5) has 10 instructions over a pc, an accumulator ``acc``, and
+256 registers.  Instructions are variable-length sequences of 64-bit
+words: an opcode word followed by operand words.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.ir.instructions import wrap_i64
+
+
+class Opcode(enum.IntEnum):
+    LOAD_IMMEDIATE = 0   # acc = imm
+    STORE_REG = 1        # regs[idx] = acc
+    LOAD_REG = 2         # acc = regs[idx]
+    ADD = 3              # acc = regs[idx1] + regs[idx2]
+    SUB = 4              # acc = regs[idx1] - regs[idx2]
+    MUL = 5              # acc = regs[idx1] * regs[idx2]
+    ADD_IMMEDIATE = 6    # acc = acc + imm
+    JMPNZ = 7            # if acc != 0: pc = target
+    JMP = 8              # pc = target
+    HALT = 9             # return acc
+
+
+# Operand word count per opcode.
+ARITY: Dict[Opcode, int] = {
+    Opcode.LOAD_IMMEDIATE: 1,
+    Opcode.STORE_REG: 1,
+    Opcode.LOAD_REG: 1,
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.MUL: 2,
+    Opcode.ADD_IMMEDIATE: 1,
+    Opcode.JMPNZ: 1,
+    Opcode.JMP: 1,
+    Opcode.HALT: 0,
+}
+
+NUM_REGISTERS = 256
+
+# An assembly line: mnemonic plus int or label-string operands.
+AsmLine = Tuple[str, ...]
+
+
+@dataclasses.dataclass
+class MinProgram:
+    """An assembled Min program: a flat list of 64-bit words."""
+
+    words: List[int]
+    labels: Dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def size_bytes(self) -> int:
+        return len(self.words) * 8
+
+
+def assemble(lines: Sequence[AsmLine]) -> MinProgram:
+    """Two-pass assembler.
+
+    Each line is ``(mnemonic, *operands)``; operands are ints or label
+    names.  A line ``("label", name)`` defines a label at the current pc.
+
+        assemble([
+            ("label", "loop"),
+            ("ADD_IMMEDIATE", -1),
+            ("JMPNZ", "loop"),
+            ("HALT",),
+        ])
+    """
+    labels: Dict[str, int] = {}
+    pc = 0
+    for line in lines:
+        if line[0] == "label":
+            name = line[1]
+            if name in labels:
+                raise ValueError(f"duplicate label {name!r}")
+            labels[name] = pc
+            continue
+        op = Opcode[line[0]]
+        expected = ARITY[op]
+        if len(line) - 1 != expected:
+            raise ValueError(
+                f"{op.name} expects {expected} operands, got {len(line) - 1}")
+        pc += 1 + expected
+
+    words: List[int] = []
+    for line in lines:
+        if line[0] == "label":
+            continue
+        op = Opcode[line[0]]
+        words.append(int(op))
+        for operand in line[1:]:
+            if isinstance(operand, str):
+                if operand not in labels:
+                    raise ValueError(f"undefined label {operand!r}")
+                words.append(labels[operand])
+            else:
+                words.append(wrap_i64(int(operand)))
+    return MinProgram(words, labels)
+
+
+def validate(program: MinProgram) -> None:
+    """Check structural well-formedness: opcodes in range, register
+    indices valid, branch targets inside the program."""
+    pc = 0
+    size = len(program.words)
+    boundaries = set()
+    while pc < size:
+        boundaries.add(pc)
+        word = program.words[pc]
+        try:
+            op = Opcode(word)
+        except ValueError:
+            raise ValueError(f"bad opcode {word} at pc {pc}") from None
+        operands = program.words[pc + 1:pc + 1 + ARITY[op]]
+        if len(operands) != ARITY[op]:
+            raise ValueError(f"truncated {op.name} at pc {pc}")
+        if op in (Opcode.STORE_REG, Opcode.LOAD_REG):
+            if not 0 <= operands[0] < NUM_REGISTERS:
+                raise ValueError(f"bad register {operands[0]} at pc {pc}")
+        if op in (Opcode.ADD, Opcode.SUB, Opcode.MUL):
+            for idx in operands:
+                if not 0 <= idx < NUM_REGISTERS:
+                    raise ValueError(f"bad register {idx} at pc {pc}")
+        pc += 1 + ARITY[op]
+    for pc in boundaries:
+        op = Opcode(program.words[pc])
+        if op in (Opcode.JMPNZ, Opcode.JMP):
+            target = program.words[pc + 1]
+            if target not in boundaries:
+                raise ValueError(
+                    f"branch target {target} at pc {pc} is not an "
+                    f"instruction boundary")

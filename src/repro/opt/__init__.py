@@ -1,0 +1,23 @@
+"""Post-specialization optimization passes.
+
+The weval transform already const-folds while transcribing; these passes
+clean up what is left: unreachable blocks, redundant block parameters
+(the specializer's per-slot parameters where all predecessors agree after
+convergence), straight-line block chains, and dead pure instructions.
+"""
+
+from repro.opt.fold import fold_constants
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.simplify_cfg import simplify_cfg, remove_unreachable_blocks
+from repro.opt.prune_params import prune_block_params
+from repro.opt.pipeline import optimize_function, optimize_module
+
+__all__ = [
+    "fold_constants",
+    "eliminate_dead_code",
+    "simplify_cfg",
+    "remove_unreachable_blocks",
+    "prune_block_params",
+    "optimize_function",
+    "optimize_module",
+]

@@ -1,0 +1,29 @@
+"""The standard post-specialization pass pipeline."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.fold import fold_constants
+from repro.opt.prune_params import prune_block_params
+from repro.opt.simplify_cfg import remove_unreachable_blocks, simplify_cfg
+
+
+def optimize_function(func: Function, max_rounds: int = 4) -> None:
+    """Run folding / param-pruning / CFG simplification / DCE to a
+    fixpoint (bounded by ``max_rounds``)."""
+    remove_unreachable_blocks(func)
+    for _ in range(max_rounds):
+        changed = 0
+        changed += fold_constants(func)
+        changed += prune_block_params(func)
+        changed += simplify_cfg(func)
+        changed += eliminate_dead_code(func)
+        if not changed:
+            break
+
+
+def optimize_module(module: Module, max_rounds: int = 4) -> None:
+    for func in module.functions.values():
+        optimize_function(func, max_rounds)

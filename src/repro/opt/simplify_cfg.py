@@ -1,0 +1,148 @@
+"""CFG simplification: unreachable-block removal, jump threading, and
+straight-line block merging."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.cfg import reachable_blocks
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BlockCall,
+    BrIf,
+    BrTable,
+    Jump,
+    terminator_values,
+)
+from repro.opt.util import substitute_values
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    reachable = reachable_blocks(func)
+    dead = [bid for bid in func.blocks if bid not in reachable]
+    for bid in dead:
+        del func.blocks[bid]
+    return len(dead)
+
+
+def _all_calls(func: Function):
+    """Yield (block_id, BlockCall) for every edge in the function."""
+    for bid, block in func.blocks.items():
+        if block.terminator is None:
+            continue
+        for call in block.terminator.targets():
+            yield bid, call
+
+
+def merge_straightline(func: Function) -> int:
+    """Merge B -> C when B ends in an argless-unconditional jump to C and
+    C's only incoming edge is that jump.  C's params are substituted by
+    the jump arguments."""
+    merged = 0
+    substitution: Dict[int, int] = {}
+    while True:
+        pred_count: Dict[int, int] = {bid: 0 for bid in func.blocks}
+        for _bid, call in _all_calls(func):
+            pred_count[call.block] = pred_count.get(call.block, 0) + 1
+
+        did_merge = False
+        for bid in list(func.blocks.keys()):
+            block = func.blocks.get(bid)
+            if block is None:
+                continue
+            term = block.terminator
+            if not isinstance(term, Jump):
+                continue
+            target_id = term.target.block
+            if target_id == bid or target_id == func.entry:
+                continue
+            if pred_count.get(target_id, 0) != 1:
+                continue
+            target = func.blocks[target_id]
+            for (param, _ty), arg in zip(target.params, term.target.args):
+                substitution[param] = arg
+            block.instrs.extend(target.instrs)
+            block.terminator = target.terminator
+            del func.blocks[target_id]
+            merged += 1
+            did_merge = True
+            break  # pred counts changed; recompute
+        if not did_merge:
+            break
+    substitute_values(func, substitution)
+    return merged
+
+
+def thread_trivial_jumps(func: Function) -> int:
+    """Retarget edges that pass through an empty forwarding block.
+
+    A block E is a trivial forwarder when it has no instructions and ends
+    in ``jump D(args)`` where every arg is one of E's own parameters.
+    Edges into E are redirected straight to D with composed arguments.
+    """
+    threaded = 0
+
+    # Total use counts of every value.  A forwarding block's parameter may
+    # only be used inside that block's own jump arguments: any other use
+    # relies on the block staying on the path (dominance), so the block
+    # cannot be bypassed.
+    use_counts: Dict[int, int] = {}
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            for arg in instr.args:
+                use_counts[arg] = use_counts.get(arg, 0) + 1
+        if block.terminator is not None:
+            for value in terminator_values(block.terminator):
+                use_counts[value] = use_counts.get(value, 0) + 1
+
+    forwarders: Dict[int, Tuple[int, List[int]]] = {}
+    for bid, block in func.blocks.items():
+        if block.instrs or not isinstance(block.terminator, Jump):
+            continue
+        call = block.terminator.target
+        if call.block == bid:
+            continue
+        param_index = {v: i for i, (v, _) in enumerate(block.params)}
+        indices = []
+        ok = True
+        for arg in call.args:
+            if arg in param_index:
+                indices.append(param_index[arg])
+            else:
+                ok = False
+                break
+        if ok:
+            # Every param must be used exactly as often as it appears in
+            # this block's own jump arguments — no external uses.
+            own_uses: Dict[int, int] = {}
+            for arg in call.args:
+                own_uses[arg] = own_uses.get(arg, 0) + 1
+            for param, _ty in block.params:
+                if use_counts.get(param, 0) != own_uses.get(param, 0):
+                    ok = False
+                    break
+        if ok:
+            forwarders[bid] = (call.block, indices)
+
+    def final_target(bid: int, args: tuple, depth: int = 0):
+        if depth > len(func.blocks) or bid not in forwarders:
+            return bid, args
+        target, indices = forwarders[bid]
+        new_args = tuple(args[i] for i in indices)
+        return final_target(target, new_args, depth + 1)
+
+    for _bid, call in _all_calls(func):
+        new_block, new_args = final_target(call.block, tuple(call.args))
+        if new_block != call.block or new_args != tuple(call.args):
+            call.block = new_block
+            call.args = new_args
+            threaded += 1
+    return threaded
+
+
+def simplify_cfg(func: Function) -> int:
+    changed = remove_unreachable_blocks(func)
+    changed += thread_trivial_jumps(func)
+    changed += remove_unreachable_blocks(func)
+    changed += merge_straightline(func)
+    return changed

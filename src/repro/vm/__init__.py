@@ -1,0 +1,13 @@
+"""An evaluator for :mod:`repro.ir` modules.
+
+This plays the role Wasmtime plays in the paper: it executes both the
+generic interpreter functions and the weval-specialized functions, against
+a linear memory instantiated from the module's snapshot image.  Besides
+wall-clock time, it maintains a deterministic *fuel* counter (number of IR
+instructions executed) and load/store counters, which the benchmark
+harness uses as a stable stand-in for hardware time.
+"""
+
+from repro.vm.machine import VM, VMTrap, OutOfFuel, ExecStats
+
+__all__ = ["VM", "VMTrap", "OutOfFuel", "ExecStats"]

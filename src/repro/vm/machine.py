@@ -1,0 +1,435 @@
+"""The IR virtual machine.
+
+Execution model: values are Python ints (unsigned 64-bit bit patterns)
+for ``i64`` and Python floats for ``f64``.  Each function activation is a
+dict from SSA value id to runtime value; control transfers bind branch
+arguments to target block parameters.  Guest-level calls map to Python
+recursion.
+
+Intrinsic polyfills: ``weval.*`` context intrinsics are registered here
+as no-op host functions so that *unspecialized* interpreter bodies run
+unchanged (the paper's S3.1: intrinsics are not load-bearing for
+correctness).  State intrinsics (registers/locals/stack) are only present
+in the specialized variant of an interpreter and therefore have no
+polyfill; calling one from the VM is an error (matching the paper's
+"two versions of the interpreter body" approach, S4.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from repro.ir.function import Function, Signature
+from repro.ir.instructions import (
+    BrIf,
+    BrTable,
+    Jump,
+    MASK64,
+    Ret,
+    Trap,
+    to_signed,
+    wrap_i64,
+)
+from repro.ir.module import Module
+
+
+class VMTrap(Exception):
+    """Guest execution trapped (unreachable, bad memory access, etc.)."""
+
+
+class OutOfFuel(Exception):
+    """The configured fuel limit was exhausted."""
+
+
+@dataclasses.dataclass
+class ExecStats:
+    """Deterministic execution counters."""
+
+    fuel: int = 0           # instructions + terminators executed
+    loads: int = 0
+    stores: int = 0
+    calls: int = 0
+    indirect_calls: int = 0
+    host_calls: int = 0
+
+    def snapshot(self) -> "ExecStats":
+        return dataclasses.replace(self)
+
+    def delta(self, since: "ExecStats") -> "ExecStats":
+        return ExecStats(
+            fuel=self.fuel - since.fuel,
+            loads=self.loads - since.loads,
+            stores=self.stores - since.stores,
+            calls=self.calls - since.calls,
+            indirect_calls=self.indirect_calls - since.indirect_calls,
+            host_calls=self.host_calls - since.host_calls,
+        )
+
+
+class VM:
+    """An instantiated module: memory + globals + table + execution."""
+
+    def __init__(self, module: Module, fuel_limit: Optional[int] = None):
+        self.module = module
+        self.memory = bytearray(module.memory_init)
+        self.globals: Dict[str, int] = dict(module.globals)
+        self.stats = ExecStats()
+        self.fuel_limit = fuel_limit
+        self._call_depth = 0
+        self._max_call_depth = 1000
+        # Guest calls map to Python recursion (a handful of Python frames
+        # per guest frame); make sure the guest limit is hit first.
+        import sys
+        if sys.getrecursionlimit() < 20000:
+            sys.setrecursionlimit(20000)
+
+    # ------------------------------------------------------------------
+    # Memory access.
+    # ------------------------------------------------------------------
+    def _check_range(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > len(self.memory):
+            raise VMTrap(f"out-of-bounds memory access at {addr:#x}+{size}")
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        self._check_range(addr, size)
+        return bytes(self.memory[addr:addr + size])
+
+    def store_bytes(self, addr: int, data: bytes) -> None:
+        self._check_range(addr, len(data))
+        self.memory[addr:addr + len(data)] = data
+
+    def load_u64(self, addr: int) -> int:
+        self._check_range(addr, 8)
+        return int.from_bytes(self.memory[addr:addr + 8], "little")
+
+    def store_u64(self, addr: int, value: int) -> None:
+        self._check_range(addr, 8)
+        self.memory[addr:addr + 8] = (value & MASK64).to_bytes(8, "little")
+
+    def load_f64(self, addr: int) -> float:
+        import struct
+        self._check_range(addr, 8)
+        return struct.unpack_from("<d", self.memory, addr)[0]
+
+    def store_f64(self, addr: int, value: float) -> None:
+        import struct
+        self._check_range(addr, 8)
+        struct.pack_into("<d", self.memory, addr, value)
+
+    # ------------------------------------------------------------------
+    # Calls.
+    # ------------------------------------------------------------------
+    def call(self, name: str, args: List[object] = ()) -> object:
+        """Call a function (IR or host import) by name."""
+        if name in self.module.imports:
+            self.stats.host_calls += 1
+            host = self.module.imports[name]
+            return host.fn(self, *args)
+        func = self.module.functions.get(name)
+        if func is None:
+            raise VMTrap(f"call to unknown function {name}")
+        return self._run_function(func, list(args))
+
+    def call_table(self, index: int, args: List[object]) -> object:
+        self.stats.indirect_calls += 1
+        if index <= 0 or index >= len(self.module.table):
+            raise VMTrap(f"indirect call to bad table index {index}")
+        name = self.module.table[index]
+        if name is None:
+            raise VMTrap(f"indirect call to null table entry {index}")
+        return self.call(name, args)
+
+    # ------------------------------------------------------------------
+    # The core evaluation loop.
+    # ------------------------------------------------------------------
+    def _run_function(self, func: Function, args: List[object]) -> object:
+        self._call_depth += 1
+        if self._call_depth > self._max_call_depth:
+            self._call_depth -= 1
+            raise VMTrap(f"call stack exhausted in {func.name}")
+        try:
+            return self._eval(func, args)
+        finally:
+            self._call_depth -= 1
+
+    def _eval(self, func: Function, args: List[object]) -> object:
+        entry = func.entry_block()
+        if len(args) != len(entry.params):
+            raise VMTrap(f"{func.name}: expected {len(entry.params)} args, "
+                         f"got {len(args)}")
+        env: Dict[int, object] = {}
+        for (param, _), value in zip(entry.params, args):
+            env[param] = value
+
+        stats = self.stats
+        fuel_limit = self.fuel_limit
+        blocks = func.blocks
+        block = entry
+        memory = self.memory
+
+        while True:
+            for instr in block.instrs:
+                stats.fuel += 1
+                op = instr.op
+                # --- constants -------------------------------------------
+                if op == "iconst":
+                    env[instr.result] = instr.imm
+                elif op == "fconst":
+                    env[instr.result] = instr.imm
+                # --- integer binops --------------------------------------
+                elif op == "iadd":
+                    env[instr.result] = (env[instr.args[0]] +
+                                         env[instr.args[1]]) & MASK64
+                elif op == "isub":
+                    env[instr.result] = (env[instr.args[0]] -
+                                         env[instr.args[1]]) & MASK64
+                elif op == "imul":
+                    env[instr.result] = (env[instr.args[0]] *
+                                         env[instr.args[1]]) & MASK64
+                elif op == "idiv_s":
+                    a = to_signed(env[instr.args[0]])
+                    b = to_signed(env[instr.args[1]])
+                    if b == 0:
+                        raise VMTrap("integer divide by zero")
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    env[instr.result] = wrap_i64(q)
+                elif op == "idiv_u":
+                    a, b = env[instr.args[0]], env[instr.args[1]]
+                    if b == 0:
+                        raise VMTrap("integer divide by zero")
+                    env[instr.result] = a // b
+                elif op == "irem_s":
+                    a = to_signed(env[instr.args[0]])
+                    b = to_signed(env[instr.args[1]])
+                    if b == 0:
+                        raise VMTrap("integer remainder by zero")
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    env[instr.result] = wrap_i64(a - q * b)
+                elif op == "irem_u":
+                    a, b = env[instr.args[0]], env[instr.args[1]]
+                    if b == 0:
+                        raise VMTrap("integer remainder by zero")
+                    env[instr.result] = a % b
+                elif op == "iand":
+                    env[instr.result] = env[instr.args[0]] & env[instr.args[1]]
+                elif op == "ior":
+                    env[instr.result] = env[instr.args[0]] | env[instr.args[1]]
+                elif op == "ixor":
+                    env[instr.result] = env[instr.args[0]] ^ env[instr.args[1]]
+                elif op == "ishl":
+                    env[instr.result] = (env[instr.args[0]] <<
+                                         (env[instr.args[1]] & 63)) & MASK64
+                elif op == "ishr_u":
+                    env[instr.result] = env[instr.args[0]] >> (
+                        env[instr.args[1]] & 63)
+                elif op == "ishr_s":
+                    env[instr.result] = wrap_i64(
+                        to_signed(env[instr.args[0]]) >>
+                        (env[instr.args[1]] & 63))
+                # --- integer comparisons ---------------------------------
+                elif op == "ieq":
+                    env[instr.result] = int(env[instr.args[0]] ==
+                                            env[instr.args[1]])
+                elif op == "ine":
+                    env[instr.result] = int(env[instr.args[0]] !=
+                                            env[instr.args[1]])
+                elif op == "ilt_s":
+                    env[instr.result] = int(to_signed(env[instr.args[0]]) <
+                                            to_signed(env[instr.args[1]]))
+                elif op == "ilt_u":
+                    env[instr.result] = int(env[instr.args[0]] <
+                                            env[instr.args[1]])
+                elif op == "ile_s":
+                    env[instr.result] = int(to_signed(env[instr.args[0]]) <=
+                                            to_signed(env[instr.args[1]]))
+                elif op == "ile_u":
+                    env[instr.result] = int(env[instr.args[0]] <=
+                                            env[instr.args[1]])
+                elif op == "igt_s":
+                    env[instr.result] = int(to_signed(env[instr.args[0]]) >
+                                            to_signed(env[instr.args[1]]))
+                elif op == "igt_u":
+                    env[instr.result] = int(env[instr.args[0]] >
+                                            env[instr.args[1]])
+                elif op == "ige_s":
+                    env[instr.result] = int(to_signed(env[instr.args[0]]) >=
+                                            to_signed(env[instr.args[1]]))
+                elif op == "ige_u":
+                    env[instr.result] = int(env[instr.args[0]] >=
+                                            env[instr.args[1]])
+                # --- floats ----------------------------------------------
+                elif op == "fadd":
+                    env[instr.result] = env[instr.args[0]] + env[instr.args[1]]
+                elif op == "fsub":
+                    env[instr.result] = env[instr.args[0]] - env[instr.args[1]]
+                elif op == "fmul":
+                    env[instr.result] = env[instr.args[0]] * env[instr.args[1]]
+                elif op == "fdiv":
+                    b = env[instr.args[1]]
+                    a = env[instr.args[0]]
+                    if b == 0.0:
+                        env[instr.result] = (math.nan if a == 0.0
+                                             else math.copysign(math.inf, a) *
+                                             math.copysign(1.0, b))
+                    else:
+                        env[instr.result] = a / b
+                elif op == "fneg":
+                    env[instr.result] = -env[instr.args[0]]
+                elif op == "fabs":
+                    env[instr.result] = abs(env[instr.args[0]])
+                elif op == "fsqrt":
+                    a = env[instr.args[0]]
+                    env[instr.result] = math.sqrt(a) if a >= 0.0 else math.nan
+                elif op == "ffloor":
+                    env[instr.result] = float(math.floor(env[instr.args[0]]))
+                elif op == "feq":
+                    env[instr.result] = int(env[instr.args[0]] ==
+                                            env[instr.args[1]])
+                elif op == "fne":
+                    env[instr.result] = int(env[instr.args[0]] !=
+                                            env[instr.args[1]])
+                elif op == "flt":
+                    env[instr.result] = int(env[instr.args[0]] <
+                                            env[instr.args[1]])
+                elif op == "fle":
+                    env[instr.result] = int(env[instr.args[0]] <=
+                                            env[instr.args[1]])
+                elif op == "fgt":
+                    env[instr.result] = int(env[instr.args[0]] >
+                                            env[instr.args[1]])
+                elif op == "fge":
+                    env[instr.result] = int(env[instr.args[0]] >=
+                                            env[instr.args[1]])
+                # --- conversions -----------------------------------------
+                elif op == "itof":
+                    env[instr.result] = float(to_signed(env[instr.args[0]]))
+                elif op == "ftoi":
+                    a = env[instr.args[0]]
+                    if math.isnan(a) or math.isinf(a):
+                        raise VMTrap("invalid float-to-int conversion")
+                    env[instr.result] = wrap_i64(int(a))
+                elif op == "bits_ftoi":
+                    import struct
+                    env[instr.result] = int.from_bytes(
+                        struct.pack("<d", env[instr.args[0]]), "little")
+                elif op == "bits_itof":
+                    import struct
+                    env[instr.result] = struct.unpack(
+                        "<d", (env[instr.args[0]] & MASK64).to_bytes(
+                            8, "little"))[0]
+                # --- select ----------------------------------------------
+                elif op == "select":
+                    env[instr.result] = (env[instr.args[1]]
+                                         if env[instr.args[0]] != 0
+                                         else env[instr.args[2]])
+                # --- memory ----------------------------------------------
+                elif op == "load64":
+                    stats.loads += 1
+                    addr = env[instr.args[0]] + instr.imm
+                    if addr < 0 or addr + 8 > len(memory):
+                        raise VMTrap(f"oob load64 at {addr:#x}")
+                    env[instr.result] = int.from_bytes(
+                        memory[addr:addr + 8], "little")
+                elif op == "store64":
+                    stats.stores += 1
+                    addr = env[instr.args[0]] + instr.imm
+                    if addr < 0 or addr + 8 > len(memory):
+                        raise VMTrap(f"oob store64 at {addr:#x}")
+                    memory[addr:addr + 8] = env[instr.args[1]].to_bytes(
+                        8, "little")
+                elif op in ("load8_u", "load8_s", "load16_u", "load16_s",
+                            "load32_u", "load32_s"):
+                    stats.loads += 1
+                    size = {"8": 1, "1": 2, "3": 4}[op[4]]
+                    addr = env[instr.args[0]] + instr.imm
+                    if addr < 0 or addr + size > len(memory):
+                        raise VMTrap(f"oob {op} at {addr:#x}")
+                    raw = int.from_bytes(memory[addr:addr + size], "little")
+                    if op.endswith("_s"):
+                        bits = size * 8
+                        if raw >= 1 << (bits - 1):
+                            raw -= 1 << bits
+                        raw = wrap_i64(raw)
+                    env[instr.result] = raw
+                elif op in ("store8", "store16", "store32"):
+                    stats.stores += 1
+                    size = {"store8": 1, "store16": 2, "store32": 4}[op]
+                    addr = env[instr.args[0]] + instr.imm
+                    if addr < 0 or addr + size > len(memory):
+                        raise VMTrap(f"oob {op} at {addr:#x}")
+                    memory[addr:addr + size] = (
+                        env[instr.args[1]] & ((1 << (size * 8)) - 1)
+                    ).to_bytes(size, "little")
+                elif op == "loadf64":
+                    stats.loads += 1
+                    import struct
+                    addr = env[instr.args[0]] + instr.imm
+                    if addr < 0 or addr + 8 > len(memory):
+                        raise VMTrap(f"oob loadf64 at {addr:#x}")
+                    env[instr.result] = struct.unpack_from(
+                        "<d", memory, addr)[0]
+                elif op == "storef64":
+                    stats.stores += 1
+                    import struct
+                    addr = env[instr.args[0]] + instr.imm
+                    if addr < 0 or addr + 8 > len(memory):
+                        raise VMTrap(f"oob storef64 at {addr:#x}")
+                    struct.pack_into("<d", memory, addr, env[instr.args[1]])
+                # --- calls -----------------------------------------------
+                elif op == "call":
+                    stats.calls += 1
+                    result = self.call(instr.imm,
+                                       [env[a] for a in instr.args])
+                    if instr.result is not None:
+                        env[instr.result] = result
+                elif op == "call_indirect":
+                    index = env[instr.args[0]]
+                    result = self.call_table(
+                        index, [env[a] for a in instr.args[1:]])
+                    if instr.result is not None:
+                        env[instr.result] = result
+                # --- globals ---------------------------------------------
+                elif op == "global_get":
+                    env[instr.result] = self.globals[instr.imm]
+                elif op == "global_set":
+                    self.globals[instr.imm] = env[instr.args[0]]
+                else:
+                    raise VMTrap(f"unimplemented opcode {op}")
+
+            if fuel_limit is not None and stats.fuel > fuel_limit:
+                raise OutOfFuel(f"fuel limit {fuel_limit} exceeded")
+
+            # --- terminator ---------------------------------------------
+            stats.fuel += 1
+            term = block.terminator
+            if isinstance(term, Jump):
+                call = term.target
+            elif isinstance(term, BrIf):
+                call = term.if_true if env[term.cond] != 0 else term.if_false
+            elif isinstance(term, BrTable):
+                index = env[term.index]
+                if 0 <= index < len(term.cases):
+                    call = term.cases[index]
+                else:
+                    call = term.default
+            elif isinstance(term, Ret):
+                if term.args:
+                    return env[term.args[0]]
+                return None
+            elif isinstance(term, Trap):
+                raise VMTrap(term.message)
+            else:
+                raise VMTrap(f"block{block.id} not terminated")
+
+            target = blocks[call.block]
+            if call.args:
+                values = [env[a] for a in call.args]
+                for (param, _), value in zip(target.params, values):
+                    env[param] = value
+            block = target

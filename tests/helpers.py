@@ -1,0 +1,38 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.frontend import compile_source
+from repro.ir import Module, verify_module
+from repro.vm import VM
+
+
+def build_module(source: str, memory_size: int = 1 << 16,
+                 externs: Optional[Dict[str, object]] = None,
+                 verify: bool = True) -> Module:
+    """Compile mini-C source into a fresh verified module."""
+    module = Module(memory_size=memory_size)
+    program = compile_source(source)
+    program.add_to_module(module, externs=externs)
+    if verify:
+        verify_module(module)
+    return module
+
+
+def run(source: str, func: str, args=(), memory_size: int = 1 << 16,
+        externs: Optional[Dict[str, object]] = None):
+    """Compile and execute one function; returns its result."""
+    module = build_module(source, memory_size, externs)
+    vm = VM(module)
+    return vm.call(func, list(args))
+
+
+def run_with_stats(source: str, func: str, args=(),
+                   memory_size: int = 1 << 16,
+                   externs: Optional[Dict[str, object]] = None):
+    module = build_module(source, memory_size, externs)
+    vm = VM(module)
+    result = vm.call(func, list(args))
+    return result, vm.stats

@@ -1,0 +1,188 @@
+"""Unit tests for weval's building blocks: contexts, the lattice,
+constant memory, flow-state meets, and intrinsic registration."""
+
+import pytest
+
+from repro.core import context as ctx
+from repro.core.intrinsics import INTRINSICS, intrinsic_name, register_weval_imports
+from repro.core.lattice import Const, ConstMemoryImage, Dyn, fold_pure_op
+from repro.core.state import (
+    FlowState,
+    LocalSlot,
+    StackSlot,
+    meet_states,
+    unstable_slots,
+)
+from repro.ir import I64, F64, Module
+from repro.ir.instructions import wrap_i64
+
+
+class TestContexts:
+    def test_push_update_pop(self):
+        c = ctx.push(ctx.ROOT, 5)
+        assert c == (("c", 5),)
+        c = ctx.update(c, 9)
+        assert c == (("c", 9),)
+        assert ctx.pop(c) == ctx.ROOT
+
+    def test_nesting(self):
+        c = ctx.push(ctx.push(ctx.ROOT, 1), 2)
+        assert ctx.update(c, 3) == (("c", 1), ("c", 3))
+        assert ctx.pop(c) == (("c", 1),)
+
+    def test_value_subcontexts_stripped_by_update(self):
+        c = ctx.push_value(ctx.push(ctx.ROOT, 1), 7)
+        assert c == (("c", 1), ("sv", 7))
+        assert ctx.update(c, 2) == (("c", 2),)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ValueError):
+            ctx.pop(ctx.ROOT)
+
+    def test_update_without_push_tolerated(self):
+        assert ctx.update(ctx.ROOT, 4) == (("c", 4),)
+
+    def test_describe(self):
+        assert ctx.describe(ctx.ROOT) == "root"
+        assert "c=3" in ctx.describe(ctx.push(ctx.ROOT, 3))
+
+
+class TestConstMemory:
+    def test_reads_inside_ranges_fold(self):
+        snapshot = bytearray(64)
+        snapshot[8:16] = (1234).to_bytes(8, "little")
+        image = ConstMemoryImage(bytes(snapshot), [(8, 16)])
+        assert image.read(8, 8, signed=False) == 1234
+        assert image.read(0, 8, signed=False) is None  # outside
+        assert image.read(20, 8, signed=False) is None  # straddles end
+
+    def test_signed_narrow_read(self):
+        snapshot = bytes([0xFF] + [0] * 15)
+        image = ConstMemoryImage(snapshot, [(0, 8)])
+        assert image.read(0, 1, signed=True) == wrap_i64(-1)
+        assert image.read(0, 1, signed=False) == 0xFF
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            ConstMemoryImage(bytes(8), [(0, 64)])
+
+
+class TestFold:
+    def test_division_by_zero_refuses(self):
+        assert fold_pure_op("idiv_u", None, [5, 0]) is None
+        assert fold_pure_op("irem_s", None, [5, 0]) is None
+
+    def test_select(self):
+        assert fold_pure_op("select", None, [1, 10, 20]) == 10
+        assert fold_pure_op("select", None, [0, 10, 20]) == 20
+
+    def test_float_bits_roundtrip(self):
+        bits = fold_pure_op("bits_ftoi", None, [1.5])
+        assert fold_pure_op("bits_itof", None, [bits]) == 1.5
+
+
+def _meet(contributions, env_domain, naive=False, pinned=None):
+    params = {}
+
+    def param_for(slot, ty):
+        return params.setdefault(slot, 1000 + len(params))
+
+    return meet_states(contributions, env_domain, lambda v: I64,
+                       param_for, naive=naive,
+                       pinned_slots=pinned), params
+
+
+class TestMeet:
+    def test_agreeing_bindings_pass_through(self):
+        a = FlowState()
+        a.env[1] = Const(5, I64)
+        b = FlowState()
+        b.env[1] = Const(5, I64)
+        result, params = _meet([(a, {}), (b, {})], {1})
+        assert result.state.env[1] == Const(5, I64)
+        assert not params
+
+    def test_disagreeing_bindings_become_params(self):
+        a = FlowState()
+        a.env[1] = Const(5, I64)
+        b = FlowState()
+        b.env[1] = Const(6, I64)
+        result, params = _meet([(a, {}), (b, {})], {1})
+        assert isinstance(result.state.env[1], Dyn)
+        assert ("env", 1) in params
+
+    def test_overrides_take_precedence(self):
+        a = FlowState()
+        a.env[1] = Const(5, I64)
+        result, _ = _meet([(a, {1: Const(9, I64)})], {1})
+        assert result.state.env[1] == Const(9, I64)
+
+    def test_registers_zero_fill(self):
+        a = FlowState()
+        a.regs[3] = Const(7, I64)
+        b = FlowState()  # register 3 unwritten: defaults to 0
+        result, params = _meet([(a, {}), (b, {})], set())
+        assert isinstance(result.state.regs[3], Dyn)
+
+    def test_locals_intersect_and_dirty_ors(self):
+        a = FlowState()
+        a.locals[0] = LocalSlot(Dyn(1, I64), Const(5, I64), True)
+        a.locals[1] = LocalSlot(Dyn(2, I64), Const(6, I64), False)
+        b = FlowState()
+        b.locals[0] = LocalSlot(Dyn(1, I64), Const(5, I64), False)
+        result, _ = _meet([(a, {}), (b, {})], set())
+        assert 0 in result.state.locals and 1 not in result.state.locals
+        assert result.state.locals[0].dirty  # OR of dirty flags
+
+    def test_stack_depth_mismatch_drops_all(self):
+        a = FlowState()
+        a.stack.append(StackSlot(Dyn(1, I64), Const(5, I64), True))
+        b = FlowState()
+        result, _ = _meet([(a, {}), (b, {})], set())
+        assert result.state.stack == []
+
+    def test_naive_mode_parameterizes_everything(self):
+        a = FlowState()
+        a.env[1] = Const(5, I64)
+        result, params = _meet([(a, {})], {1}, naive=True)
+        assert isinstance(result.state.env[1], Dyn)
+        assert params
+
+    def test_pinned_slots_forced_to_params(self):
+        a = FlowState()
+        a.env[1] = Const(5, I64)
+        a.env[2] = Const(6, I64)
+        result, params = _meet([(a, {})], {1, 2},
+                               pinned=({("env", 1)}))
+        assert isinstance(result.state.env[1], Dyn)
+        assert result.state.env[2] == Const(6, I64)  # unpinned stays const
+
+
+class TestUnstableSlots:
+    def test_detects_changed_env_and_stack(self):
+        old = FlowState()
+        old.env[1] = Const(5, I64)
+        old.stack.append(StackSlot(Dyn(1, I64), Dyn(2, I64), False))
+        new = FlowState()
+        new.env[1] = Const(5, I64)
+        new.stack.append(StackSlot(Dyn(1, I64), Dyn(3, I64), False))
+        changed = unstable_slots(old, new)
+        assert ("stk_val", 0) in changed
+        assert ("env", 1) not in changed
+
+
+class TestIntrinsicRegistry:
+    def test_names_and_kinds(self):
+        assert intrinsic_name("update_context") == "weval.update_context"
+        assert INTRINSICS["weval.push"].kind == "state"
+        assert INTRINSICS["weval.assert_const"].kind == "value"
+        with pytest.raises(KeyError):
+            intrinsic_name("bogus")
+
+    def test_registration_is_idempotent(self):
+        module = Module(memory_size=64)
+        register_weval_imports(module)
+        count = len(module.imports)
+        register_weval_imports(module)
+        assert len(module.imports) == count
+        assert count == len(INTRINSICS)

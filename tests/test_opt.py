@@ -1,0 +1,159 @@
+"""Unit tests for the optimizer passes."""
+
+from repro.frontend import compile_source
+from repro.ir import (
+    FunctionBuilder,
+    I64,
+    Module,
+    Signature,
+    verify_function,
+)
+from repro.opt import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_function,
+    prune_block_params,
+    remove_unreachable_blocks,
+    simplify_cfg,
+)
+from repro.vm import VM
+
+
+def compiled_func(src, name):
+    module = Module(memory_size=4096)
+    compile_source(src).add_to_module(module)
+    return module, module.functions[name]
+
+
+class TestFold:
+    def test_folds_constant_chain(self):
+        module, func = compiled_func(
+            "u64 f() { return (2 + 3) * 4 - 1; }", "f")
+        folded = fold_constants(func)
+        assert folded >= 3
+        verify_function(func)
+        assert VM(module).call("f", []) == 19
+
+    def test_folds_constant_branch(self):
+        module, func = compiled_func(
+            "u64 f() { if (1 < 2) { return 10; } return 20; }", "f")
+        fold_constants(func)
+        remove_unreachable_blocks(func)
+        verify_function(func)
+        assert VM(module).call("f", []) == 10
+
+    def test_no_fold_of_trapping_ops(self):
+        module, func = compiled_func("u64 f() { return 1 / 0; }", "f")
+        before = func.num_instrs()
+        fold_constants(func)
+        assert func.num_instrs() == before  # division by zero left alone
+
+
+class TestDce:
+    def test_removes_unused_pure_ops(self):
+        fb = FunctionBuilder("f", Signature((I64,), (I64,)))
+        x = fb.entry.params[0][0]
+        fb.iadd(x, fb.iconst(1))  # dead
+        fb.ret(x)
+        func = fb.finish()
+        removed = eliminate_dead_code(func)
+        assert removed == 2  # the iconst and the iadd
+        verify_function(func)
+
+    def test_keeps_effects(self):
+        module, func = compiled_func(
+            "u64 f() { store64(0, 7); return 1; }", "f")
+        eliminate_dead_code(func)
+        assert any(i.op == "store64" for b in func.blocks.values()
+                   for i in b.instrs)
+
+
+class TestSimplifyCfg:
+    def test_merges_straightline_chains(self):
+        module, func = compiled_func("""
+u64 f(u64 x) {
+  u64 a = x + 1;
+  u64 b = a * 2;
+  return b - 3;
+}
+""", "f")
+        optimize_function(func)
+        verify_function(func)
+        assert func.num_blocks() == 1
+        assert VM(module).call("f", [10]) == 19
+
+    def test_preserves_semantics_on_loops(self):
+        src = """
+u64 f(u64 n) {
+  u64 acc = 0;
+  for (u64 i = 0; i < n; i++) { acc += i * i; }
+  return acc;
+}
+"""
+        module, func = compiled_func(src, "f")
+        before = VM(module).call("f", [20])
+        optimize_function(func)
+        verify_function(func)
+        module2 = Module(memory_size=4096)
+        compile_source(src).add_to_module(module2)
+        assert VM(module).call("f", [20]) == before
+
+
+class TestPruneParams:
+    def test_prunes_redundant_loop_params(self):
+        # A loop-invariant value passed as a block param on every edge.
+        fb = FunctionBuilder("f", Signature((I64, I64), (I64,)))
+        x, n = [v for v, _ in fb.entry.params]
+        header = fb.new_block([I64, I64])  # (i, x_copy) — x_copy redundant
+        exit_b = fb.new_block()
+        zero = fb.iconst(0)
+        fb.jump(header, [zero, x])
+        fb.switch_to(header)
+        i, x_copy = header.param_values()
+        cond = fb.ilt_u(i, n)
+        body = fb.new_block()
+        fb.br_if(cond, body, exit_b)
+        fb.switch_to(body)
+        one = fb.iconst(1)
+        i2 = fb.iadd(i, one)
+        fb.jump(header, [i2, x])  # always passes the same x
+        fb.switch_to(exit_b)
+        result = fb.iadd(x_copy, n)
+        fb.ret(result)
+        func = fb.finish()
+        removed = prune_block_params(func)
+        assert removed == 1
+        verify_function(func)
+        module = Module(memory_size=64)
+        module.add_function(func)
+        assert VM(module).call("f", [7, 3]) == 10
+
+    def test_keeps_genuine_phis(self):
+        module, func = compiled_func("""
+u64 f(u64 c) {
+  u64 r = 0;
+  if (c) { r = 1; } else { r = 2; }
+  return r;
+}
+""", "f")
+        optimize_function(func)
+        verify_function(func)
+        assert VM(module).call("f", [1]) == 1
+        assert VM(module).call("f", [0]) == 2
+
+
+class TestPipeline:
+    def test_idempotent(self):
+        module, func = compiled_func("""
+u64 f(u64 n) {
+  u64 acc = 0;
+  u64 i = 0;
+  while (i < n) { acc += i; i++; }
+  return acc;
+}
+""", "f")
+        optimize_function(func)
+        from repro.ir import print_function
+        first = print_function(func, "id")
+        optimize_function(func)
+        assert print_function(func, "id") == first

@@ -1,0 +1,140 @@
+"""Tests for the Wizer-style snapshot workflow and the cache (S3.5/S6.5)."""
+
+import pytest
+
+from repro.core import (
+    Runtime,
+    SnapshotCompiler,
+    SpecializationCache,
+    SpecializationRequest,
+    SpecializedConst,
+    SpecializedMemory,
+)
+from repro.frontend import compile_source
+from repro.ir import Module, verify_module
+from repro.vm import VM
+
+INTERP = """
+u64 interp(u64 program, u64 proglen, u64 input) {
+  u64 pc = 0;
+  u64 acc = input;
+  weval_push_context(pc);
+  while (1) {
+    u64 op = load64(program + pc * 8);
+    pc = pc + 1;
+    switch (op) {
+    case 0: { acc = acc + load64(program + pc * 8); pc = pc + 1; break; }
+    case 1: { return acc; }
+    default: { abort(); }
+    }
+    weval_update_context(pc);
+  }
+  return 0;
+}
+
+u64 dispatch(u64 fnptr_addr, u64 program, u64 proglen, u64 input) {
+  u64 spec = load64(fnptr_addr);
+  if (spec != 0) {
+    return icall3(spec, program, proglen, input);
+  }
+  return interp(program, proglen, input);
+}
+"""
+
+BASE = 0x800
+FNPTR = 0x100
+
+
+def build():
+    module = Module(memory_size=1 << 14)
+    compile_source(INTERP).add_to_module(module)
+    code = [0, 5, 0, 7, 1]  # ADDI 5; ADDI 7; HALT
+    for i, word in enumerate(code):
+        module.write_init_u64(BASE + i * 8, word)
+    return module, code
+
+
+def make_request(code, name="spec_fn"):
+    return SpecializationRequest(
+        "interp",
+        [SpecializedMemory(BASE, len(code) * 8),
+         SpecializedConst(len(code)), Runtime()],
+        specialized_name=name)
+
+
+class TestSnapshotCompiler:
+    def test_full_lifecycle(self):
+        module, code = build()
+        compiler = SnapshotCompiler(module)
+        compiler.instantiate()
+        compiler.enqueue(make_request(code), FNPTR)
+        processed = compiler.process_requests()
+        assert len(processed) == 1
+        assert processed[0].table_index > 0
+        compiler.freeze()
+        verify_module(module)
+
+        # Resume: the function pointer is patched in the snapshot, and
+        # dispatch routes through the specialized code.
+        vm = compiler.resume()
+        assert vm.load_u64(FNPTR) == processed[0].table_index
+        result = vm.call("dispatch", [FNPTR, BASE, len(code), 30])
+        assert result == 42
+        assert vm.stats.indirect_calls == 1
+
+    def test_unpatched_pointer_falls_back_to_interpreter(self):
+        module, code = build()
+        vm = VM(module)
+        assert vm.call("dispatch", [FNPTR, BASE, len(code), 30]) == 42
+        assert vm.stats.indirect_calls == 0
+
+    def test_duplicate_names_are_uniqued(self):
+        module, code = build()
+        compiler = SnapshotCompiler(module)
+        compiler.instantiate()
+        compiler.enqueue(make_request(code, "dup"), FNPTR)
+        compiler.enqueue(make_request(code, "dup"), FNPTR + 8)
+        processed = compiler.process_requests()
+        names = {p.function_name for p in processed}
+        assert len(names) == 2
+
+    def test_aot_compile_convenience(self):
+        module, code = build()
+        # Init function that writes a marker the resumed VM must see.
+        init_src = "void init() { store64(0x200, 77); }"
+        compile_source(init_src).add_to_module(module)
+        compiler = SnapshotCompiler(module)
+        vm = compiler.aot_compile("init")
+        assert vm.load_u64(0x200) == 77  # heap survived the snapshot
+
+
+class TestSpecializationCache:
+    def test_hit_on_identical_request(self):
+        module, code = build()
+        cache = SpecializationCache()
+        f1, hit1 = cache.get_or_specialize(module, make_request(code, "a"))
+        f2, hit2 = cache.get_or_specialize(module, make_request(code, "b"))
+        assert not hit1 and hit2
+        assert f2.name == "b"  # renamed clone
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_miss_on_changed_bytecode(self):
+        module, code = build()
+        cache = SpecializationCache()
+        cache.get_or_specialize(module, make_request(code, "a"))
+        module.write_init_u64(BASE + 8, 6)  # ADDI 6 instead of 5
+        _, hit = cache.get_or_specialize(module, make_request(code, "c"))
+        assert not hit
+        assert cache.misses == 2
+
+    def test_cached_clone_is_functional(self):
+        module, code = build()
+        cache = SpecializationCache()
+        cache.get_or_specialize(module, make_request(code, "a"))
+        func, hit = cache.get_or_specialize(module,
+                                            make_request(code, "fresh"))
+        assert hit
+        module.add_function(func)
+        verify_module(module)
+        vm = VM(module)
+        assert vm.call("fresh", [BASE, len(code), 1]) == 13
