@@ -12,7 +12,7 @@ import time
 import pytest
 
 from conftest import write_result
-from repro.bench import format_table
+from repro.bench import format_pipeline_stats, format_table
 from repro.core import SpecializationCache
 from repro.jsvm import JSRuntime
 from repro.jsvm.workloads import WORKLOADS
@@ -42,10 +42,18 @@ def test_transform_speed_and_cache(benchmark):
          f"hits={cache.hits} misses={cache.misses}"],
         ["specializer blocks", stats.blocks_specialized,
          f"revisits={stats.block_revisits}"],
+        ["mid-end", f"{stats.opt.seconds:.2f}s",
+         f"instrs {stats.opt.instrs_before}->{stats.opt.instrs_after} "
+         f"rounds={stats.opt.rounds} "
+         f"cap_hits={stats.opt.fixpoint_cap_hits}"],
     ]
     write_result("transform_speed",
                  "S6.5 analog — transform speed and cache\n" +
-                 format_table(["metric", "value", "detail"], rows))
+                 format_table(["metric", "value", "detail"], rows) +
+                 "\n\nper-pass mid-end stats (cold AOT)\n" +
+                 format_pipeline_stats(stats.opt))
+    # The mid-end must actually shrink the residual code it was fed.
+    assert stats.opt.instrs_after < stats.opt.instrs_before
     assert cache.hits > 0
     assert warm_seconds < cold_seconds
     # Functional equivalence after a cached compile.

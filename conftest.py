@@ -3,3 +3,10 @@ import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite golden residual-IR snapshots instead of diffing "
+             "against them (see tests/test_golden_ir.py)")

@@ -2,9 +2,18 @@
 
 from repro.bench.harness import (
     WorkloadResult,
-    geomean,
-    run_js_workload,
+    format_pipeline_stats,
     format_table,
+    geomean,
+    residual_shape,
+    run_js_workload,
 )
 
-__all__ = ["WorkloadResult", "geomean", "run_js_workload", "format_table"]
+__all__ = [
+    "WorkloadResult",
+    "geomean",
+    "run_js_workload",
+    "format_table",
+    "format_pipeline_stats",
+    "residual_shape",
+]

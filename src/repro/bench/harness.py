@@ -1,12 +1,15 @@
-"""Benchmark helpers: per-config workload execution, geomean, tables."""
+"""Benchmark helpers: per-config workload execution, geomean, tables,
+and mid-end (pass pipeline) reporting."""
 
 from __future__ import annotations
 
 import dataclasses
 import math
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.stats import PipelineStats
+from repro.ir.function import Function
 from repro.jsvm import JSRuntime
 from repro.jsvm.workloads import WORKLOADS
 
@@ -52,6 +55,30 @@ def geomean(values: Iterable[float]) -> float:
     if not values:
         return 0.0
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def residual_shape(func: Function) -> Tuple[int, int, int]:
+    """(instructions, blocks, non-entry block params) of a residual
+    function — the static code-size axes the paper's S6.4 tracks."""
+    return (func.num_instrs(), func.num_blocks(), func.total_block_params())
+
+
+def format_pipeline_stats(stats: PipelineStats) -> str:
+    """Render mid-end pipeline stats as a paper-style table: one row per
+    pass plus a summary row, for the transform-speed reports."""
+    rows: List[List[object]] = []
+    for name in sorted(stats.per_pass):
+        pass_stats = stats.per_pass[name]
+        rows.append([name, pass_stats.runs, pass_stats.changes,
+                     f"{pass_stats.seconds:.3f}s"])
+    rows.append(["total", stats.runs,
+                 f"{stats.instrs_before}->{stats.instrs_after} instrs",
+                 f"{stats.seconds:.3f}s"])
+    table = format_table(["pass", "runs", "changes", "time"], rows)
+    if stats.fixpoint_cap_hits:
+        table += (f"\nWARNING: fixpoint round cap hit on "
+                  f"{stats.fixpoint_cap_hits} function(s)")
+    return table
 
 
 def format_table(headers: Sequence[str],

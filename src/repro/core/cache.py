@@ -75,7 +75,8 @@ class SpecializationCache:
         key = (self._generic_fingerprint(generic),
                request.cache_key(),
                _memory_fingerprint(request, snapshot),
-               (options.ssa_mode, options.optimize) if options else None)
+               (options.ssa_mode, options.optimize, options.opt_config,
+                options.opt_max_rounds) if options else None)
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1

@@ -88,6 +88,9 @@ class SpecializeOptions:
 
     ssa_mode: str = "minimal"          # "minimal" | "naive" (S3.4 ablation)
     optimize: bool = True              # run the post pipeline on the output
+    opt_config: str = "default"        # named pipeline (see opt.PIPELINES)
+    opt_max_rounds: int = 6            # pipeline fixpoint round cap
+    verify_opt: bool = False           # run the IR verifier after each pass
     max_revisits: int = 64             # per-key convergence safeguard
     max_value_specializations: int = 4096
     max_iterations: int = 2_000_000
@@ -100,6 +103,9 @@ class SpecializeOptions:
     def __post_init__(self):
         if self.ssa_mode not in ("minimal", "naive"):
             raise ValueError(f"bad ssa_mode {self.ssa_mode!r}")
+        from repro.opt.pass_manager import PIPELINES
+        if self.opt_config not in PIPELINES:
+            raise ValueError(f"bad opt_config {self.opt_config!r}")
 
 
 Key = Tuple[tuple, int]  # (context, generic block id)
@@ -839,7 +845,10 @@ def specialize(module: Module, request: SpecializationRequest,
     func = spec.run()
     if options.optimize:
         from repro.opt.pipeline import optimize_function
-        optimize_function(func)
+        optimize_function(func, max_rounds=options.opt_max_rounds,
+                          config=options.opt_config, module=module,
+                          stats=spec.stats.opt,
+                          verify=options.verify_opt or None)
     if stats is not None:
         stats.merge(spec.stats)
     func._weval_stats = spec.stats  # noqa: SLF001 - attached for reporting

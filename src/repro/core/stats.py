@@ -2,11 +2,67 @@
 
 All counters are *static* (counts of instruction sites in generated code)
 except where a benchmark combines them with the VM's dynamic counters.
+:class:`PassStats` / :class:`PipelineStats` account for the
+post-specialization mid-end (``repro.opt``): per-pass change and timing
+counters fed by the pass manager.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass
+class PassStats:
+    """Counters for one named optimization pass (or a sum over runs)."""
+
+    runs: int = 0
+    changes: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "PassStats") -> None:
+        self.runs += other.runs
+        self.changes += other.changes
+        self.seconds += other.seconds
+
+
+@dataclasses.dataclass
+class PipelineStats:
+    """Counters for pass-pipeline executions (one or a sum over many).
+
+    ``fixpoint_cap_hits`` counts pipeline runs that exhausted
+    ``max_rounds`` while passes were still reporting changes — i.e. the
+    fixpoint was *not* reached and residual redundancy may remain.
+    """
+
+    runs: int = 0
+    rounds: int = 0
+    fixpoint_cap_hits: int = 0
+    instrs_before: int = 0
+    instrs_after: int = 0
+    blocks_before: int = 0
+    blocks_after: int = 0
+    seconds: float = 0.0
+    per_pass: Dict[str, PassStats] = dataclasses.field(default_factory=dict)
+
+    def pass_stats(self, name: str) -> PassStats:
+        stats = self.per_pass.get(name)
+        if stats is None:
+            stats = self.per_pass[name] = PassStats()
+        return stats
+
+    def instrs_removed(self) -> int:
+        return self.instrs_before - self.instrs_after
+
+    def merge(self, other: "PipelineStats") -> None:
+        for field in dataclasses.fields(self):
+            if field.name == "per_pass":
+                continue
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+        for name, stats in other.per_pass.items():
+            self.pass_stats(name).merge(stats)
 
 
 @dataclasses.dataclass
@@ -37,11 +93,17 @@ class SpecializationStats:
     output_instrs: int = 0
     output_block_params: int = 0
     wallclock_seconds: float = 0.0
+    # Post-specialization mid-end accounting (filled by the pass manager).
+    opt: PipelineStats = dataclasses.field(default_factory=PipelineStats)
 
     def merge(self, other: "SpecializationStats") -> None:
         for field in dataclasses.fields(self):
-            setattr(self, field.name,
-                    getattr(self, field.name) + getattr(other, field.name))
+            mine = getattr(self, field.name)
+            if hasattr(mine, "merge"):
+                mine.merge(getattr(other, field.name))
+            else:
+                setattr(self, field.name,
+                        mine + getattr(other, field.name))
 
     # Convenience ratios for the S6.2-style report.
     def stack_load_elision_rate(self) -> float:

@@ -33,6 +33,7 @@ from repro.ir.cfg import successors, predecessors, reverse_postorder, postorder
 from repro.ir.dominance import DominatorTree
 from repro.ir.printer import print_function, print_module
 from repro.ir.verifier import verify_function, verify_module, VerificationError
+from repro.ir.verify import verify_after_pass
 
 __all__ = [
     "Type",
@@ -66,5 +67,6 @@ __all__ = [
     "print_module",
     "verify_function",
     "verify_module",
+    "verify_after_pass",
     "VerificationError",
 ]

@@ -47,10 +47,22 @@ def verify_function(func: Function, module: Module = None) -> None:
       * defs dominate uses (SSA validity).
     """
     _check(func.entry is not None, f"{func.name}: no entry block")
+    _check(func.entry in func.blocks,
+           f"{func.name}: entry block{func.entry} does not exist")
     entry = func.entry_block()
     entry_types = tuple(t for _, t in entry.params)
     _check(entry_types == func.sig.params,
            f"{func.name}: entry params {entry_types} != sig {func.sig.params}")
+
+    # Structural pre-scan: every edge must name an existing block, or the
+    # reachability traversal below would crash instead of reporting.
+    for bid, block in func.blocks.items():
+        if block.terminator is None:
+            continue
+        for call in block.terminator.targets():
+            _check(call.block in func.blocks,
+                   f"{func.name}/block{bid}: branch to unknown "
+                   f"block{call.block}")
 
     reachable = reachable_blocks(func)
 

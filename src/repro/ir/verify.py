@@ -1,0 +1,51 @@
+"""Debug-mode IR verification entry points for the optimizer mid-end.
+
+The full checker lives in :mod:`repro.ir.verifier` (SSA dominance of
+uses, terminator well-formedness, block-param/argument arity, operand
+and result type agreement).  This module is the pass manager's view of
+it: :func:`verify_after_pass` wraps a failure with the name of the pass
+that produced the malformed function, so a broken rewrite is pinned to
+its author instead of surfacing as a downstream miscompile.
+
+Enable verification after every pass either explicitly
+(``PassManager(..., verify=True)``) or globally via the
+``REPRO_OPT_VERIFY=1`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.verifier import (
+    VerificationError,
+    verify_function,
+    verify_module,
+)
+
+__all__ = [
+    "VerificationError",
+    "verify_function",
+    "verify_module",
+    "verify_after_pass",
+    "verify_enabled_by_env",
+]
+
+VERIFY_ENV = "REPRO_OPT_VERIFY"
+
+
+def verify_enabled_by_env() -> bool:
+    """True when the environment opts into verify-after-every-pass."""
+    return os.environ.get(VERIFY_ENV, "") not in ("", "0")
+
+
+def verify_after_pass(func: Function, module=None,
+                      pass_name: Optional[str] = None) -> None:
+    """Verify ``func``, attributing any failure to ``pass_name``."""
+    try:
+        verify_function(func, module)
+    except VerificationError as exc:
+        label = f" after pass {pass_name!r}" if pass_name else ""
+        raise VerificationError(
+            f"IR verification failed{label}: {exc}") from exc

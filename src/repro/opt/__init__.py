@@ -1,23 +1,77 @@
-"""Post-specialization optimization passes.
+"""Post-specialization optimization passes (the mid-end).
 
 The weval transform already const-folds while transcribing; these passes
-clean up what is left: unreachable blocks, redundant block parameters
-(the specializer's per-slot parameters where all predecessors agree after
-convergence), straight-line block chains, and dead pure instructions.
+clean up the residual code behind a verifying
+:class:`~repro.opt.pass_manager.PassManager`.  The roster:
+
+* ``fold`` — local constant and branch folding
+  (:func:`~repro.opt.fold.fold_constants`);
+* ``copyprop`` — copy propagation through algebraic identities and
+  degenerate ``select``\\ s (:func:`~repro.opt.copyprop.propagate_copies`);
+* ``gvn`` — dominator-scoped value numbering / CSE, including constant
+  rematerialization cleanup
+  (:func:`~repro.opt.gvn.global_value_numbering`);
+* ``prune-params`` — redundant block-parameter pruning, the paper S3.4
+  "minimal cut" cleanup
+  (:func:`~repro.opt.prune_params.prune_block_params`);
+* ``simplify-cfg`` — unreachable-block removal, trivial-forwarder and
+  constant-conditional jump threading, uniform-branch folding, and
+  straight-line merging (:func:`~repro.opt.simplify_cfg.simplify_cfg`);
+* ``load-forward`` — cross-block redundant-load and store-to-load
+  forwarding for same-address accesses with no intervening may-aliasing
+  store (:func:`~repro.opt.load_forward.forward_loads`);
+* ``dce`` — dead pure-instruction elimination
+  (:func:`~repro.opt.dce.eliminate_dead_code`).
+
+Pipelines are named (``"default"``, ``"legacy"``, ``"none"``) and
+scheduled to a fixpoint by the pass manager, which collects per-pass
+change/timing stats into :class:`~repro.core.stats.PipelineStats` and
+can run the IR verifier after every pass (``REPRO_OPT_VERIFY=1``).
 """
 
 from repro.opt.fold import fold_constants
+from repro.opt.copyprop import propagate_copies
+from repro.opt.gvn import global_value_numbering
+from repro.opt.load_forward import forward_loads
 from repro.opt.dce import eliminate_dead_code
-from repro.opt.simplify_cfg import simplify_cfg, remove_unreachable_blocks
+from repro.opt.simplify_cfg import (
+    fold_uniform_branches,
+    remove_unreachable_blocks,
+    simplify_cfg,
+    simplify_cfg_legacy,
+    thread_constant_branches,
+    thread_trivial_jumps,
+)
 from repro.opt.prune_params import prune_block_params
+from repro.opt.pass_manager import (
+    DEFAULT_PIPELINE,
+    PIPELINES,
+    PassManager,
+    available_passes,
+    get_pass,
+    register_pass,
+)
 from repro.opt.pipeline import optimize_function, optimize_module
 
 __all__ = [
     "fold_constants",
+    "propagate_copies",
+    "global_value_numbering",
+    "forward_loads",
     "eliminate_dead_code",
     "simplify_cfg",
+    "simplify_cfg_legacy",
     "remove_unreachable_blocks",
+    "thread_trivial_jumps",
+    "thread_constant_branches",
+    "fold_uniform_branches",
     "prune_block_params",
+    "PassManager",
+    "PIPELINES",
+    "DEFAULT_PIPELINE",
+    "register_pass",
+    "get_pass",
+    "available_passes",
     "optimize_function",
     "optimize_module",
 ]

@@ -1,0 +1,192 @@
+"""Redundant-load forwarding across basic blocks.
+
+Residual code out of the specializer re-loads lifted interpreter state
+(register arrays, frame slots) many times between stores.  This pass
+removes a load when the loaded value is already available:
+
+* **load-load**: an earlier load of the same address with the same width
+  and signedness, with no intervening may-aliasing store or call;
+* **store-load**: an earlier full-width store to the same address
+  (``store64``/``storef64`` only — sub-word stores truncate, so their
+  stored operand is not the value a later load would produce).
+
+Addresses are tracked symbolically as ``(base value, byte offset)``
+descriptors, computed by looking through ``iadd``/``isub``-with-constant
+chains and folding in each memory op's static immediate offset.  Two
+accesses with the *same* base and disjoint offset ranges (modulo 2^64)
+cannot alias; everything else conservatively may, so a store kills all
+facts it cannot be proven disjoint from, and calls kill everything
+(callees may write any memory).  Global ops touch the module's global
+environment, not linear memory, and kill nothing.
+
+Availability is a forward must-dataflow at block granularity: a fact
+``(load-op, base, offset) -> value`` enters a block only when *every*
+predecessor provides it with the same SSA value.  The meet starts from
+the optimistic top element so facts survive loop back edges; at the
+fixpoint each fact is justified along all entry paths, which also
+guarantees the forwarded definition dominates the rewritten use.
+
+Dropping a forwarded load preserves traps: the surviving access touches
+the same address with the same width, so it traps exactly when the
+dropped load would have.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.cfg import predecessors, reverse_postorder
+from repro.ir.function import Function
+from repro.ir.instructions import MASK64, Instr
+from repro.opt.util import substitute_values
+
+LOAD_SIZE = {
+    "load8_u": 1, "load8_s": 1, "load16_u": 2, "load16_s": 2,
+    "load32_u": 4, "load32_s": 4, "load64": 8, "loadf64": 8,
+}
+STORE_SIZE = {
+    "store8": 1, "store16": 2, "store32": 4, "store64": 8, "storef64": 8,
+}
+# Full-width stores whose operand is bit-identical to a matching load.
+STORE_TO_LOAD = {"store64": "load64", "storef64": "loadf64"}
+
+# (base value id or None for absolute, byte offset in [0, 2**64)).
+Addr = Tuple[Optional[int], int]
+# (load op, base, offset) -> available value id.
+Facts = Dict[Tuple[str, Optional[int], int], int]
+
+
+def _build_defs(func: Function) -> Dict[int, Instr]:
+    defs: Dict[int, Instr] = {}
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            if instr.result is not None:
+                defs[instr.result] = instr
+    return defs
+
+
+def _addr_of(defs: Dict[int, Instr], vid: int, imm) -> Addr:
+    """Resolve ``vid + imm`` to a (base, offset) descriptor."""
+    offset = int(imm or 0)
+    for _ in range(64):  # chain-depth guard
+        instr = defs.get(vid)
+        if instr is None:
+            break
+        if instr.op == "iconst":
+            return (None, (offset + instr.imm) & MASK64)
+        if instr.op in ("iadd", "isub"):
+            left = defs.get(instr.args[0])
+            right = defs.get(instr.args[1])
+            if right is not None and right.op == "iconst":
+                delta = right.imm if instr.op == "iadd" else -right.imm
+                offset += delta
+                vid = instr.args[0]
+                continue
+            if (instr.op == "iadd" and left is not None
+                    and left.op == "iconst"):
+                offset += left.imm
+                vid = instr.args[1]
+                continue
+        break
+    return (vid, offset & MASK64)
+
+
+def _disjoint(a: Addr, a_size: int, b: Addr, b_size: int) -> bool:
+    """True when the two accesses provably do not overlap."""
+    if a[0] != b[0]:
+        return False  # different (or unknown) bases: may alias
+    forward = (b[1] - a[1]) & MASK64
+    backward = (a[1] - b[1]) & MASK64
+    return forward >= a_size and backward >= b_size
+
+
+def _apply_instr(facts: Facts, defs: Dict[int, Instr],
+                 instr: Instr) -> None:
+    """Transfer function for one instruction (mutates ``facts``)."""
+    op = instr.op
+    info = instr.info()
+    if info.is_call:
+        facts.clear()
+        return
+    if op in STORE_SIZE:
+        addr = _addr_of(defs, instr.args[0], instr.imm)
+        size = STORE_SIZE[op]
+        for key in list(facts):
+            load_op, base, offset = key
+            if not _disjoint(addr, size, (base, offset), LOAD_SIZE[load_op]):
+                del facts[key]
+        forwarded = STORE_TO_LOAD.get(op)
+        if forwarded is not None:
+            facts[(forwarded, addr[0], addr[1])] = instr.args[1]
+        return
+    if op in LOAD_SIZE:
+        addr = _addr_of(defs, instr.args[0], instr.imm)
+        # setdefault, not assignment: when a fact for this address
+        # already exists, the earlier (dominating) value must survive,
+        # or facts would never stabilize across loop back edges and
+        # loop-carried redundant loads would stay.
+        facts.setdefault((op, addr[0], addr[1]), instr.result)
+
+
+def _meet(a: Optional[Facts], b: Facts) -> Facts:
+    if a is None:  # top element
+        return dict(b)
+    return {key: vid for key, vid in a.items() if b.get(key) == vid}
+
+
+def forward_loads(func: Function) -> int:
+    """Forward redundant loads; returns the number of loads removed."""
+    if func.entry is None or func.entry not in func.blocks:
+        return 0
+    defs = _build_defs(func)
+    order = reverse_postorder(func)
+    reachable = set(order)
+    preds = predecessors(func)
+
+    # Optimistic fixpoint: None is top (not yet computed).
+    avail_out: Dict[int, Optional[Facts]] = {bid: None for bid in order}
+    avail_in: Dict[int, Facts] = {}
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            if bid == func.entry:
+                in_facts: Facts = {}
+            else:
+                merged: Optional[Facts] = None
+                for pred in preds[bid]:
+                    if pred not in reachable:
+                        continue
+                    pred_out = avail_out[pred]
+                    if pred_out is None:
+                        continue  # top: contributes no constraint
+                    merged = _meet(merged, pred_out)
+                in_facts = merged if merged is not None else {}
+            avail_in[bid] = in_facts
+            out = dict(in_facts)
+            for instr in func.blocks[bid].instrs:
+                _apply_instr(out, defs, instr)
+            if out != avail_out[bid]:
+                avail_out[bid] = out
+                changed = True
+
+    subst: Dict[int, int] = {}
+    removed = 0
+    for bid in order:
+        facts = dict(avail_in[bid])
+        block = func.blocks[bid]
+        kept = []
+        for instr in block.instrs:
+            if instr.op in LOAD_SIZE:
+                addr = _addr_of(defs, instr.args[0], instr.imm)
+                key = (instr.op, addr[0], addr[1])
+                hit = facts.get(key)
+                if hit is not None and hit != instr.result:
+                    subst[instr.result] = hit
+                    removed += 1
+                    continue
+            _apply_instr(facts, defs, instr)
+            kept.append(instr)
+        block.instrs = kept
+    substitute_values(func, subst)
+    return removed

@@ -1,0 +1,192 @@
+"""The verifying pass manager: named pass registration, configurable
+pipelines, fixpoint scheduling, and per-pass change/timing statistics.
+
+A *pass* is a function ``(Function) -> int`` returning how many changes
+it made; zero means the function is already a fixpoint of that pass.
+Passes register under a stable name via :func:`register_pass` and are
+assembled into named pipelines (:data:`PIPELINES`) that the
+:class:`PassManager` schedules: each round runs every pass once, and
+rounds repeat until no pass reports a change or ``max_rounds`` is
+exhausted.  Exhausting the cap while passes still report changes is
+recorded in :class:`~repro.core.stats.PipelineStats.fixpoint_cap_hits`
+(and warned about in verify mode) rather than silently dropped.
+
+In verify mode — ``PassManager(..., verify=True)`` or the
+``REPRO_OPT_VERIFY=1`` environment variable — the IR verifier runs after
+every pass that changed the function, so a miscompiling rewrite is
+caught at its source with the pass name attached.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.stats import PipelineStats
+from repro.ir.function import Function
+from repro.ir.verify import verify_after_pass, verify_enabled_by_env
+
+PassFn = Callable[[Function], int]
+
+_REGISTRY: Dict[str, PassFn] = {}
+
+
+def register_pass(name: str, fn: Optional[PassFn] = None):
+    """Register ``fn`` under ``name``; usable as a decorator."""
+    if fn is not None:
+        _REGISTRY[name] = fn
+        return fn
+
+    def decorator(inner: PassFn) -> PassFn:
+        _REGISTRY[name] = inner
+        return inner
+
+    return decorator
+
+
+def get_pass(name: str) -> PassFn:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pass {name!r}; available: "
+            f"{', '.join(sorted(_REGISTRY))}") from None
+
+
+def available_passes() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# Named pipelines.  "legacy" is the seed repo's original four-pass loop;
+# "default" adds copy propagation, GVN/CSE, cross-block load forwarding,
+# and the extended jump threading inside simplify-cfg.
+PIPELINES: Dict[str, Tuple[str, ...]] = {
+    "none": (),
+    "legacy": ("fold", "prune-params", "simplify-cfg-legacy", "dce"),
+    "default": ("fold", "copyprop", "gvn", "prune-params", "simplify-cfg",
+                "load-forward", "dce"),
+}
+DEFAULT_PIPELINE = "default"
+
+PassSpec = Union[str, Tuple[str, PassFn]]
+
+
+class PassManager:
+    """Schedules a pipeline of passes over functions to a fixpoint.
+
+    ``passes`` is a pipeline name from :data:`PIPELINES`, or an iterable
+    of pass names and/or ``(name, fn)`` pairs (the latter bypass the
+    registry, which keeps ad-hoc test passes out of the global table).
+    ``verify=None`` defers to the ``REPRO_OPT_VERIFY`` environment
+    variable.  ``stats`` may be a shared :class:`PipelineStats` to
+    accumulate over many functions.
+    """
+
+    def __init__(self, passes: Union[str, Iterable[PassSpec], None] = None,
+                 max_rounds: int = 6,
+                 verify: Optional[bool] = None,
+                 stats: Optional[PipelineStats] = None):
+        if passes is None:
+            passes = DEFAULT_PIPELINE
+        if isinstance(passes, str):
+            if passes not in PIPELINES:
+                raise KeyError(
+                    f"unknown pipeline {passes!r}; available: "
+                    f"{', '.join(sorted(PIPELINES))}")
+            passes = PIPELINES[passes]
+        self.passes: List[Tuple[str, PassFn]] = []
+        for spec in passes:
+            if isinstance(spec, str):
+                self.passes.append((spec, get_pass(spec)))
+            else:
+                name, fn = spec
+                self.passes.append((name, fn))
+        self.max_rounds = max_rounds
+        self.verify = verify_enabled_by_env() if verify is None else verify
+        self.stats = stats if stats is not None else PipelineStats()
+
+    def run(self, func: Function, module=None) -> PipelineStats:
+        """Optimize one function in place; returns the (shared) stats."""
+        from repro.opt.simplify_cfg import remove_unreachable_blocks
+
+        stats = self.stats
+        start = time.perf_counter()
+        stats.runs += 1
+        stats.instrs_before += func.num_instrs()
+        stats.blocks_before += func.num_blocks()
+
+        # Prepass: passes assume operand-reachability invariants that
+        # unreachable specializer debris need not satisfy.
+        remove_unreachable_blocks(func)
+        if self.verify:
+            verify_after_pass(func, module, "remove-unreachable")
+
+        rounds = 0
+        changed = 0
+        while rounds < self.max_rounds:
+            rounds += 1
+            changed = 0
+            for name, fn in self.passes:
+                pass_start = time.perf_counter()
+                delta = fn(func)
+                pass_stats = stats.pass_stats(name)
+                pass_stats.runs += 1
+                pass_stats.changes += delta
+                pass_stats.seconds += time.perf_counter() - pass_start
+                changed += delta
+                if self.verify and delta:
+                    verify_after_pass(func, module, name)
+            if not changed:
+                break
+        if changed:
+            # max_rounds exhausted while passes still reported changes:
+            # the fixpoint was NOT reached.  Record it; never drop it.
+            stats.fixpoint_cap_hits += 1
+            if self.verify:
+                warnings.warn(
+                    f"{func.name}: optimization fixpoint not reached "
+                    f"after {self.max_rounds} rounds "
+                    f"({changed} changes still pending)",
+                    RuntimeWarning, stacklevel=2)
+
+        stats.rounds += rounds
+        stats.instrs_after += func.num_instrs()
+        stats.blocks_after += func.num_blocks()
+        stats.seconds += time.perf_counter() - start
+        return stats
+
+
+def _register_builtin_passes() -> None:
+    from repro.opt.copyprop import propagate_copies
+    from repro.opt.dce import eliminate_dead_code
+    from repro.opt.fold import fold_constants
+    from repro.opt.gvn import global_value_numbering
+    from repro.opt.load_forward import forward_loads
+    from repro.opt.prune_params import prune_block_params
+    from repro.opt.simplify_cfg import (
+        fold_uniform_branches,
+        remove_unreachable_blocks,
+        simplify_cfg,
+        simplify_cfg_legacy,
+        thread_constant_branches,
+        thread_trivial_jumps,
+    )
+
+    register_pass("fold", fold_constants)
+    register_pass("copyprop", propagate_copies)
+    register_pass("gvn", global_value_numbering)
+    register_pass("load-forward", forward_loads)
+    register_pass("prune-params", prune_block_params)
+    register_pass("simplify-cfg", simplify_cfg)
+    register_pass("simplify-cfg-legacy", simplify_cfg_legacy)
+    register_pass("dce", eliminate_dead_code)
+    # Primitive CFG sub-passes, registered for targeted use and for the
+    # run-every-pass-in-isolation property tests.
+    register_pass("remove-unreachable", remove_unreachable_blocks)
+    register_pass("thread-jumps", thread_trivial_jumps)
+    register_pass("fold-uniform-branches", fold_uniform_branches)
+    register_pass("thread-constant-branches", thread_constant_branches)
+
+
+_register_builtin_passes()

@@ -1,29 +1,41 @@
-"""The standard post-specialization pass pipeline."""
+"""The standard post-specialization pass pipeline.
+
+A thin convenience layer over :class:`~repro.opt.pass_manager.PassManager`:
+``optimize_function(func)`` runs the default pipeline to a fixpoint
+(bounded by ``max_rounds``, with the cap-exhausted case recorded in the
+returned :class:`~repro.core.stats.PipelineStats` rather than silently
+dropped).  ``config`` selects a named pipeline — ``"default"`` (the full
+mid-end), ``"legacy"`` (the original four-pass loop), or ``"none"``.
+"""
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.core.stats import PipelineStats
 from repro.ir.function import Function
 from repro.ir.module import Module
-from repro.opt.dce import eliminate_dead_code
-from repro.opt.fold import fold_constants
-from repro.opt.prune_params import prune_block_params
-from repro.opt.simplify_cfg import remove_unreachable_blocks, simplify_cfg
+from repro.opt.pass_manager import DEFAULT_PIPELINE, PassManager
 
 
-def optimize_function(func: Function, max_rounds: int = 4) -> None:
-    """Run folding / param-pruning / CFG simplification / DCE to a
-    fixpoint (bounded by ``max_rounds``)."""
-    remove_unreachable_blocks(func)
-    for _ in range(max_rounds):
-        changed = 0
-        changed += fold_constants(func)
-        changed += prune_block_params(func)
-        changed += simplify_cfg(func)
-        changed += eliminate_dead_code(func)
-        if not changed:
-            break
+def optimize_function(func: Function, max_rounds: int = 6,
+                      config: str = DEFAULT_PIPELINE,
+                      module: Optional[Module] = None,
+                      stats: Optional[PipelineStats] = None,
+                      verify: Optional[bool] = None) -> PipelineStats:
+    """Run the named pass pipeline on one function; returns its stats."""
+    manager = PassManager(config, max_rounds=max_rounds, verify=verify,
+                          stats=stats)
+    return manager.run(func, module)
 
 
-def optimize_module(module: Module, max_rounds: int = 4) -> None:
+def optimize_module(module: Module, max_rounds: int = 6,
+                    config: str = DEFAULT_PIPELINE,
+                    stats: Optional[PipelineStats] = None,
+                    verify: Optional[bool] = None) -> PipelineStats:
+    """Optimize every function in a module with one shared stats sink."""
+    manager = PassManager(config, max_rounds=max_rounds, verify=verify,
+                          stats=stats)
     for func in module.functions.values():
-        optimize_function(func, max_rounds)
+        manager.run(func, module)
+    return manager.stats

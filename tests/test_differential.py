@@ -1,0 +1,293 @@
+"""Differential tests: generic interpretation vs. specialized residual
+code on seeded random programs.
+
+Fifty seeded random programs across the three guest frontends (Min ISA,
+MiniLua, MiniJS) are each run two ways — under the generic interpreter
+on the VM, and as the specialized (first Futamura projection) residual
+function — and must produce identical results, prints, and traps.  Every
+comparison is made at two optimization levels: ``-O0`` (raw specializer
+output, no mid-end) and the full default pipeline, so a miscompiling
+pass shows up as a divergence between levels and a specializer bug shows
+up at both.
+
+The generators are structured (bounded counted loops, forward skips,
+guarded conditionals) so every program terminates; MiniLua programs
+include integer division and remainder whose divisors may reach zero,
+exercising trap equivalence.
+"""
+
+import random
+
+import pytest
+
+from repro.core.specialize import SpecializeOptions
+from repro.jsvm import JSRuntime
+from repro.luavm.runtime import LuaRuntime
+from repro.min.harness import PyMinInterpreter
+from repro.min.interp import PROGRAM_BASE, build_min_module, specialize_min
+from repro.min.isa import assemble
+from repro.vm import VM
+from repro.vm.machine import VMTrap
+
+N_MIN, N_LUA, N_JS = 24, 20, 6  # 50 programs total
+
+OPT_LEVELS = {
+    "O0": SpecializeOptions(optimize=False),
+    "full": SpecializeOptions(),
+}
+
+
+# ---------------------------------------------------------------------------
+# Min ISA
+# ---------------------------------------------------------------------------
+
+def random_min_program(rng: random.Random):
+    """A random Min program with a bounded counted loop (register 7),
+    forward skips, and input-dependent data flow (input lands in r5)."""
+    lines = [("STORE_REG", 5)]  # capture the input accumulator
+    for reg in range(4):
+        lines.append(("LOAD_IMMEDIATE", rng.randint(0, 1 << 16)))
+        lines.append(("STORE_REG", reg))
+    lines.append(("LOAD_IMMEDIATE", rng.randint(1, 5)))
+    lines.append(("STORE_REG", 7))
+    lines.append(("label", "loop"))
+    fresh = iter(range(1000))
+    for _ in range(rng.randint(1, 6)):
+        roll = rng.random()
+        if roll < 0.15:
+            lines.append(("LOAD_IMMEDIATE", rng.randint(-50, 1000)))
+        elif roll < 0.40:
+            lines.append((rng.choice(("ADD", "SUB", "MUL")),
+                          rng.randint(0, 3), rng.randint(0, 3)))
+        elif roll < 0.55:
+            lines.append(("ADD_IMMEDIATE", rng.randint(-50, 50)))
+        elif roll < 0.70:
+            lines.append(("LOAD_REG", rng.choice((0, 1, 2, 3, 5))))
+        elif roll < 0.85:
+            lines.append(("STORE_REG", rng.randint(0, 3)))
+        elif roll < 0.93:
+            label = f"skip{next(fresh)}"
+            lines.append(("JMPNZ", label))  # input-dependent forward skip
+            lines.append(("ADD", rng.randint(0, 3), rng.randint(0, 3)))
+            lines.append(("label", label))
+        else:
+            label = f"over{next(fresh)}"
+            lines.append(("JMP", label))
+            lines.append(("ADD_IMMEDIATE", 999))  # skipped dead code
+            lines.append(("label", label))
+    lines.extend([
+        ("LOAD_REG", 7),
+        ("ADD_IMMEDIATE", -1),
+        ("STORE_REG", 7),
+        ("JMPNZ", "loop"),
+        ("ADD", rng.randint(0, 3), rng.randint(0, 5)),
+        ("HALT",),
+    ])
+    return assemble(lines)
+
+
+@pytest.mark.parametrize("seed", range(N_MIN))
+def test_min_differential(seed):
+    rng = random.Random(0xA11CE + seed)
+    program = random_min_program(rng)
+    use_intrinsics = bool(seed % 2)
+    inputs = (0, rng.randint(1, 99))
+
+    module = build_min_module(program)
+    expected = {}
+    for value in inputs:
+        expected[value] = VM(module).call(
+            "min_interp", [PROGRAM_BASE, len(program.words), value])
+        # The pure-Python reference interpreter must agree too.
+        assert PyMinInterpreter(program).run(value) == expected[value]
+
+    for level, options in OPT_LEVELS.items():
+        spec_module = build_min_module(program)
+        func = specialize_min(spec_module, program, use_intrinsics,
+                              options=options, name=f"spec_{level}")
+        for value in inputs:
+            got = VM(spec_module).call(
+                func.name, [PROGRAM_BASE, len(program.words), value])
+            assert got == expected[value], (
+                f"seed {seed} level {level} input {value}: "
+                f"specialized {got} != interpreted {expected[value]}")
+
+
+# ---------------------------------------------------------------------------
+# MiniLua
+# ---------------------------------------------------------------------------
+
+def _lua_expr(rng: random.Random, names, depth: int) -> str:
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return str(rng.randint(-9, 9))
+        return rng.choice(names)
+    op = rng.choice(("+", "-", "*", "+", "-", "*", "/", "%"))
+    left = _lua_expr(rng, names, depth - 1)
+    right = _lua_expr(rng, names, depth - 1)
+    # Division and remainder keep their random (possibly zero) divisors:
+    # trap equivalence is part of the differential contract.
+    return f"({left} {op} {right})"
+
+
+def _lua_cond(rng: random.Random, names) -> str:
+    cmp_op = rng.choice(("<", "<=", ">", ">=", "==", "~="))
+    base = (f"{_lua_expr(rng, names, 1)} {cmp_op} "
+            f"{_lua_expr(rng, names, 1)}")
+    roll = rng.random()
+    if roll < 0.2:
+        return f"not ({base})"
+    if roll < 0.4:
+        other = (f"{rng.choice(names)} "
+                 f"{rng.choice(('<', '~=', '>='))} {rng.randint(-5, 5)}")
+        return f"({base}) {rng.choice(('and', 'or'))} ({other})"
+    return base
+
+
+def _lua_stmts(rng: random.Random, names, counters, depth: int):
+    lines = []
+    for _ in range(rng.randint(1, 4)):
+        roll = rng.random()
+        if roll < 0.45 or depth <= 0:
+            lines.append(f"{rng.choice(names)} = "
+                         f"{_lua_expr(rng, names, 2)}")
+        elif roll < 0.6:
+            lines.append(f"print({_lua_expr(rng, names, 2)})")
+        elif roll < 0.8:
+            body = _lua_stmts(rng, names, counters, depth - 1)
+            orelse = _lua_stmts(rng, names, counters, depth - 1)
+            lines.append(f"if {_lua_cond(rng, names)} then")
+            lines.extend("  " + s for s in body)
+            lines.append("else")
+            lines.extend("  " + s for s in orelse)
+            lines.append("end")
+        elif roll < 0.9 and counters:
+            counter = counters.pop()
+            body = _lua_stmts(rng, names, counters, depth - 1)
+            lines.append(f"{counter} = {rng.randint(1, 4)}")
+            lines.append(f"while {counter} > 0 do")
+            lines.extend("  " + s for s in body)
+            lines.append(f"  {counter} = {counter} - 1")
+            lines.append("end")
+        else:
+            var = f"k{rng.randint(0, 99)}"
+            body = _lua_stmts(rng, names, counters, depth - 1)
+            lines.append(f"for {var} = 1, {rng.randint(1, 4)} do")
+            lines.extend("  " + s for s in body)
+            lines.append("end")
+    return lines
+
+
+def random_lua_chunk(rng: random.Random) -> str:
+    names = ["a", "b", "c", "d"]
+    counters = ["t1", "t2"]
+    lines = []
+    if rng.random() < 0.6:
+        lines.append("function helper(x, y)")
+        lines.append(f"  local r = {_lua_expr(rng, ['x', 'y'], 2)}")
+        lines.append(f"  if {_lua_cond(rng, ['x', 'y', 'r'])} then")
+        lines.append(f"    r = {_lua_expr(rng, ['x', 'y', 'r'], 1)}")
+        lines.append("  end")
+        lines.append("  return r")
+        lines.append("end")
+        names.append("helper_result")
+    for name in names:
+        lines.append(f"local {name} = {rng.randint(-9, 9)}")
+    for counter in counters:
+        lines.append(f"local {counter} = 0")
+    lines.extend(_lua_stmts(rng, names[:4], list(counters), 2))
+    if "helper_result" in names:
+        lines.append(f"helper_result = helper({_lua_expr(rng, names[:4], 1)},"
+                     f" {_lua_expr(rng, names[:4], 1)})")
+    lines.append(f"print({' + '.join(names)})")
+    return "\n".join(lines)
+
+
+def _run_lua(source: str, aot: bool, options=None):
+    runtime = LuaRuntime(source)
+    try:
+        if aot:
+            runtime.aot_compile(options)
+            vm = runtime.run_aot()
+        else:
+            vm = runtime.run_interpreted()
+        return ("ok", vm.result, tuple(runtime.printed))
+    except VMTrap:
+        return ("trap", None, tuple(runtime.printed))
+
+
+@pytest.mark.parametrize("seed", range(N_LUA))
+def test_lua_differential(seed):
+    rng = random.Random(0xB0B + seed)
+    source = random_lua_chunk(rng)
+    expected = _run_lua(source, aot=False)
+    for level, options in OPT_LEVELS.items():
+        got = _run_lua(source, aot=True, options=options)
+        assert got == expected, (
+            f"seed {seed} level {level}:\n{source}\n"
+            f"interp={expected!r} aot={got!r}")
+
+
+# ---------------------------------------------------------------------------
+# MiniJS
+# ---------------------------------------------------------------------------
+
+def _js_expr(rng: random.Random, names, depth: int) -> str:
+    if depth <= 0 or rng.random() < 0.35:
+        if rng.random() < 0.4:
+            return str(rng.randint(-9, 9))
+        return rng.choice(names)
+    op = rng.choice(("+", "-", "*"))
+    return (f"({_js_expr(rng, names, depth - 1)} {op} "
+            f"{_js_expr(rng, names, depth - 1)})")
+
+
+def random_js_source(rng: random.Random) -> str:
+    names = ["a", "b", "c"]
+    lines = [f"var {name} = {rng.randint(-9, 9)};" for name in names]
+    lines.append(f"var o = {{x: {rng.randint(0, 9)}, "
+                 f"y: {rng.randint(0, 9)}}};")
+    props = ["o.x", "o.y"]
+    everything = names + props
+    for index in range(rng.randint(3, 6)):
+        roll = rng.random()
+        if roll < 0.35:
+            lines.append(f"{rng.choice(names)} = "
+                         f"{_js_expr(rng, everything, 2)};")
+        elif roll < 0.55:
+            lines.append(f"{rng.choice(props)} = "
+                         f"{_js_expr(rng, everything, 2)};")
+        elif roll < 0.7:
+            lines.append(f"print({_js_expr(rng, everything, 2)});")
+        elif roll < 0.85:
+            cmp_op = rng.choice(("<", "<=", ">", "!=="))
+            target = rng.choice(names)
+            lines.append(
+                f"if ({rng.choice(everything)} {cmp_op} "
+                f"{rng.choice(everything)}) "
+                f"{{ {target} = {_js_expr(rng, everything, 1)}; }} "
+                f"else {{ {target} = {_js_expr(rng, everything, 1)}; }}")
+        else:
+            counter = f"i{index}"
+            lines.append(f"var {counter} = {rng.randint(1, 4)};")
+            lines.append(f"while ({counter} > 0) {{ "
+                         f"{rng.choice(names)} = "
+                         f"{_js_expr(rng, everything, 1)}; "
+                         f"{counter} = {counter} - 1; }}")
+    lines.append("print(a + b + c + o.x + o.y);")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("seed", range(N_JS))
+def test_js_differential(seed):
+    rng = random.Random(0xCAFE + seed)
+    source = random_js_source(rng)
+    reference = JSRuntime(source, "interp_ic")
+    reference.run()
+    config = "wevaled_state" if seed % 2 else "wevaled"
+    for level, options in OPT_LEVELS.items():
+        runtime = JSRuntime(source, config, options=options)
+        runtime.run()
+        assert runtime.printed == reference.printed, (
+            f"seed {seed} config {config} level {level}:\n{source}\n"
+            f"interp={reference.printed!r} aot={runtime.printed!r}")

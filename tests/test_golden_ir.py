@@ -1,0 +1,80 @@
+"""Golden residual-IR snapshots for two small fixed workloads.
+
+The full pipeline's output for a Min program and a MiniLua chunk is
+snapshotted as printed IR under ``tests/golden/``; any optimizer change
+that perturbs residual code shows up as a readable text diff instead of
+a silent size or performance regression.
+
+To accept intentional changes, regenerate the snapshots with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_ir.py --update-golden
+"""
+
+import difflib
+import os
+
+import pytest
+
+from repro.ir import print_function, verify_function
+from repro.luavm.runtime import LuaRuntime
+from repro.min.harness import sum_to_n_program
+from repro.min.interp import PROGRAM_BASE, build_min_module, specialize_min
+from repro.vm import VM
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+LUA_GCD_SRC = """
+function gcd(a, b)
+  while b ~= 0 do
+    local t = b
+    b = a % b
+    a = t
+  end
+  return a
+end
+print(gcd(1071, 462))
+"""
+
+
+def _check_golden(request, name: str, text: str) -> None:
+    path = os.path.join(GOLDEN_DIR, name + ".txt")
+    if request.config.getoption("--update-golden"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        return
+    assert os.path.exists(path), (
+        f"golden file {path} missing; run with --update-golden to create")
+    with open(path) as handle:
+        expected = handle.read().rstrip("\n")
+    if text != expected:
+        diff = "\n".join(difflib.unified_diff(
+            expected.splitlines(), text.splitlines(),
+            fromfile=f"golden/{name}.txt", tofile="current", lineterm=""))
+        pytest.fail(
+            f"residual IR for {name!r} changed; run --update-golden if "
+            f"intentional:\n{diff}")
+
+
+def test_min_sum_residual_golden(request):
+    """Full-pipeline residual IR for the Fig. 8 sum-to-n Min workload
+    (plain variant: registers in memory, so the mid-end has work)."""
+    program = sum_to_n_program(5)
+    module = build_min_module(program)
+    func = specialize_min(module, program, use_intrinsics=False,
+                          name="min_sum_golden")
+    verify_function(func, module)
+    assert VM(module).call(func.name,
+                           [PROGRAM_BASE, len(program.words), 0]) == 15
+    _check_golden(request, "min_sum_residual", print_function(func))
+
+
+def test_lua_gcd_residual_golden(request):
+    """Full-pipeline residual IR for a MiniLua gcd function."""
+    runtime = LuaRuntime(LUA_GCD_SRC)
+    runtime.aot_compile()
+    vm = runtime.run_aot()
+    assert runtime.printed == [21]
+    func = runtime.module.functions["lua$gcd"]
+    verify_function(func, runtime.module)
+    _check_golden(request, "lua_gcd_residual", print_function(func))

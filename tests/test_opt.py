@@ -1,20 +1,31 @@
 """Unit tests for the optimizer passes."""
 
+import pytest
+
 from repro.frontend import compile_source
 from repro.ir import (
+    BlockCall,
     FunctionBuilder,
     I64,
+    Jump,
     Module,
     Signature,
     verify_function,
 )
 from repro.opt import (
+    PIPELINES,
+    PassManager,
+    available_passes,
     eliminate_dead_code,
     fold_constants,
+    forward_loads,
+    global_value_numbering,
     optimize_function,
+    propagate_copies,
     prune_block_params,
     remove_unreachable_blocks,
     simplify_cfg,
+    thread_constant_branches,
 )
 from repro.vm import VM
 
@@ -140,6 +151,409 @@ u64 f(u64 c) {
         verify_function(func)
         assert VM(module).call("f", [1]) == 1
         assert VM(module).call("f", [0]) == 2
+
+
+class TestGvn:
+    def test_cse_within_block(self):
+        fb = FunctionBuilder("f", Signature((I64, I64), (I64,)))
+        x, y = [v for v, _ in fb.entry.params]
+        a = fb.iadd(x, y)
+        b = fb.iadd(x, y)  # redundant
+        fb.ret(fb.imul(a, b))
+        func = fb.finish()
+        removed = global_value_numbering(func)
+        assert removed == 1
+        verify_function(func)
+        module = Module(memory_size=64)
+        module.add_function(func)
+        assert VM(module).call("f", [3, 4]) == 49
+
+    def test_commutative_operands_unify(self):
+        fb = FunctionBuilder("f", Signature((I64, I64), (I64,)))
+        x, y = [v for v, _ in fb.entry.params]
+        a = fb.iadd(x, y)
+        b = fb.iadd(y, x)  # same value, swapped operands
+        fb.ret(fb.isub(a, b))
+        func = fb.finish()
+        assert global_value_numbering(func) == 1
+        module = Module(memory_size=64)
+        module.add_function(func)
+        assert VM(module).call("f", [11, 31]) == 0
+
+    def test_noncommutative_not_unified(self):
+        fb = FunctionBuilder("f", Signature((I64, I64), (I64,)))
+        x, y = [v for v, _ in fb.entry.params]
+        a = fb.isub(x, y)
+        b = fb.isub(y, x)
+        fb.ret(fb.ixor(a, b))
+        func = fb.finish()
+        assert global_value_numbering(func) == 0
+
+    def test_dominating_def_reused_across_blocks(self):
+        module, func = compiled_func("""
+u64 f(u64 x) {
+  u64 a = x * 3;
+  if (x) { return x * 3 + 1; }
+  return a;
+}
+""", "f")
+        before = VM(module).call("f", [5])
+        removed = global_value_numbering(func)
+        assert removed >= 1
+        verify_function(func)
+        assert VM(module).call("f", [5]) == before
+
+    def test_sibling_branches_not_unified(self):
+        # The same expression in two sibling arms must NOT be unified:
+        # neither def dominates the other.
+        module, func = compiled_func("""
+u64 f(u64 x) {
+  u64 r = 0;
+  if (x) { r = x + 7; } else { r = x + 7; }
+  return r;
+}
+""", "f")
+        global_value_numbering(func)
+        verify_function(func)
+        assert VM(module).call("f", [1]) == 8
+        assert VM(module).call("f", [0]) == 7
+
+    def test_loads_never_cse(self):
+        # Loads are impure (stores may intervene): GVN must leave them.
+        module, func = compiled_func("""
+u64 f(u64 p) {
+  u64 a = load64(p);
+  store64(p, a + 1);
+  return a + load64(p);
+}
+""", "f")
+        assert global_value_numbering(func) == 0
+
+
+class TestCopyProp:
+    def test_add_zero_chain(self):
+        fb = FunctionBuilder("f", Signature((I64,), (I64,)))
+        x = fb.entry.params[0][0]
+        zero = fb.iconst(0)
+        a = fb.iadd(x, zero)
+        b = fb.iadd(zero, a)
+        c = fb.isub(b, zero)
+        fb.ret(c)
+        func = fb.finish()
+        removed = propagate_copies(func)
+        assert removed == 3
+        eliminate_dead_code(func)
+        verify_function(func)
+        module = Module(memory_size=64)
+        module.add_function(func)
+        assert VM(module).call("f", [42]) == 42
+        assert func.num_instrs() == 0  # everything folded to `ret x`
+
+    def test_mul_one_and_select_same(self):
+        fb = FunctionBuilder("f", Signature((I64, I64), (I64,)))
+        x, c = [v for v, _ in fb.entry.params]
+        one = fb.iconst(1)
+        m = fb.imul(one, x)
+        s = fb.select(c, m, m)
+        fb.ret(s)
+        func = fb.finish()
+        assert propagate_copies(func) == 2
+        verify_function(func)
+        module = Module(memory_size=64)
+        module.add_function(func)
+        assert VM(module).call("f", [9, 0]) == 9
+
+    def test_select_constant_condition(self):
+        fb = FunctionBuilder("f", Signature((I64, I64), (I64,)))
+        a, b = [v for v, _ in fb.entry.params]
+        cond = fb.iconst(0)
+        s = fb.select(cond, a, b)
+        fb.ret(s)
+        func = fb.finish()
+        assert propagate_copies(func) == 1
+        module = Module(memory_size=64)
+        module.add_function(func)
+        assert VM(module).call("f", [5, 6]) == 6
+
+    def test_negation_is_not_a_copy(self):
+        fb = FunctionBuilder("f", Signature((I64,), (I64,)))
+        x = fb.entry.params[0][0]
+        zero = fb.iconst(0)
+        neg = fb.isub(zero, x)  # 0 - x is NOT x
+        fb.ret(neg)
+        func = fb.finish()
+        assert propagate_copies(func) == 0
+        module = Module(memory_size=64)
+        module.add_function(func)
+        assert VM(module).call("f", [1]) == (1 << 64) - 1
+
+
+class TestLoadForward:
+    def test_load_load_same_block(self):
+        module, func = compiled_func("""
+u64 f(u64 p) {
+  return load64(p) + load64(p);
+}
+""", "f")
+        def load_count():
+            return sum(1 for b in func.blocks.values() for i in b.instrs
+                       if i.op == "load64")
+
+        assert load_count() == 2
+        removed = forward_loads(func)
+        assert removed == 1
+        verify_function(func)
+        assert load_count() == 1
+
+    def test_store_kills_unless_disjoint(self):
+        # Store to p+8 cannot alias a load from p (same base, disjoint
+        # ranges): the reload of p is forwarded across it.
+        module, func = compiled_func("""
+u64 f(u64 p) {
+  u64 a = load64(p);
+  store64(p + 8, 5);
+  return a + load64(p);
+}
+""", "f")
+        optimize_function(func, config="none")  # merge blocks only
+        assert forward_loads(func) == 1
+        verify_function(func)
+
+    def test_store_to_unknown_base_kills(self):
+        module, func = compiled_func("""
+u64 f(u64 p, u64 q) {
+  u64 a = load64(p);
+  store64(q, 5);
+  return a + load64(p);
+}
+""", "f")
+        optimize_function(func, config="none")
+        assert forward_loads(func) == 0  # q may alias p
+
+    def test_store_to_load_forwarding(self):
+        module, func = compiled_func("""
+u64 f(u64 p, u64 v) {
+  store64(p, v);
+  return load64(p);
+}
+""", "f")
+        optimize_function(func, config="none")
+        assert forward_loads(func) == 1
+        verify_function(func)
+        module2, _ = compiled_func("""
+u64 f(u64 p, u64 v) {
+  store64(p, v);
+  return load64(p);
+}
+""", "f")
+        assert (VM(module).call("f", [64, 77]) ==
+                VM(module2).call("f", [64, 77]) == 77)
+
+    def test_call_kills_everything(self):
+        module, func = compiled_func("""
+u64 g(u64 p) { store64(p, 9); return 0; }
+u64 f(u64 p) {
+  u64 a = load64(p);
+  u64 x = g(p);
+  return a + x + load64(p);
+}
+""", "f")
+        optimize_function(func, config="none")
+        assert forward_loads(func) == 0
+
+    def test_forwarding_across_blocks(self):
+        module, func = compiled_func("""
+u64 f(u64 p, u64 c) {
+  u64 a = load64(p);
+  u64 r = 0;
+  if (c) { r = a + 1; } else { r = a + 2; }
+  return r + load64(p);
+}
+""", "f")
+        before1 = VM(module).call("f", [128, 1])
+        # Canonicalize the join block's re-passed address parameter
+        # first (the pipeline's fixpoint interleaving does this).
+        prune_block_params(func)
+        removed = forward_loads(func)
+        assert removed == 1  # the reload after the join
+        verify_function(func)
+        assert VM(module).call("f", [128, 1]) == before1
+
+    def test_loop_carried_load_forwarded(self):
+        # A loop-invariant reload must be forwarded to the dominating
+        # pre-loop load: the availability fact has to survive the back
+        # edge (the first definition wins, not the latest).
+        module, func = compiled_func("""
+u64 f(u64 p, u64 n) {
+  u64 a = load64(p);
+  u64 s = a;
+  for (u64 i = 0; i < n; i++) { s = s + load64(p); }
+  return s;
+}
+""", "f")
+        expected = VM(module).call("f", [256, 4])
+        prune_block_params(func)
+        removed = forward_loads(func)
+        assert removed == 1  # the in-loop reload
+        verify_function(func)
+        assert VM(module).call("f", [256, 4]) == expected
+
+    def test_loop_with_store_not_forwarded(self):
+        # If the loop body may store to the address, the reload stays.
+        module, func = compiled_func("""
+u64 f(u64 p, u64 n) {
+  u64 s = load64(p);
+  for (u64 i = 0; i < n; i++) {
+    store64(p, s + i);
+    s = s + load64(p);
+  }
+  return s;
+}
+""", "f")
+        expected = VM(module).call("f", [256, 4])
+        prune_block_params(func)
+        # The in-loop load after the store forwards store-to-load
+        # locally, but the header-crossing fact must not leak the
+        # pre-loop value past the store.
+        forward_loads(func)
+        verify_function(func)
+        assert VM(module).call("f", [256, 4]) == expected
+
+    def test_sub_word_store_not_forwarded(self):
+        # store8 truncates: its operand is not what load8_u returns, so
+        # store-to-load forwarding must not apply to sub-word stores.
+        fb = FunctionBuilder("f", Signature((I64, I64), (I64,)))
+        p, v = [value for value, _ in fb.entry.params]
+        fb.emit("store8", (p, v), imm=0)
+        loaded = fb.emit("load8_u", (p,), imm=0, result_type=I64)
+        fb.ret(loaded)
+        func = fb.finish()
+        assert forward_loads(func) == 0
+        module = Module(memory_size=4096)
+        module.add_function(func)
+        assert VM(module).call("f", [64, 0x1FF]) == 0xFF
+
+
+class TestJumpThreading:
+    def _build_const_forwarder(self):
+        """entry passes a constant into a forwarder whose br_if decides
+        on that parameter; another pred passes a runtime value."""
+        fb = FunctionBuilder("f", Signature((I64,), (I64,)))
+        x = fb.entry.params[0][0]
+        fwd = fb.new_block([I64])
+        t_blk, f_blk, other = fb.new_block(), fb.new_block(), fb.new_block()
+        one = fb.iconst(1)
+        fb.br_if(x, other, fwd, [], [one])
+        fb.switch_to(fwd)
+        cond = fwd.param_values()[0]
+        fb.br_if(cond, t_blk, f_blk)
+        fb.switch_to(t_blk)
+        fb.ret(fb.iconst(10))
+        fb.switch_to(f_blk)
+        fb.ret(fb.iconst(20))
+        fb.switch_to(other)
+        fb.jump(fwd, [x])
+        return fb.finish()
+
+    def test_threads_constant_edge(self):
+        func = self._build_const_forwarder()
+        threaded = thread_constant_branches(func)
+        assert threaded == 1
+        verify_function(func)
+        entry_term = func.entry_block().terminator
+        # The constant edge now bypasses the forwarder entirely.
+        targets = [c.block for c in entry_term.targets()]
+        assert func.blocks and all(t in func.blocks for t in targets)
+        module = Module(memory_size=64)
+        module.add_function(func)
+        assert VM(module).call("f", [0]) == 10  # const edge: cond=1
+        assert VM(module).call("f", [5]) == 10  # runtime edge: cond=5
+
+    def test_uniform_brif_folds(self):
+        module, func = compiled_func("""
+u64 f(u64 c) {
+  u64 r = 0;
+  if (c) { r = 1; } else { r = 1; }
+  return r;
+}
+""", "f")
+        optimize_function(func)
+        verify_function(func)
+        assert func.num_blocks() == 1  # fully linearized
+        assert VM(module).call("f", [0]) == 1
+        assert VM(module).call("f", [3]) == 1
+
+
+class TestPassManager:
+    def test_registry_covers_roster(self):
+        for name in ("fold", "copyprop", "gvn", "load-forward",
+                     "prune-params", "simplify-cfg", "dce"):
+            assert name in available_passes()
+        for pipeline in PIPELINES.values():
+            for name in pipeline:
+                assert name in available_passes()
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(KeyError, match="unknown pipeline"):
+            PassManager("turbo")
+        with pytest.raises(KeyError, match="unknown pass"):
+            PassManager(["not-a-pass"])
+
+    def test_stats_collected_per_pass(self):
+        module, func = compiled_func(
+            "u64 f() { return (2 + 3) * 4 - 1; }", "f")
+        manager = PassManager("default")
+        stats = manager.run(func, module)
+        assert stats.runs == 1
+        assert stats.instrs_after < stats.instrs_before
+        assert stats.per_pass["fold"].changes >= 3
+        assert stats.per_pass["fold"].seconds >= 0.0
+        assert stats.rounds >= 2  # at least one round plus the clean one
+
+    def test_shared_stats_accumulate(self):
+        from repro.core.stats import PipelineStats
+        shared = PipelineStats()
+        for _ in range(3):
+            module, func = compiled_func(
+                "u64 f(u64 x) { return x + 0 + 0; }", "f")
+            optimize_function(func, stats=shared)
+        assert shared.runs == 3
+
+    def test_legacy_matches_seed_behavior(self):
+        # The legacy pipeline must keep producing valid, working code.
+        src = """
+u64 f(u64 n) {
+  u64 acc = 0;
+  for (u64 i = 0; i < n; i++) { acc += i * 3; }
+  return acc;
+}
+"""
+        module, func = compiled_func(src, "f")
+        expected = VM(module).call("f", [10])
+        module2, func2 = compiled_func(src, "f")
+        optimize_function(func2, config="legacy")
+        verify_function(func2)
+        assert VM(module2).call("f", [10]) == expected
+
+    def test_default_pipeline_not_weaker_than_legacy(self):
+        src = """
+u64 f(u64 p) {
+  u64 s = 0;
+  for (u64 i = 0; i < 8; i++) {
+    store64(p + i * 8, i);
+    s = s + load64(p + i * 8);
+  }
+  return s;
+}
+"""
+        module_a, func_a = compiled_func(src, "f")
+        module_b, func_b = compiled_func(src, "f")
+        optimize_function(func_a, config="legacy")
+        optimize_function(func_b, config="default")
+        verify_function(func_b)
+        assert func_b.num_instrs() <= func_a.num_instrs()
+        assert (VM(module_a).call("f", [256]) ==
+                VM(module_b).call("f", [256]) == 28)
 
 
 class TestPipeline:
