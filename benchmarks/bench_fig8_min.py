@@ -16,7 +16,9 @@ N = 2000
 
 @pytest.fixture(scope="module")
 def fig8_results():
-    return run_fig8_configs(n=N)
+    # backend="py" adds the tier-2 rows (wevaled residuals compiled to
+    # native Python) next to the IR-VM rows.
+    return run_fig8_configs(n=N, backend="py")
 
 
 def test_fig8_table(benchmark, fig8_results):
@@ -24,16 +26,23 @@ def test_fig8_table(benchmark, fig8_results):
     base = fig8_results["compiled"].fuel
     rows = []
     for name in ("compiled", "py_interp", "vm_interp", "wevaled",
-                 "wevaled_state"):
+                 "wevaled_state", "wevaled_py", "wevaled_state_py"):
         r = fig8_results[name]
         fuel = "-" if r.fuel is None else str(r.fuel)
         rel = "-" if r.fuel is None else f"{r.fuel / base:.2f}x"
         rows.append([name, r.result, fuel, rel,
                      f"{r.wall_seconds * 1000:.1f}ms"])
-    write_result("fig8_min", "Fig. 8 analog — Min (sum 0..%d)\n%s" % (
-        N, format_table(
-            ["config", "result", "fuel", "fuel vs compiled", "wall"],
-            rows)))
+    vm_wall = fig8_results["wevaled_state"].wall_seconds
+    py_wall = fig8_results["wevaled_state_py"].wall_seconds
+    speedup = vm_wall / max(py_wall, 1e-12)
+    write_result("fig8_min", "Fig. 8 analog — Min (sum 0..%d)\n%s\n\n"
+                 "tier-2 backend: wevaled_state %.1fms (IR VM) vs %.1fms "
+                 "(py backend) = %.2fx" % (
+                     N, format_table(
+                         ["config", "result", "fuel", "fuel vs compiled",
+                          "wall"],
+                         rows),
+                     vm_wall * 1000, py_wall * 1000, speedup))
     # Shape assertions from the paper.
     interp = fig8_results["vm_interp"].fuel
     wevaled = fig8_results["wevaled"].fuel
@@ -42,6 +51,10 @@ def test_fig8_table(benchmark, fig8_results):
     assert wevaled < interp / 2         # weval removes dispatch
     assert state < wevaled              # state opt removes memory traffic
     assert state <= base * 1.01         # within ~1% of compiled (S5)
+    # Tier-2 backend: identical deterministic fuel, faster wall clock.
+    assert fig8_results["wevaled_py"].fuel == wevaled
+    assert fig8_results["wevaled_state_py"].fuel == state
+    assert py_wall < vm_wall
 
 
 @pytest.mark.parametrize("config", ["compiled", "vm_interp", "wevaled",

@@ -1,10 +1,17 @@
-"""S6.5: transform speed and the specialization cache.
+"""S6.5: transform speed, the specialization cache, and the tier-2
+backend speedup.
 
 Paper: ~1 KLoC/s of JS, with a cache keyed on module hash + request
 argument data that removes redundant work for the unchanging IC corpus
 and speeds up incremental recompilation.  Shape targets: throughput is
 measurable and the warm-cache recompile is much faster with high hit
-rate.
+rate.  The backend test additionally reports compile-vs-run time and
+the interp-vs-compiled wall-clock speedup of the richards residual,
+which must clear 3x (the whole point of tier 2).
+
+``--quick`` (CI artifact mode) keeps every assertion and only reduces
+the backend-speedup timing repeats (best-of-3 instead of best-of-5 —
+never below 3, because the 3x assertion gates CI on shared runners).
 """
 
 import time
@@ -12,7 +19,11 @@ import time
 import pytest
 
 from conftest import write_result
-from repro.bench import format_pipeline_stats, format_table
+from repro.bench import (
+    format_pipeline_stats,
+    format_table,
+    run_backend_comparison,
+)
 from repro.core import SpecializationCache
 from repro.jsvm import JSRuntime
 from repro.jsvm.workloads import WORKLOADS
@@ -59,6 +70,39 @@ def test_transform_speed_and_cache(benchmark):
     # Functional equivalence after a cached compile.
     vm = rt2.run()
     assert rt2.printed == ["13120"]
+
+
+def test_backend_speedup(benchmark, request):
+    """Interp-vs-compiled execution of the richards residual (tier 2).
+
+    One AOT compile, then the same snapshot runs both ways; prints and
+    fuel must be identical (asserted inside the harness helper), and the
+    compiled backend must be at least 3x faster in wall-clock terms.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Keep best-of-3 smoothing even in --quick mode: the timed runs are
+    # tens of milliseconds and the 3x assertion gates CI, so robustness
+    # against a noisy shared runner matters more than the saved rounds.
+    repeats = 3 if request.config.getoption("--quick") else 5
+    cmp = run_backend_comparison(NAME, "wevaled_state", repeats=repeats)
+    rows = [
+        ["specialize (AOT)", f"{cmp.aot_seconds:.2f}s",
+         f"{cmp.compiled_functions} residual functions"],
+        ["backend compile", f"{cmp.backend_compile_seconds:.3f}s",
+         f"fallbacks={cmp.backend_fallbacks}"],
+        ["run (IR VM)", f"{cmp.wall_vm_seconds * 1000:.1f}ms",
+         f"fuel={cmp.fuel}"],
+        ["run (py backend)", f"{cmp.wall_py_seconds * 1000:.1f}ms",
+         "fuel identical (asserted)"],
+        ["speedup", f"{cmp.speedup:.2f}x", "interp vs compiled"],
+    ]
+    write_result("backend_speedup",
+                 "Tier-2 backend — %s (%s)\n%s" % (
+                     NAME, cmp.config,
+                     format_table(["metric", "value", "detail"], rows)))
+    assert cmp.backend_fallbacks == 0
+    assert cmp.speedup >= 3.0, (
+        f"py backend speedup {cmp.speedup:.2f}x < 3x on {NAME}")
 
 
 def test_cache_is_invalidated_by_bytecode_change(benchmark):

@@ -9,6 +9,13 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 os.makedirs(RESULTS_DIR, exist_ok=True)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="reduce repeat counts for CI artifact runs (same assertions, "
+             "fewer timing rounds)")
+
+
 def write_result(name: str, text: str) -> None:
     """Persist a paper-style table and echo it for the log."""
     path = os.path.join(RESULTS_DIR, name + ".txt")

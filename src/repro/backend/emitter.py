@@ -1,0 +1,524 @@
+"""Compile residual IR to native Python functions (the tier-2 backend).
+
+The IR VM in :mod:`repro.vm.machine` walks one instruction dataclass at
+a time; every op pays dict lookups and a long opcode if-chain.  After
+specialization that interpretive overhead is the dominant cost left, so
+this module translates a verified IR function into Python *source*,
+``compile()``/``exec()``s it, and returns a callable with the VM's exact
+observable semantics:
+
+* values are the same unsigned-64-bit bit patterns (``& MASK64`` after
+  wrapping ops, sign-bias compares for signed predicates);
+* traps raise the same :class:`~repro.vm.machine.VMTrap` kinds with the
+  same messages, out-of-fuel raises :class:`OutOfFuel`;
+* fuel/load/store/call counters are charged per *block* (one ``+=`` per
+  counter per block entry instead of one per instruction), which yields
+  byte-identical totals to the VM on every execution that does not trap
+  mid-block, and the fuel-limit check fires at the same block boundary
+  the VM checks at;
+* guest calls and intrinsic/host calls bridge back through
+  ``vm.call`` / ``vm.call_table``, so compiled and interpreted functions
+  can call each other freely (the VM consults its ``compiled`` table on
+  every call).
+
+Control flow: blocks are renumbered in reverse-postorder and dispatched
+inside a ``while True`` loop through a binary decision tree over the
+block index ``_b`` (depth ``log2(n)``), with block-parameter passing as
+parallel tuple assignment.  Anything the emitter cannot express raises
+:class:`UnsupportedConstruct`; callers fall back to the VM per function.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.backend.runtime import BACKEND_GLOBALS
+from repro.ir.function import Block, Function
+from repro.ir.instructions import (
+    BlockCall,
+    BrIf,
+    BrTable,
+    Instr,
+    Jump,
+    Ret,
+    Trap,
+)
+from repro.ir.module import Module
+
+
+class BackendError(Exception):
+    """The backend failed in a way that is not a per-function fallback."""
+
+
+class UnsupportedConstruct(BackendError):
+    """This function uses a construct the emitter cannot compile; the
+    caller should run it on the IR VM instead."""
+
+
+MASK_HEX = "0xFFFFFFFFFFFFFFFF"
+SIGN_HEX = "0x8000000000000000"
+
+_WRAP_BINOPS = {"iadd": "+", "isub": "-", "imul": "*"}
+_PLAIN_BINOPS = {"iand": "&", "ior": "|", "ixor": "^"}
+_FLOAT_BINOPS = {"fadd": "+", "fsub": "-", "fmul": "*"}
+_UNSIGNED_CMPS = {"ieq": "==", "ine": "!=", "ilt_u": "<", "ile_u": "<=",
+                  "igt_u": ">", "ige_u": ">="}
+_SIGNED_CMPS = {"ilt_s": "<", "ile_s": "<=", "igt_s": ">", "ige_s": ">="}
+_FLOAT_CMPS = {"feq": "==", "fne": "!=", "flt": "<", "fle": "<=",
+               "fgt": ">", "fge": ">="}
+_HELPER_UNOPS = {"itof": "_itof", "ftoi": "_ftoi", "fsqrt": "_fsqrt",
+                 "ffloor": "_ffloor", "bits_ftoi": "_bits_ftoi",
+                 "bits_itof": "_bits_itof"}
+_HELPER_BINOPS = {"idiv_s": "_idiv_s", "idiv_u": "_idiv_u",
+                  "irem_s": "_irem_s", "irem_u": "_irem_u",
+                  "fdiv": "_fdiv", "ishr_s": "_ishr_s"}
+# op -> (size in bytes, signed)
+_SIZED_LOADS = {"load8_u": (1, False), "load8_s": (1, True),
+                "load16_u": (2, False), "load16_s": (2, True),
+                "load32_u": (4, False), "load32_s": (4, True)}
+_SIZED_STORES = {"store8": 1, "store16": 2, "store32": 4}
+
+_INDENT = "    "
+
+
+def _float_literal(value: float) -> Tuple[str, bool]:
+    """A source literal for a float; non-finite values go through the
+    bit-pattern helper (``repr`` of nan/inf is not a literal).  Returns
+    (expression, needs_bits_helper)."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        import struct
+        bits = int.from_bytes(struct.pack("<d", value), "little")
+        return f"_bits_itof({bits:#x})", True
+    return repr(value), False
+
+
+@dataclasses.dataclass
+class CompiledFunction:
+    """One IR function lowered to a Python callable.
+
+    ``pyfunc`` has signature ``(vm, *args)`` — the same calling
+    convention the VM uses for its own functions — and ``source`` is the
+    exact Python text that was compiled (golden-testable).
+    """
+
+    name: str
+    source: str
+    pyfunc: Callable
+
+
+class PyEmitter:
+    """Translates one verified IR function into Python source."""
+
+    def __init__(self, func: Function, module: Optional[Module] = None):
+        self.func = func
+        self.module = module
+        self.used: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Block ordering and dispatch indices.
+    # ------------------------------------------------------------------
+    def _block_order(self) -> List[int]:
+        """Reachable blocks in reverse postorder, entry first."""
+        func = self.func
+        if func.entry is None:
+            raise UnsupportedConstruct(f"{func.name}: no entry block")
+        # Iterative DFS to avoid Python recursion limits on huge CFGs.
+        stack: List[Tuple[int, int]] = [(func.entry, 0)]
+        post: List[int] = []
+        seen = {func.entry}
+        targets_of: Dict[int, List[int]] = {}
+        while stack:
+            bid, child = stack[-1]
+            if bid not in targets_of:
+                block = func.blocks.get(bid)
+                if block is None:
+                    raise UnsupportedConstruct(
+                        f"{self.func.name}: dangling block ref block{bid}")
+                if block.terminator is None:
+                    raise UnsupportedConstruct(
+                        f"{self.func.name}: block{bid} not terminated")
+                targets_of[bid] = [c.block for c in
+                                   block.terminator.targets()]
+            targets = targets_of[bid]
+            if child < len(targets):
+                stack[-1] = (bid, child + 1)
+                succ = targets[child]
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, 0))
+            else:
+                post.append(bid)
+                stack.pop()
+        order = list(reversed(post))
+        assert order[0] == func.entry
+        return order
+
+    # ------------------------------------------------------------------
+    # Source assembly.
+    # ------------------------------------------------------------------
+    def emit_source(self) -> str:
+        func = self.func
+        order = self._block_order()
+        self.index = {bid: i for i, bid in enumerate(order)}
+
+        bodies = {bid: self._emit_block(func.blocks[bid]) for bid in order}
+
+        lines: List[str] = []
+        lines.append(f"# {func.name}{func.sig} — compiled from residual IR "
+                     f"by repro.backend.PyEmitter")
+        lines.append("def _compiled(vm, *_args):")
+        entry = func.entry_block()
+        nparams = len(entry.params)
+        lines.append(f"{_INDENT}if len(_args) != {nparams}:")
+        lines.append(
+            f'{_INDENT * 2}raise VMTrap("{func.name}: expected {nparams} '
+            f'args, got %d" % len(_args))')
+        if nparams:
+            names = ", ".join(f"v{v}" for v, _ in entry.params)
+            trailing = "," if nparams == 1 else ""
+            lines.append(f"{_INDENT}{names}{trailing} = _args")
+        for binding in self._preamble():
+            lines.append(_INDENT + binding)
+        lines.append(f"{_INDENT}_b = 0")
+        lines.append(f"{_INDENT}while True:")
+        lines.extend(self._emit_tree(list(range(len(order))), order,
+                                     bodies, depth=2))
+        return "\n".join(lines) + "\n"
+
+    def _preamble(self) -> List[str]:
+        used = self.used
+        bindings = []
+        if "M" in used:
+            bindings.append("M = vm.memory")
+            bindings.append("_ML = len(M)")
+        bindings.append("S = vm.stats")
+        if "G" in used:
+            bindings.append("G = vm.globals")
+        if "_call" in used:
+            bindings.append("_call = vm.call")
+        if "_ctab" in used:
+            bindings.append("_ctab = vm.call_table")
+        if "_int" in used:
+            bindings.append("_int = int")
+        if "_ifb" in used:
+            bindings.append("_ifb = int.from_bytes")
+        bindings.append("_L = vm.fuel_limit")
+        return bindings
+
+    def _emit_tree(self, ids: List[int], order: List[int],
+                   bodies: Dict[int, List[str]], depth: int) -> List[str]:
+        """A binary decision tree over the dispatch index ``_b``."""
+        ind = _INDENT * depth
+        if len(ids) == 1:
+            bid = order[ids[0]]
+            lines = [f"{ind}# block{bid} [_b={ids[0]}]"]
+            lines.extend(ind + line for line in bodies[bid])
+            return lines
+        mid = len(ids) // 2
+        lines = [f"{ind}if _b < {ids[mid]}:"]
+        lines.extend(self._emit_tree(ids[:mid], order, bodies, depth + 1))
+        lines.append(f"{ind}else:")
+        lines.extend(self._emit_tree(ids[mid:], order, bodies, depth + 1))
+        return lines
+
+    # ------------------------------------------------------------------
+    # Blocks.
+    # ------------------------------------------------------------------
+    def _emit_block(self, block: Block) -> List[str]:
+        lines: List[str] = []
+        counters = {"loads": 0, "stores": 0, "calls": 0}
+        # Fuel is charged in segments ending at each guest call: at every
+        # point where another frame can observe the shared fuel counter
+        # (a callee's block-boundary limit checks, and this block's own
+        # check below) the total matches the VM's per-instruction
+        # accounting exactly.  A call-free block degenerates to a single
+        # up-front charge.
+        body: List[str] = []
+        segment: List[str] = []
+        pending_fuel = 0
+        for instr in block.instrs:
+            segment.extend(self._emit_instr(instr, counters))
+            pending_fuel += 1
+            if instr.op in ("call", "call_indirect"):
+                # Each segment ends at its (single) call, so charging the
+                # segment's fuel first means the callee sees exactly the
+                # VM's total at the call instruction.
+                body.append(f"S.fuel += {pending_fuel}")
+                body.extend(segment)
+                segment = []
+                pending_fuel = 0
+        if pending_fuel:
+            body.append(f"S.fuel += {pending_fuel}")
+        body.extend(segment)
+        for counter in ("loads", "stores", "calls"):
+            if counters[counter]:
+                lines.append(f"S.{counter} += {counters[counter]}")
+        lines.extend(body)
+        # The VM checks the fuel limit once per block iteration, after
+        # the instructions and before charging the terminator.
+        lines.append("if _L is not None and S.fuel > _L: "
+                     "raise OutOfFuel(\"fuel limit %d exceeded\" % _L)")
+        lines.append("S.fuel += 1")
+        lines.extend(self._emit_terminator(block))
+        return lines
+
+    # ------------------------------------------------------------------
+    # Terminators and edges.
+    # ------------------------------------------------------------------
+    def _edge(self, call: BlockCall) -> List[str]:
+        target = self.func.blocks[call.block]
+        pairs = [(param, arg)
+                 for (param, _), arg in zip(target.params, call.args)
+                 if param != arg]
+        lines = []
+        if pairs:
+            lhs = ", ".join(f"v{param}" for param, _ in pairs)
+            rhs = ", ".join(f"v{arg}" for _, arg in pairs)
+            lines.append(f"{lhs} = {rhs}")
+        lines.append(f"_b = {self.index[call.block]}")
+        return lines
+
+    def _emit_terminator(self, block: Block) -> List[str]:
+        term = block.terminator
+        if isinstance(term, Jump):
+            return self._edge(term.target)
+        if isinstance(term, BrIf):
+            lines = [f"if v{term.cond}:"]
+            lines.extend(_INDENT + l for l in self._edge(term.if_true))
+            lines.append("else:")
+            lines.extend(_INDENT + l for l in self._edge(term.if_false))
+            return lines
+        if isinstance(term, BrTable):
+            if not term.cases:
+                return self._edge(term.default)
+            lines = [f"_i = v{term.index}"]
+            for pos, call in enumerate(term.cases):
+                kw = "if" if pos == 0 else "elif"
+                lines.append(f"{kw} _i == {pos}:")
+                lines.extend(_INDENT + l for l in self._edge(call))
+            lines.append("else:")
+            lines.extend(_INDENT + l for l in self._edge(term.default))
+            return lines
+        if isinstance(term, Ret):
+            if term.args:
+                return [f"return v{term.args[0]}"]
+            return ["return None"]
+        if isinstance(term, Trap):
+            return [f"raise VMTrap({term.message!r})"]
+        raise UnsupportedConstruct(
+            f"{self.func.name}: block{block.id} has no terminator")
+
+    # ------------------------------------------------------------------
+    # Instructions.
+    # ------------------------------------------------------------------
+    def _addr(self, instr: Instr, pre: List[str]) -> str:
+        """The effective-address expression for a memory op (a temp when
+        a static offset must be added)."""
+        base = f"v{instr.args[0]}"
+        if instr.imm:
+            pre.append(f"_a = {base} + {instr.imm}")
+            return "_a"
+        return base
+
+    def _emit_instr(self, instr: Instr, counters: Dict[str, int]
+                    ) -> List[str]:
+        op = instr.op
+        args = instr.args
+        r = f"v{instr.result}" if instr.result is not None else None
+
+        if op == "iconst":
+            return [f"{r} = {int(instr.imm)}"]
+        if op == "fconst":
+            literal, _ = _float_literal(instr.imm)
+            return [f"{r} = {literal}"]
+        if op in _WRAP_BINOPS:
+            sym = _WRAP_BINOPS[op]
+            return [f"{r} = (v{args[0]} {sym} v{args[1]}) & {MASK_HEX}"]
+        if op in _PLAIN_BINOPS:
+            sym = _PLAIN_BINOPS[op]
+            return [f"{r} = v{args[0]} {sym} v{args[1]}"]
+        if op == "ishl":
+            return [f"{r} = (v{args[0]} << (v{args[1]} & 63)) & {MASK_HEX}"]
+        if op == "ishr_u":
+            return [f"{r} = v{args[0]} >> (v{args[1]} & 63)"]
+        if op in _UNSIGNED_CMPS:
+            self.used.add("_int")
+            sym = _UNSIGNED_CMPS[op]
+            return [f"{r} = _int(v{args[0]} {sym} v{args[1]})"]
+        if op in _SIGNED_CMPS:
+            # Signed compare via the sign-bias trick:
+            # a <_s b  <=>  (a ^ 2**63) <_u (b ^ 2**63).
+            self.used.add("_int")
+            sym = _SIGNED_CMPS[op]
+            return [f"{r} = _int((v{args[0]} ^ {SIGN_HEX}) {sym} "
+                    f"(v{args[1]} ^ {SIGN_HEX}))"]
+        if op in _FLOAT_BINOPS:
+            sym = _FLOAT_BINOPS[op]
+            return [f"{r} = v{args[0]} {sym} v{args[1]}"]
+        if op in _FLOAT_CMPS:
+            self.used.add("_int")
+            sym = _FLOAT_CMPS[op]
+            return [f"{r} = _int(v{args[0]} {sym} v{args[1]})"]
+        if op in _HELPER_BINOPS:
+            return [f"{r} = {_HELPER_BINOPS[op]}(v{args[0]}, v{args[1]})"]
+        if op in _HELPER_UNOPS:
+            return [f"{r} = {_HELPER_UNOPS[op]}(v{args[0]})"]
+        if op == "fneg":
+            return [f"{r} = -v{args[0]}"]
+        if op == "fabs":
+            return [f"{r} = _abs(v{args[0]})"]
+        if op == "select":
+            return [f"{r} = v{args[1]} if v{args[0]} else v{args[2]}"]
+
+        if op == "load64":
+            counters["loads"] += 1
+            self.used.update(("M", "_ifb"))
+            pre: List[str] = []
+            a = self._addr(instr, pre)
+            return pre + [
+                f'if {a} < 0 or {a} + 8 > _ML: '
+                f'raise VMTrap("oob load64 at %#x" % {a})',
+                f'{r} = _ifb(M[{a}:{a} + 8], "little")',
+            ]
+        if op == "store64":
+            counters["stores"] += 1
+            self.used.add("M")
+            pre = []
+            a = self._addr(instr, pre)
+            return pre + [
+                f'if {a} < 0 or {a} + 8 > _ML: '
+                f'raise VMTrap("oob store64 at %#x" % {a})',
+                f'M[{a}:{a} + 8] = v{args[1]}.to_bytes(8, "little")',
+            ]
+        if op == "loadf64":
+            counters["loads"] += 1
+            self.used.add("M")
+            pre = []
+            a = self._addr(instr, pre)
+            return pre + [
+                f'if {a} < 0 or {a} + 8 > _ML: '
+                f'raise VMTrap("oob loadf64 at %#x" % {a})',
+                f'{r} = _upf("<d", M, {a})[0]',
+            ]
+        if op == "storef64":
+            counters["stores"] += 1
+            self.used.add("M")
+            pre = []
+            a = self._addr(instr, pre)
+            return pre + [
+                f'if {a} < 0 or {a} + 8 > _ML: '
+                f'raise VMTrap("oob storef64 at %#x" % {a})',
+                f'_pki("<d", M, {a}, v{args[1]})',
+            ]
+        if op in _SIZED_LOADS:
+            counters["loads"] += 1
+            size, signed = _SIZED_LOADS[op]
+            self.used.add("M")
+            pre = []
+            a = self._addr(instr, pre)
+            if size == 1:
+                raw = f"M[{a}]"
+            else:
+                self.used.add("_ifb")
+                raw = f'_ifb(M[{a}:{a} + {size}], "little")'
+            if signed:
+                raw = f"_sext({raw}, {size * 8})"
+            return pre + [
+                f'if {a} < 0 or {a} + {size} > _ML: '
+                f'raise VMTrap("oob {op} at %#x" % {a})',
+                f"{r} = {raw}",
+            ]
+        if op in _SIZED_STORES:
+            counters["stores"] += 1
+            size = _SIZED_STORES[op]
+            self.used.add("M")
+            pre = []
+            a = self._addr(instr, pre)
+            mask = (1 << (size * 8)) - 1
+            if size == 1:
+                store = f"M[{a}] = v{args[1]} & {mask:#x}"
+            else:
+                store = (f"M[{a}:{a} + {size}] = "
+                         f'(v{args[1]} & {mask:#x}).to_bytes({size}, '
+                         f'"little")')
+            return pre + [
+                f'if {a} < 0 or {a} + {size} > _ML: '
+                f'raise VMTrap("oob {op} at %#x" % {a})',
+                store,
+            ]
+
+        if op == "call":
+            counters["calls"] += 1
+            self.used.add("_call")
+            call_args = ", ".join(f"v{a}" for a in args)
+            trailing = "," if len(args) == 1 else ""
+            expr = f"_call({instr.imm!r}, ({call_args}{trailing}))"
+            if r is not None:
+                return [f"{r} = {expr}"]
+            return [expr]
+        if op == "call_indirect":
+            self.used.add("_ctab")
+            rest = args[1:]
+            call_args = ", ".join(f"v{a}" for a in rest)
+            trailing = "," if len(rest) == 1 else ""
+            expr = f"_ctab(v{args[0]}, ({call_args}{trailing}))"
+            if r is not None:
+                return [f"{r} = {expr}"]
+            return [expr]
+
+        if op == "global_get":
+            self.used.add("G")
+            return [f"{r} = G[{instr.imm!r}]"]
+        if op == "global_set":
+            self.used.add("G")
+            return [f"G[{instr.imm!r}] = v{args[0]}"]
+
+        raise UnsupportedConstruct(
+            f"{self.func.name}: unsupported opcode {op!r}")
+
+
+def compile_function(func: Function,
+                     module: Optional[Module] = None) -> CompiledFunction:
+    """Lower one verified IR function to a Python callable.
+
+    Raises :class:`UnsupportedConstruct` when the function cannot be
+    compiled; callers should fall back to the IR VM for that function.
+    """
+    source = PyEmitter(func, module).emit_source()
+    env = dict(BACKEND_GLOBALS)
+    try:
+        code = compile(source, f"<pybackend:{func.name}>", "exec")
+    except (SyntaxError, RecursionError, MemoryError) as exc:
+        raise UnsupportedConstruct(
+            f"{func.name}: emitted source does not compile: {exc}") from exc
+    exec(code, env)
+    pyfunc = env["_compiled"]
+    pyfunc.__name__ = func.name
+    pyfunc.__qualname__ = func.name
+    return CompiledFunction(func.name, source, pyfunc)
+
+
+def compile_functions(module: Module,
+                      names: Optional[List[str]] = None
+                      ) -> Tuple[Dict[str, Callable],
+                                 List[Tuple[str, str]]]:
+    """Compile a set of module functions, falling back per function.
+
+    Returns ``(compiled, fallbacks)`` where ``compiled`` maps function
+    name to callable and ``fallbacks`` lists ``(name, reason)`` pairs
+    for functions left to the IR VM.
+    """
+    compiled: Dict[str, Callable] = {}
+    fallbacks: List[Tuple[str, str]] = []
+    for name in (list(module.functions) if names is None else names):
+        func = module.functions.get(name)
+        if func is None:
+            fallbacks.append((name, "not an IR function"))
+            continue
+        try:
+            compiled[name] = compile_function(func, module).pyfunc
+        except UnsupportedConstruct as exc:
+            fallbacks.append((name, str(exc)))
+    return compiled, fallbacks

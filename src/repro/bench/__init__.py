@@ -1,18 +1,22 @@
 """Benchmark harness utilities shared by the scripts in ``benchmarks/``."""
 
 from repro.bench.harness import (
+    BackendComparison,
     WorkloadResult,
     format_pipeline_stats,
     format_table,
     geomean,
     residual_shape,
+    run_backend_comparison,
     run_js_workload,
 )
 
 __all__ = [
+    "BackendComparison",
     "WorkloadResult",
     "geomean",
     "run_js_workload",
+    "run_backend_comparison",
     "format_table",
     "format_pipeline_stats",
     "residual_shape",

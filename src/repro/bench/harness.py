@@ -23,21 +23,35 @@ class WorkloadResult:
     wall_seconds: float
     compile_seconds: float = 0.0
     specialized_functions: int = 0
+    backend: str = "vm"
+    backend_compile_seconds: float = 0.0
+    backend_fallbacks: int = 0
 
 
 def run_js_workload(name: str, config: str,
-                    runtime: Optional[JSRuntime] = None) -> WorkloadResult:
+                    runtime: Optional[JSRuntime] = None,
+                    backend: Optional[str] = None) -> WorkloadResult:
     """Instantiate (or reuse) a JSRuntime for one workload/config and
-    execute it once, separating compile time from run time."""
+    execute it once, separating specialize time, backend-compile time,
+    and run time."""
     source = WORKLOADS[name]
     rt = runtime or JSRuntime(source, config)
     compile_seconds = 0.0
-    if config in ("wevaled", "wevaled_state") and not rt._aot_done:
+    is_aot = config in ("wevaled", "wevaled_state")
+    if is_aot and not rt.aot_done:
         start = time.perf_counter()
         rt.aot_compile()
         compile_seconds = time.perf_counter() - start
+    # Non-AOT configs have no residual code, so no tier-2 code can run;
+    # label them "vm" regardless of the requested/default backend.
+    backend = (backend or rt.options.backend) if is_aot else "vm"
+    backend_compile = 0.0
+    if is_aot and backend == "py":
+        before = rt.compiler.backend_compile_seconds
+        rt.compiler.compile_backend()  # idempotent; no-op when done
+        backend_compile = rt.compiler.backend_compile_seconds - before
     start = time.perf_counter()
-    vm = rt.run()
+    vm = rt.run(backend) if is_aot else rt.run()
     wall = time.perf_counter() - start
     return WorkloadResult(
         name=name,
@@ -47,6 +61,72 @@ def run_js_workload(name: str, config: str,
         wall_seconds=wall,
         compile_seconds=compile_seconds,
         specialized_functions=rt.specialized_function_count(),
+        backend=backend,
+        backend_compile_seconds=backend_compile,
+        backend_fallbacks=(len(rt.compiler.backend_fallbacks)
+                           if rt.compiler is not None else 0),
+    )
+
+
+@dataclasses.dataclass
+class BackendComparison:
+    """Interp-vs-compiled execution of one workload's residual code."""
+
+    name: str
+    config: str
+    fuel: int                     # identical across backends by contract
+    aot_seconds: float            # specialize + mid-end
+    backend_compile_seconds: float
+    compiled_functions: int
+    backend_fallbacks: int
+    wall_vm_seconds: float        # residual IR on the VM (best of repeats)
+    wall_py_seconds: float        # residual compiled to Python
+
+    @property
+    def speedup(self) -> float:
+        return self.wall_vm_seconds / max(self.wall_py_seconds, 1e-12)
+
+
+def run_backend_comparison(name: str, config: str = "wevaled_state",
+                           repeats: int = 3) -> BackendComparison:
+    """AOT-compile one workload once, then run the snapshot both ways —
+    residual IR on the VM and residual compiled to Python — asserting
+    identical printed output and fuel before reporting the speedup."""
+    rt = JSRuntime(WORKLOADS[name], config)
+    start = time.perf_counter()
+    rt.aot_compile()
+    aot_seconds = time.perf_counter() - start
+    rt.compiler.compile_backend()  # up front, outside the timed runs
+
+    def best_run(backend: str):
+        best = None
+        fuel = printed = None
+        for _ in range(repeats):
+            mark = len(rt.printed)
+            start = time.perf_counter()
+            vm = rt.run(backend)
+            elapsed = time.perf_counter() - start
+            printed = rt.printed[mark:]
+            fuel = vm.stats.fuel
+            best = elapsed if best is None else min(best, elapsed)
+        return best, fuel, printed
+
+    wall_vm, fuel_vm, printed_vm = best_run("vm")
+    wall_py, fuel_py, printed_py = best_run("py")
+    assert printed_vm == printed_py, (
+        f"{name}: backend output diverged: {printed_vm!r} != {printed_py!r}")
+    assert fuel_vm == fuel_py, (
+        f"{name}: backend fuel diverged: {fuel_vm} != {fuel_py}")
+    return BackendComparison(
+        name=name,
+        config=config,
+        fuel=fuel_vm,
+        aot_seconds=aot_seconds,
+        backend_compile_seconds=rt.compiler.backend_compile_seconds,
+        compiled_functions=len(rt.compiler.backend_functions),
+        backend_fallbacks=len(rt.compiler.backend_fallbacks),
+        wall_vm_seconds=wall_vm,
+        wall_py_seconds=wall_py,
     )
 
 

@@ -72,11 +72,17 @@ class SpecializationCache:
         snapshot = bytes(memory if memory is not None
                          else module.memory_init)
         generic = module.functions[request.generic]
+        # options.backend keys the cache even though the residual IR is
+        # backend-independent: the execution tier is part of the request
+        # configuration, and sharing one cache across tiers is rarer
+        # than the debugging confusion of a hit that silently ignores a
+        # differing option.
         key = (self._generic_fingerprint(generic),
                request.cache_key(),
                _memory_fingerprint(request, snapshot),
                (options.ssa_mode, options.optimize, options.opt_config,
-                options.opt_max_rounds) if options else None)
+                options.opt_max_rounds, options.backend)
+               if options else None)
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1

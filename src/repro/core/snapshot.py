@@ -24,7 +24,8 @@ are patched, and execution resumes from the snapshot.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.cache import SpecializationCache
 from repro.core.request import SpecializationRequest
@@ -56,6 +57,11 @@ class SnapshotCompiler:
         self.pending: List[Tuple[SpecializationRequest, int]] = []
         self.processed: List[ProcessedRequest] = []
         self.total_stats = SpecializationStats()
+        # Tier-2 backend state (populated lazily by compile_backend).
+        self.backend_functions: Dict[str, Callable] = {}
+        self.backend_fallbacks: List[Tuple[str, str]] = []
+        self.backend_compile_seconds = 0.0
+        self._backend_compiled = False
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -120,9 +126,47 @@ class SnapshotCompiler:
         self.module.globals.update(vm.globals)
         return self.module
 
-    def resume(self) -> VM:
-        """A fresh VM resuming from the frozen snapshot."""
-        return VM(self.module)
+    def compile_backend(self,
+                        names: Optional[List[str]] = None
+                        ) -> Dict[str, Callable]:
+        """Compile residual functions to Python callables (tier 2).
+
+        ``names`` defaults to every processed specialization (idempotent
+        in that case); a partial list compiles only those functions and
+        leaves the full set to a later call.  Functions the emitter
+        cannot express are recorded in ``backend_fallbacks`` and stay on
+        the IR VM.
+        """
+        from repro.backend import compile_functions
+        full = names is None
+        if full:
+            if self._backend_compiled:
+                return self.backend_functions
+            names = [p.function_name for p in self.processed]
+        start = time.perf_counter()
+        todo = [n for n in names if n not in self.backend_functions]
+        compiled, fallbacks = compile_functions(self.module, todo)
+        self.backend_functions.update(compiled)
+        recompiled = set(todo)
+        self.backend_fallbacks = [f for f in self.backend_fallbacks
+                                  if f[0] not in recompiled] + fallbacks
+        self.backend_compile_seconds += time.perf_counter() - start
+        if full:
+            self._backend_compiled = True
+        return compiled
+
+    def resume(self, backend: Optional[str] = None) -> VM:
+        """A fresh VM resuming from the frozen snapshot.
+
+        ``backend`` overrides ``options.backend`` for this VM: ``"py"``
+        attaches the compiled residual functions (compiling them on
+        first use), ``"vm"`` interprets the IR.
+        """
+        vm = VM(self.module)
+        if (backend or self.options.backend) == "py":
+            self.compile_backend()
+            vm.install_compiled(self.backend_functions)
+        return vm
 
     # ------------------------------------------------------------------
     # Convenience: the whole pipeline in one call.

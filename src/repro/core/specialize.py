@@ -30,6 +30,7 @@ ablation.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
@@ -82,6 +83,11 @@ class SpecializeError(Exception):
     """Specialization failed (bad request, assert_const violation, ...)."""
 
 
+def _default_backend() -> str:
+    """Execution tier for residual code; overridable per environment."""
+    return os.environ.get("REPRO_BACKEND", "vm")
+
+
 @dataclasses.dataclass
 class SpecializeOptions:
     """Tunables for the transform."""
@@ -91,6 +97,11 @@ class SpecializeOptions:
     opt_config: str = "default"        # named pipeline (see opt.PIPELINES)
     opt_max_rounds: int = 6            # pipeline fixpoint round cap
     verify_opt: bool = False           # run the IR verifier after each pass
+    # Execution tier for the residual code: "vm" interprets the IR,
+    # "py" compiles it to native Python functions (repro.backend) with
+    # automatic per-function fallback to the VM.  Defaults to the
+    # REPRO_BACKEND environment variable (or "vm").
+    backend: str = dataclasses.field(default_factory=_default_backend)
     max_revisits: int = 64             # per-key convergence safeguard
     max_value_specializations: int = 4096
     max_iterations: int = 2_000_000
@@ -103,6 +114,8 @@ class SpecializeOptions:
     def __post_init__(self):
         if self.ssa_mode not in ("minimal", "naive"):
             raise ValueError(f"bad ssa_mode {self.ssa_mode!r}")
+        if self.backend not in ("vm", "py"):
+            raise ValueError(f"bad backend {self.backend!r}")
         from repro.opt.pass_manager import PIPELINES
         if self.opt_config not in PIPELINES:
             raise ValueError(f"bad opt_config {self.opt_config!r}")

@@ -302,6 +302,11 @@ class JSRuntime:
     # ------------------------------------------------------------------
     # AOT compilation (the snapshot workflow).
     # ------------------------------------------------------------------
+    @property
+    def aot_done(self) -> bool:
+        """Whether :meth:`aot_compile` has produced the snapshot."""
+        return self._aot_done
+
     def aot_compile(self) -> SnapshotCompiler:
         if self.config not in ("wevaled", "wevaled_state"):
             raise RuntimeError(f"config {self.config} is not AOT")
@@ -358,11 +363,16 @@ class JSRuntime:
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
-    def run(self) -> VM:
-        """Execute main; returns the VM (result on ``vm.result``)."""
+    def run(self, backend: Optional[str] = None) -> VM:
+        """Execute main; returns the VM (result on ``vm.result``).
+
+        ``backend`` overrides ``options.backend`` for this run: ``"py"``
+        executes residual functions as compiled Python (tier 2), ``"vm"``
+        interprets the residual IR.
+        """
         if self.config in ("wevaled", "wevaled_state") and not self._aot_done:
             self.aot_compile()
-        vm = (self.compiler.resume() if self.compiler is not None
+        vm = (self.compiler.resume(backend) if self.compiler is not None
               else VM(self.module))
         # Engine-frontend cost model: parsing and bytecode emission are
         # identical across configurations.

@@ -240,12 +240,17 @@ class LuaRuntime:
         self.compiler = compiler
         return compiler
 
-    def run_aot(self) -> VM:
+    def run_aot(self, backend: Optional[str] = None) -> VM:
         """Run the chunk after AOT compilation (calls go through the
-        patched ``spec`` function pointers)."""
+        patched ``spec`` function pointers).
+
+        ``backend`` overrides the specialization options' backend for
+        this run: ``"py"`` executes the residual functions as compiled
+        Python (tier 2), ``"vm"`` interprets the residual IR.
+        """
         if self.compiler is None:
             self.aot_compile()
-        vm = self.compiler.resume()
+        vm = self.compiler.resume(backend)
         vm.result = vm.call("lua_call",
                             [self.proto_addrs[0], self.stack_base])
         return vm

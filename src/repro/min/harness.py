@@ -135,9 +135,16 @@ def _time(fn: Callable[[], int], repeats: int = 1):
     return result, best
 
 
-def run_fig8_configs(n: int = 1000, repeats: int = 1) -> Dict[str, ConfigResult]:
+def run_fig8_configs(n: int = 1000, repeats: int = 1,
+                     backend: str = "vm") -> Dict[str, ConfigResult]:
     """Run all five Fig. 8 configurations on sum-to-n; returns per-config
-    results keyed by configuration name."""
+    results keyed by configuration name.
+
+    ``backend="py"`` additionally runs the two residual functions through
+    the tier-2 Python backend (configs ``wevaled_py`` and
+    ``wevaled_state_py``), whose fuel must be identical to the IR-VM
+    runs — only the wall clock moves.
+    """
     program = sum_to_n_program(n)
     module = build_min_module(program)
     compile_source(SUM_COMPILED_SRC).add_to_module(module)
@@ -145,14 +152,22 @@ def run_fig8_configs(n: int = 1000, repeats: int = 1) -> Dict[str, ConfigResult]
                              name="min_wevaled")
     wevaled_state = specialize_min(module, program, use_intrinsics=True,
                                    name="min_wevaled_state")
+    compiled_fns = {}
+    if backend == "py":
+        from repro.backend import compile_function
+        for func in (wevaled, wevaled_state):
+            compiled_fns[func.name] = compile_function(func, module).pyfunc
 
     results: Dict[str, ConfigResult] = {}
 
-    def vm_config(name: str, func: str, args: List[int]):
+    def vm_config(name: str, func: str, args: List[int],
+                  use_backend: bool = False):
         holder = {}
 
         def go():
             vm = VM(module)
+            if use_backend:
+                vm.install_compiled(compiled_fns)
             holder["vm"] = vm
             return vm.call(func, args)
 
@@ -174,6 +189,11 @@ def run_fig8_configs(n: int = 1000, repeats: int = 1) -> Dict[str, ConfigResult]
               [PROGRAM_BASE, len(program.words), 0])
     vm_config("wevaled_state", wevaled_state.name,
               [PROGRAM_BASE, len(program.words), 0])
+    if backend == "py":
+        vm_config("wevaled_py", wevaled.name,
+                  [PROGRAM_BASE, len(program.words), 0], use_backend=True)
+        vm_config("wevaled_state_py", wevaled_state.name,
+                  [PROGRAM_BASE, len(program.words), 0], use_backend=True)
 
     expected = n * (n + 1) // 2
     for config in results.values():

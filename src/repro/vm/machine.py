@@ -71,12 +71,17 @@ class ExecStats:
 class VM:
     """An instantiated module: memory + globals + table + execution."""
 
-    def __init__(self, module: Module, fuel_limit: Optional[int] = None):
+    def __init__(self, module: Module, fuel_limit: Optional[int] = None,
+                 compiled: Optional[Dict[str, object]] = None):
         self.module = module
         self.memory = bytearray(module.memory_init)
         self.globals: Dict[str, int] = dict(module.globals)
         self.stats = ExecStats()
         self.fuel_limit = fuel_limit
+        # Tier-2 backend: function name -> Python callable with the same
+        # observable semantics as interpreting the IR body.  Consulted on
+        # every call, so compiled and interpreted functions mix freely.
+        self.compiled: Dict[str, object] = dict(compiled or {})
         self._call_depth = 0
         self._max_call_depth = 1000
         # Guest calls map to Python recursion (a handful of Python frames
@@ -121,12 +126,26 @@ class VM:
     # ------------------------------------------------------------------
     # Calls.
     # ------------------------------------------------------------------
+    def install_compiled(self, compiled: Dict[str, object]) -> None:
+        """Register tier-2 backend callables (name -> ``fn(vm, *args)``)."""
+        self.compiled.update(compiled)
+
     def call(self, name: str, args: List[object] = ()) -> object:
-        """Call a function (IR or host import) by name."""
+        """Call a function (host import, compiled, or IR) by name."""
         if name in self.module.imports:
             self.stats.host_calls += 1
             host = self.module.imports[name]
             return host.fn(self, *args)
+        fn = self.compiled.get(name)
+        if fn is not None:
+            self._call_depth += 1
+            if self._call_depth > self._max_call_depth:
+                self._call_depth -= 1
+                raise VMTrap(f"call stack exhausted in {name}")
+            try:
+                return fn(self, *args)
+            finally:
+                self._call_depth -= 1
         func = self.module.functions.get(name)
         if func is None:
             raise VMTrap(f"call to unknown function {name}")

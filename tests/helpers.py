@@ -2,11 +2,39 @@
 
 from __future__ import annotations
 
+import difflib
+import os
 from typing import Dict, Optional, Tuple
 
 from repro.frontend import compile_source
 from repro.ir import Module, verify_module
 from repro.vm import VM
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def check_golden(request, name: str, text: str) -> None:
+    """Diff ``text`` against ``tests/golden/<name>.txt`` (or rewrite the
+    snapshot when running with ``--update-golden``)."""
+    import pytest
+
+    path = os.path.join(GOLDEN_DIR, name + ".txt")
+    if request.config.getoption("--update-golden"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        return
+    assert os.path.exists(path), (
+        f"golden file {path} missing; run with --update-golden to create")
+    with open(path) as handle:
+        expected = handle.read().rstrip("\n")
+    if text.rstrip("\n") != expected:
+        diff = "\n".join(difflib.unified_diff(
+            expected.splitlines(), text.rstrip("\n").splitlines(),
+            fromfile=f"golden/{name}.txt", tofile="current", lineterm=""))
+        pytest.fail(
+            f"golden output for {name!r} changed; run --update-golden if "
+            f"intentional:\n{diff}")
 
 
 def build_module(source: str, memory_size: int = 1 << 16,

@@ -1,0 +1,324 @@
+"""Property tests for the tier-2 Python backend (:mod:`repro.backend`).
+
+The backend's contract is observational equivalence with the IR VM:
+identical results, identical prints, identical trap kinds/messages, and
+identical deterministic fuel on every execution that completes or traps
+at a block boundary.  These tests pin that contract on three axes the
+differential corpus does not isolate:
+
+* random verified functions (via the mini-C frontend) over adversarial
+  i64 inputs, including both trap arms of division/remainder;
+* signedness/wraparound at the ``2**63`` boundary for every integer
+  binop and comparison, one op at a time;
+* ``br_table`` out-of-range defaulting (including huge indices) and
+  branch-argument passing on table edges;
+* fuel determinism and ``OutOfFuel`` agreement under a fuel limit;
+* per-function fallback for constructs the emitter rejects.
+"""
+
+import random
+
+import pytest
+
+from repro.backend import (
+    UnsupportedConstruct,
+    compile_function,
+    compile_functions,
+)
+from repro.core.specialize import SpecializeOptions
+from repro.ir.function import Function, Signature
+from repro.ir.instructions import BlockCall, BrTable, Instr, Jump, Ret
+from repro.ir.module import Module
+from repro.ir.types import I64
+from repro.min.interp import PROGRAM_BASE, build_min_module, specialize_min
+from repro.min.harness import sum_to_n_program
+from repro.vm import VM, OutOfFuel, VMTrap
+
+from tests.helpers import build_module
+
+TWO63 = 1 << 63
+MASK64 = (1 << 64) - 1
+
+BOUNDARY_VALUES = (0, 1, 2, TWO63 - 1, TWO63, TWO63 + 1, MASK64)
+
+
+def _run_both(module: Module, name: str, args,
+              fuel_limit=None):
+    """Run one function on the IR VM and as compiled Python; return
+    ``((status, payload, fuel), ...)`` for each backend."""
+    compiled = compile_function(module.functions[name], module)
+
+    def run(install: bool):
+        vm = VM(module, fuel_limit=fuel_limit)
+        if install:
+            vm.install_compiled({name: compiled.pyfunc})
+        try:
+            result = vm.call(name, list(args))
+            return ("ok", result, vm.stats.fuel)
+        except VMTrap as trap:
+            return ("trap", str(trap), None)
+        except OutOfFuel:
+            return ("out-of-fuel", None, None)
+
+    return run(False), run(True)
+
+
+# ---------------------------------------------------------------------------
+# Random verified functions.
+# ---------------------------------------------------------------------------
+
+_BINOPS = ("+", "-", "*", "&", "|", "^", "<", "<=", "==", "!=")
+_CALLOPS = ("sdiv", "srem", "slt", "sle")
+
+
+def _expr(rng: random.Random, names, depth: int) -> str:
+    if depth <= 0 or rng.random() < 0.3:
+        roll = rng.random()
+        if roll < 0.45:
+            return rng.choice(names)
+        if roll < 0.8:
+            return str(rng.randint(0, 9))
+        return str(rng.choice(BOUNDARY_VALUES))
+    left = _expr(rng, names, depth - 1)
+    right = _expr(rng, names, depth - 1)
+    roll = rng.random()
+    if roll < 0.6:
+        return f"({left} {rng.choice(_BINOPS)} {right})"
+    if roll < 0.75:
+        # Division/remainder keep possibly-zero divisors: trap-message
+        # equality is part of the property.
+        return f"({left} {rng.choice(('/', '%'))} {right})"
+    if roll < 0.9:
+        return f"{rng.choice(_CALLOPS)}({left}, {right})"
+    return f"({left} {rng.choice(('<<', '>>'))} ({right} & 63))"
+
+
+def _random_source(rng: random.Random) -> str:
+    names = ["x", "y", "a", "b"]
+    body = [f"  u64 a = {_expr(rng, ['x', 'y'], 2)};",
+            f"  u64 b = {_expr(rng, ['x', 'y'], 2)};",
+            f"  u64 i = {rng.randint(1, 6)};",
+            "  while (i != 0) {",
+            f"    a = {_expr(rng, names + ['i'], 2)};",
+            f"    if ({_expr(rng, names, 1)} < {_expr(rng, names, 1)}) {{",
+            f"      b = {_expr(rng, names, 2)};",
+            "    } else {",
+            f"      a = {_expr(rng, names + ['i'], 1)};",
+            "    }",
+            "    i = i - 1;",
+            "  }",
+            "  return a + b;"]
+    return "u64 f(u64 x, u64 y) {\n" + "\n".join(body) + "\n}\n"
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_function_differential(seed):
+    rng = random.Random(0xBAC0 + seed)
+    module = build_module(_random_source(rng))
+    inputs = [(0, 1), (TWO63, TWO63 - 1), (MASK64, 12345),
+              (rng.randint(0, MASK64), rng.randint(0, MASK64))]
+    for args in inputs:
+        got_vm, got_py = _run_both(module, "f", args)
+        if got_vm[0] == "ok":
+            assert got_py == got_vm, (
+                f"seed {seed} args {args}: vm={got_vm!r} py={got_py!r}")
+        else:
+            # Traps must agree in kind and message; fuel may legitimately
+            # differ on a mid-block trap (the backend charges per block).
+            assert got_py[:2] == got_vm[:2], (
+                f"seed {seed} args {args}: vm={got_vm!r} py={got_py!r}")
+
+
+# ---------------------------------------------------------------------------
+# Signedness and wraparound at the 2**63 boundary, one op at a time.
+# ---------------------------------------------------------------------------
+
+_SINGLE_OPS = ["a + b", "a - b", "a * b", "a / b", "a % b",
+               "sdiv(a, b)", "srem(a, b)",
+               "a << (b & 63)", "a >> (b & 63)",
+               "a < b", "a <= b", "a == b", "a != b",
+               "slt(a, b)", "sle(a, b)"]
+
+
+@pytest.mark.parametrize("op", _SINGLE_OPS)
+def test_i64_boundary_semantics(op):
+    module = build_module(f"u64 f(u64 a, u64 b) {{ return {op}; }}")
+    for a in BOUNDARY_VALUES:
+        for b in BOUNDARY_VALUES:
+            got_vm, got_py = _run_both(module, "f", (a, b))
+            if got_vm[0] == "ok":
+                assert got_py == got_vm, (
+                    f"{op} a={a} b={b}: vm={got_vm!r} py={got_py!r}")
+                assert 0 <= got_vm[1] <= MASK64
+            else:
+                assert got_py[:2] == got_vm[:2], (
+                    f"{op} a={a} b={b}: vm={got_vm!r} py={got_py!r}")
+
+
+def test_sdiv_min_by_minus_one_wraps():
+    """-2**63 / -1 wraps back to -2**63 (no Python bignum escape)."""
+    module = build_module("u64 f(u64 a, u64 b) { return sdiv(a, b); }")
+    got_vm, got_py = _run_both(module, "f", (TWO63, MASK64))
+    assert got_vm == got_py
+    assert got_vm[1] == TWO63
+
+
+# ---------------------------------------------------------------------------
+# BrTable out-of-range defaulting.
+# ---------------------------------------------------------------------------
+
+def _brtable_function(ncases: int) -> Module:
+    """``f(x)``: br_table over x with per-edge branch arguments; case i
+    returns 100 + i, out-of-range returns 999."""
+    func = Function("bt", Signature((I64,), (I64,)))
+    entry = func.new_block()
+    func.entry = entry.id
+    index = func.add_block_param(entry, I64)
+    cases = []
+    consts = []
+    for i in range(ncases):
+        cid = func.new_value(I64)
+        entry.instrs.append(Instr("iconst", cid, (), 100 + i, I64))
+        consts.append(cid)
+    default_const = func.new_value(I64)
+    entry.instrs.append(Instr("iconst", default_const, (), 999, I64))
+
+    ret_block = func.new_block()
+    param = func.add_block_param(ret_block, I64)
+    ret_block.terminator = Ret((param,))
+
+    for cid in consts:
+        case_block = func.new_block()
+        case_block.terminator = Jump(BlockCall(ret_block.id, (cid,)))
+        cases.append(BlockCall(case_block.id, ()))
+    entry.terminator = BrTable(index, cases,
+                               BlockCall(ret_block.id, (default_const,)))
+
+    module = Module(memory_size=4096)
+    module.add_function(func)
+    return module
+
+
+@pytest.mark.parametrize("ncases", [0, 1, 3, 7])
+def test_brtable_out_of_range_defaulting(ncases):
+    module = _brtable_function(ncases)
+    probes = list(range(ncases + 2)) + [TWO63, MASK64]
+    for x in probes:
+        got_vm, got_py = _run_both(module, "bt", (x,))
+        assert got_vm == got_py, f"x={x}: vm={got_vm!r} py={got_py!r}"
+        expected = 100 + x if x < ncases else 999
+        assert got_vm[1] == expected
+
+
+# ---------------------------------------------------------------------------
+# Fuel determinism and OutOfFuel agreement.
+# ---------------------------------------------------------------------------
+
+def _min_residual():
+    program = sum_to_n_program(50)
+    module = build_min_module(program)
+    func = specialize_min(module, program, use_intrinsics=False,
+                          options=SpecializeOptions(backend="vm"),
+                          name="fuel_probe")
+    return module, func, [PROGRAM_BASE, len(program.words), 0]
+
+
+def test_fuel_determinism_on_residual():
+    module, func, args = _min_residual()
+    got_vm, got_py = _run_both(module, func.name, args)
+    assert got_vm[0] == got_py[0] == "ok"
+    assert got_vm[1] == got_py[1] == 50 * 51 // 2
+    assert got_vm[2] == got_py[2], "backend fuel must match the VM"
+
+
+def test_out_of_fuel_agreement():
+    module, func, args = _min_residual()
+    full_fuel = _run_both(module, func.name, args)[0][2]
+    for limit in (1, full_fuel // 3):
+        got_vm, got_py = _run_both(module, func.name, args,
+                                   fuel_limit=limit)
+        assert got_vm[0] == got_py[0] == "out-of-fuel", (
+            f"limit {limit}: vm={got_vm!r} py={got_py!r}")
+    # Near the exact total the VM may or may not hit the limit (it only
+    # checks at block boundaries) — the backend must agree either way.
+    for limit in range(max(full_fuel - 4, 1), full_fuel + 1):
+        got_vm, got_py = _run_both(module, func.name, args,
+                                   fuel_limit=limit)
+        assert got_vm == got_py, (
+            f"limit {limit}: vm={got_vm!r} py={got_py!r}")
+    got_vm, got_py = _run_both(module, func.name, args,
+                               fuel_limit=full_fuel)
+    assert got_vm[0] == got_py[0] == "ok"
+
+
+# ---------------------------------------------------------------------------
+# Fallback for unsupported constructs.
+# ---------------------------------------------------------------------------
+
+_CALLING_SRC = """
+u64 helper(u64 x) {
+  u64 i = x;
+  u64 s = 0;
+  while (i != 0) { s = s + i * 3; i = i - 1; }
+  return s;
+}
+u64 f(u64 n) {
+  u64 t = helper(n) + helper(n + 1) * 2;
+  return t + 7;
+}
+"""
+
+
+def test_out_of_fuel_agreement_across_calls():
+    """Fuel-limit checks inside a *callee* observe the shared counter,
+    so the backend must not pre-charge instructions that come after a
+    call in the caller's block (the call here is mid-block, followed by
+    arithmetic).  Sweep every limit and require exact agreement."""
+    module = build_module(_CALLING_SRC)
+    compiled, fallbacks = compile_functions(module)
+    assert not fallbacks
+
+    def run(install: bool, limit):
+        vm = VM(module, fuel_limit=limit)
+        if install:
+            vm.install_compiled(compiled)
+        try:
+            return ("ok", vm.call("f", [9]), vm.stats.fuel)
+        except OutOfFuel:
+            return ("out-of-fuel", None, vm.stats.fuel)
+
+    total = run(False, None)[2]
+    for limit in range(1, total + 2):
+        got_vm = run(False, limit)
+        got_py = run(True, limit)
+        assert got_vm == got_py, (
+            f"limit {limit}: vm={got_vm!r} py={got_py!r}")
+
+
+def test_unsupported_opcode_falls_back():
+    func = Function("weird", Signature((), (I64,)))
+    entry = func.new_block()
+    func.entry = entry.id
+    vid = func.new_value(I64)
+    entry.instrs.append(Instr("iconst", vid, (), 1, I64))
+    bogus = func.new_value(I64)
+    entry.instrs.append(Instr("frobnicate", bogus, (vid,), None, I64))
+    entry.terminator = Ret((bogus,))
+    module = Module(memory_size=64)
+    module.add_function(func)
+
+    with pytest.raises(UnsupportedConstruct, match="frobnicate"):
+        compile_function(func, module)
+    compiled, fallbacks = compile_functions(module)
+    assert compiled == {}
+    assert fallbacks and fallbacks[0][0] == "weird"
+    assert "frobnicate" in fallbacks[0][1]
+
+
+def test_backend_option_validation_and_env(monkeypatch):
+    with pytest.raises(ValueError, match="bad backend"):
+        SpecializeOptions(backend="jit")
+    monkeypatch.setenv("REPRO_BACKEND", "py")
+    assert SpecializeOptions().backend == "py"
+    monkeypatch.delenv("REPRO_BACKEND")
+    assert SpecializeOptions().backend == "vm"

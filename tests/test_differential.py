@@ -1,14 +1,16 @@
 """Differential tests: generic interpretation vs. specialized residual
-code on seeded random programs.
+code on seeded random programs — across both execution backends.
 
 Fifty seeded random programs across the three guest frontends (Min ISA,
-MiniLua, MiniJS) are each run two ways — under the generic interpreter
-on the VM, and as the specialized (first Futamura projection) residual
-function — and must produce identical results, prints, and traps.  Every
-comparison is made at two optimization levels: ``-O0`` (raw specializer
-output, no mid-end) and the full default pipeline, so a miscompiling
-pass shows up as a divergence between levels and a specializer bug shows
-up at both.
+MiniLua, MiniJS) are each run three ways — under the generic interpreter
+on the VM, as the specialized (first Futamura projection) residual
+function interpreted by the IR VM, and as the same residual compiled to
+native Python by the tier-2 backend (:mod:`repro.backend`) — and must
+produce identical results, prints, and traps.  Every comparison is made
+at two optimization levels: ``-O0`` (raw specializer output, no mid-end)
+and the full default pipeline, so a miscompiling pass shows up as a
+divergence between levels, a specializer bug shows up at both, and a
+backend bug shows up as a VM-vs-py divergence at either level.
 
 The generators are structured (bounded counted loops, forward skips,
 guarded conditionals) so every program terminates; MiniLua programs
@@ -20,6 +22,7 @@ import random
 
 import pytest
 
+from repro.backend import compile_function
 from repro.core.specialize import SpecializeOptions
 from repro.jsvm import JSRuntime
 from repro.luavm.runtime import LuaRuntime
@@ -32,8 +35,8 @@ from repro.vm.machine import VMTrap
 N_MIN, N_LUA, N_JS = 24, 20, 6  # 50 programs total
 
 OPT_LEVELS = {
-    "O0": SpecializeOptions(optimize=False),
-    "full": SpecializeOptions(),
+    "O0": SpecializeOptions(optimize=False, backend="vm"),
+    "full": SpecializeOptions(backend="vm"),
 }
 
 
@@ -105,12 +108,26 @@ def test_min_differential(seed):
         spec_module = build_min_module(program)
         func = specialize_min(spec_module, program, use_intrinsics,
                               options=options, name=f"spec_{level}")
+        compiled = compile_function(func, spec_module)
         for value in inputs:
-            got = VM(spec_module).call(
+            vm = VM(spec_module)
+            got = vm.call(
                 func.name, [PROGRAM_BASE, len(program.words), value])
             assert got == expected[value], (
                 f"seed {seed} level {level} input {value}: "
                 f"specialized {got} != interpreted {expected[value]}")
+            # Tier-2 backend: same residual compiled to Python must
+            # agree on the result *and* on deterministic fuel.
+            vm_py = VM(spec_module)
+            vm_py.install_compiled({func.name: compiled.pyfunc})
+            got_py = vm_py.call(
+                func.name, [PROGRAM_BASE, len(program.words), value])
+            assert got_py == expected[value], (
+                f"seed {seed} level {level} input {value}: "
+                f"py-compiled {got_py} != interpreted {expected[value]}")
+            assert vm_py.stats.fuel == vm.stats.fuel, (
+                f"seed {seed} level {level} input {value}: backend fuel "
+                f"{vm_py.stats.fuel} != VM fuel {vm.stats.fuel}")
 
 
 # ---------------------------------------------------------------------------
@@ -203,12 +220,12 @@ def random_lua_chunk(rng: random.Random) -> str:
     return "\n".join(lines)
 
 
-def _run_lua(source: str, aot: bool, options=None):
+def _run_lua(source: str, aot: bool, options=None, backend=None):
     runtime = LuaRuntime(source)
     try:
         if aot:
             runtime.aot_compile(options)
-            vm = runtime.run_aot()
+            vm = runtime.run_aot(backend)
         else:
             vm = runtime.run_interpreted()
         return ("ok", vm.result, tuple(runtime.printed))
@@ -226,6 +243,10 @@ def test_lua_differential(seed):
         assert got == expected, (
             f"seed {seed} level {level}:\n{source}\n"
             f"interp={expected!r} aot={got!r}")
+        got_py = _run_lua(source, aot=True, options=options, backend="py")
+        assert got_py == expected, (
+            f"seed {seed} level {level} backend=py:\n{source}\n"
+            f"interp={expected!r} aot={got_py!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -287,7 +308,18 @@ def test_js_differential(seed):
     config = "wevaled_state" if seed % 2 else "wevaled"
     for level, options in OPT_LEVELS.items():
         runtime = JSRuntime(source, config, options=options)
-        runtime.run()
+        vm = runtime.run()
         assert runtime.printed == reference.printed, (
             f"seed {seed} config {config} level {level}:\n{source}\n"
             f"interp={reference.printed!r} aot={runtime.printed!r}")
+        # Tier-2 backend over the same snapshot: identical prints and
+        # identical deterministic fuel.
+        runtime.printed.clear()
+        vm_py = runtime.run(backend="py")
+        assert runtime.printed == reference.printed, (
+            f"seed {seed} config {config} level {level} backend=py:\n"
+            f"{source}\n"
+            f"interp={reference.printed!r} py={runtime.printed!r}")
+        assert vm_py.stats.fuel == vm.stats.fuel, (
+            f"seed {seed} config {config} level {level}: backend fuel "
+            f"{vm_py.stats.fuel} != VM fuel {vm.stats.fuel}")

@@ -10,18 +10,13 @@ To accept intentional changes, regenerate the snapshots with::
     PYTHONPATH=src python -m pytest tests/test_golden_ir.py --update-golden
 """
 
-import difflib
-import os
-
-import pytest
-
 from repro.ir import print_function, verify_function
 from repro.luavm.runtime import LuaRuntime
 from repro.min.harness import sum_to_n_program
 from repro.min.interp import PROGRAM_BASE, build_min_module, specialize_min
 from repro.vm import VM
 
-GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+from tests.helpers import check_golden
 
 LUA_GCD_SRC = """
 function gcd(a, b)
@@ -36,26 +31,6 @@ print(gcd(1071, 462))
 """
 
 
-def _check_golden(request, name: str, text: str) -> None:
-    path = os.path.join(GOLDEN_DIR, name + ".txt")
-    if request.config.getoption("--update-golden"):
-        os.makedirs(GOLDEN_DIR, exist_ok=True)
-        with open(path, "w") as handle:
-            handle.write(text + "\n")
-        return
-    assert os.path.exists(path), (
-        f"golden file {path} missing; run with --update-golden to create")
-    with open(path) as handle:
-        expected = handle.read().rstrip("\n")
-    if text != expected:
-        diff = "\n".join(difflib.unified_diff(
-            expected.splitlines(), text.splitlines(),
-            fromfile=f"golden/{name}.txt", tofile="current", lineterm=""))
-        pytest.fail(
-            f"residual IR for {name!r} changed; run --update-golden if "
-            f"intentional:\n{diff}")
-
-
 def test_min_sum_residual_golden(request):
     """Full-pipeline residual IR for the Fig. 8 sum-to-n Min workload
     (plain variant: registers in memory, so the mid-end has work)."""
@@ -66,7 +41,7 @@ def test_min_sum_residual_golden(request):
     verify_function(func, module)
     assert VM(module).call(func.name,
                            [PROGRAM_BASE, len(program.words), 0]) == 15
-    _check_golden(request, "min_sum_residual", print_function(func))
+    check_golden(request, "min_sum_residual", print_function(func))
 
 
 def test_lua_gcd_residual_golden(request):
@@ -77,4 +52,4 @@ def test_lua_gcd_residual_golden(request):
     assert runtime.printed == [21]
     func = runtime.module.functions["lua$gcd"]
     verify_function(func, runtime.module)
-    _check_golden(request, "lua_gcd_residual", print_function(func))
+    check_golden(request, "lua_gcd_residual", print_function(func))
