@@ -20,6 +20,7 @@ from repro.backend.emitter import (
     UnsupportedConstruct,
     compile_function,
     compile_functions,
+    compile_python_source,
 )
 from repro.backend.runtime import BACKEND_GLOBALS
 
@@ -30,5 +31,6 @@ __all__ = [
     "UnsupportedConstruct",
     "compile_function",
     "compile_functions",
+    "compile_python_source",
     "BACKEND_GLOBALS",
 ]

@@ -21,10 +21,17 @@ observable semantics:
   can call each other freely (the VM consults its ``compiled`` table on
   every call).
 
-Control flow: blocks are renumbered in reverse-postorder and dispatched
-inside a ``while True`` loop through a binary decision tree over the
-block index ``_b`` (depth ``log2(n)``), with block-parameter passing as
-parallel tuple assignment.  Anything the emitter cannot express raises
+Control flow: blocks are renumbered in reverse-postorder, scheduled
+into fall-through *chains*, and dispatched inside a ``while True`` loop
+through a binary decision tree over the block index ``_b`` (depth
+``log2(n)``), with block-parameter passing as parallel tuple
+assignment.  A chain is a run of blocks linked by unconditional jumps
+(RPO-forward, so loop backedges still dispatch); the linked blocks are
+laid out consecutively and the jump between them costs one ``_b <= k``
+compare instead of a full dispatch round trip — entering a chain
+mid-way (from some other predecessor) still works, because every block
+keeps its dispatch index and the per-member guards skip the members
+before it.  Anything the emitter cannot express raises
 :class:`UnsupportedConstruct`; callers fall back to the VM per function.
 """
 
@@ -106,6 +113,11 @@ class CompiledFunction:
     name: str
     source: str
     pyfunc: Callable
+    # Static dispatch accounting from the fall-through scheduler: how
+    # many blocks remained dispatch targets, and how many intra-chain
+    # jumps became plain fall-through.
+    dispatch_blocks: int = 0
+    fallthrough_links: int = 0
 
 
 class PyEmitter:
@@ -115,6 +127,9 @@ class PyEmitter:
         self.func = func
         self.module = module
         self.used: Set[str] = set()
+        self._chain_next: Dict[int, int] = {}
+        self.dispatch_blocks = 0
+        self.fallthrough_links = 0
 
     # ------------------------------------------------------------------
     # Block ordering and dispatch indices.
@@ -155,13 +170,50 @@ class PyEmitter:
         assert order[0] == func.entry
         return order
 
+    def _schedule_chains(self, rpo: List[int]) -> List[List[int]]:
+        """Greedy fall-through scheduling over the RPO order.
+
+        Links ``A -> B`` when A ends in an unconditional jump to B, B is
+        not the entry, B is RPO-later than A (no cycles, so loop
+        backedges keep dispatching), and no earlier block already
+        claimed B as its layout successor.
+        """
+        func = self.func
+        position = {bid: i for i, bid in enumerate(rpo)}
+        succ_of: Dict[int, int] = {}
+        claimed: Set[int] = set()
+        for bid in rpo:
+            term = func.blocks[bid].terminator
+            if not isinstance(term, Jump):
+                continue
+            target = term.target.block
+            if (target != bid and target != func.entry
+                    and target not in claimed
+                    and position[target] > position[bid]):
+                succ_of[bid] = target
+                claimed.add(target)
+        chains = []
+        for bid in rpo:
+            if bid in claimed:
+                continue
+            chain = [bid]
+            while chain[-1] in succ_of:
+                chain.append(succ_of[chain[-1]])
+            chains.append(chain)
+        return chains
+
     # ------------------------------------------------------------------
     # Source assembly.
     # ------------------------------------------------------------------
     def emit_source(self) -> str:
         func = self.func
-        order = self._block_order()
+        chains = self._schedule_chains(self._block_order())
+        order = [bid for chain in chains for bid in chain]
         self.index = {bid: i for i, bid in enumerate(order)}
+        self._chain_next = {a: b for chain in chains
+                            for a, b in zip(chain, chain[1:])}
+        self.dispatch_blocks = len(chains)
+        self.fallthrough_links = len(order) - len(chains)
 
         bodies = {bid: self._emit_block(func.blocks[bid]) for bid in order}
 
@@ -183,8 +235,7 @@ class PyEmitter:
             lines.append(_INDENT + binding)
         lines.append(f"{_INDENT}_b = 0")
         lines.append(f"{_INDENT}while True:")
-        lines.extend(self._emit_tree(list(range(len(order))), order,
-                                     bodies, depth=2))
+        lines.extend(self._emit_tree(chains, bodies, depth=2))
         return "\n".join(lines) + "\n"
 
     def _preamble(self) -> List[str]:
@@ -207,20 +258,37 @@ class PyEmitter:
         bindings.append("_L = vm.fuel_limit")
         return bindings
 
-    def _emit_tree(self, ids: List[int], order: List[int],
+    def _emit_tree(self, chains: List[List[int]],
                    bodies: Dict[int, List[str]], depth: int) -> List[str]:
-        """A binary decision tree over the dispatch index ``_b``."""
+        """A binary decision tree over the dispatch index ``_b`` whose
+        leaves are fall-through chains.
+
+        Within a chain leaf, every member except the last is guarded by
+        ``if _b <= <its index>`` — true both when the dispatcher entered
+        at that member and when control fell through from the previous
+        member (``_b`` is not updated along intra-chain edges) — and the
+        last member runs unconditionally (the leaf covers exactly the
+        chain's index range).
+        """
         ind = _INDENT * depth
-        if len(ids) == 1:
-            bid = order[ids[0]]
-            lines = [f"{ind}# block{bid} [_b={ids[0]}]"]
-            lines.extend(ind + line for line in bodies[bid])
+        if len(chains) == 1:
+            chain = chains[0]
+            lines: List[str] = []
+            for k, bid in enumerate(chain):
+                idx = self.index[bid]
+                lines.append(f"{ind}# block{bid} [_b={idx}]")
+                if k < len(chain) - 1:
+                    lines.append(f"{ind}if _b <= {idx}:")
+                    lines.extend(ind + _INDENT + line
+                                 for line in bodies[bid])
+                else:
+                    lines.extend(ind + line for line in bodies[bid])
             return lines
-        mid = len(ids) // 2
-        lines = [f"{ind}if _b < {ids[mid]}:"]
-        lines.extend(self._emit_tree(ids[:mid], order, bodies, depth + 1))
+        mid = len(chains) // 2
+        lines = [f"{ind}if _b < {self.index[chains[mid][0]]}:"]
+        lines.extend(self._emit_tree(chains[:mid], bodies, depth + 1))
         lines.append(f"{ind}else:")
-        lines.extend(self._emit_tree(ids[mid:], order, bodies, depth + 1))
+        lines.extend(self._emit_tree(chains[mid:], bodies, depth + 1))
         return lines
 
     # ------------------------------------------------------------------
@@ -267,7 +335,8 @@ class PyEmitter:
     # ------------------------------------------------------------------
     # Terminators and edges.
     # ------------------------------------------------------------------
-    def _edge(self, call: BlockCall) -> List[str]:
+    def _edge(self, call: BlockCall,
+              fallthrough: bool = False) -> List[str]:
         target = self.func.blocks[call.block]
         pairs = [(param, arg)
                  for (param, _), arg in zip(target.params, call.args)
@@ -277,13 +346,21 @@ class PyEmitter:
             lhs = ", ".join(f"v{param}" for param, _ in pairs)
             rhs = ", ".join(f"v{arg}" for _, arg in pairs)
             lines.append(f"{lhs} = {rhs}")
-        lines.append(f"_b = {self.index[call.block]}")
+        if fallthrough:
+            # The layout successor is next in the chain leaf; leaving
+            # ``_b`` alone makes its guard (and all later ones) true.
+            lines.append(f"# fall through to block{call.block}")
+        else:
+            lines.append(f"_b = {self.index[call.block]}")
         return lines
 
     def _emit_terminator(self, block: Block) -> List[str]:
         term = block.terminator
         if isinstance(term, Jump):
-            return self._edge(term.target)
+            return self._edge(
+                term.target,
+                fallthrough=(self._chain_next.get(block.id)
+                             == term.target.block))
         if isinstance(term, BrIf):
             lines = [f"if v{term.cond}:"]
             lines.extend(_INDENT + l for l in self._edge(term.if_true))
@@ -479,6 +556,26 @@ class PyEmitter:
             f"{self.func.name}: unsupported opcode {op!r}")
 
 
+def compile_python_source(name: str, source: str) -> Callable:
+    """``compile()``/``exec()`` emitted backend source into a callable.
+
+    Split out from :func:`compile_function` so warm-loaded sources from
+    the artifact store (:mod:`repro.pipeline`) take the exact same path
+    as freshly emitted ones.
+    """
+    env = dict(BACKEND_GLOBALS)
+    try:
+        code = compile(source, f"<pybackend:{name}>", "exec")
+    except (SyntaxError, RecursionError, MemoryError) as exc:
+        raise UnsupportedConstruct(
+            f"{name}: emitted source does not compile: {exc}") from exc
+    exec(code, env)
+    pyfunc = env["_compiled"]
+    pyfunc.__name__ = name
+    pyfunc.__qualname__ = name
+    return pyfunc
+
+
 def compile_function(func: Function,
                      module: Optional[Module] = None) -> CompiledFunction:
     """Lower one verified IR function to a Python callable.
@@ -486,18 +583,12 @@ def compile_function(func: Function,
     Raises :class:`UnsupportedConstruct` when the function cannot be
     compiled; callers should fall back to the IR VM for that function.
     """
-    source = PyEmitter(func, module).emit_source()
-    env = dict(BACKEND_GLOBALS)
-    try:
-        code = compile(source, f"<pybackend:{func.name}>", "exec")
-    except (SyntaxError, RecursionError, MemoryError) as exc:
-        raise UnsupportedConstruct(
-            f"{func.name}: emitted source does not compile: {exc}") from exc
-    exec(code, env)
-    pyfunc = env["_compiled"]
-    pyfunc.__name__ = func.name
-    pyfunc.__qualname__ = func.name
-    return CompiledFunction(func.name, source, pyfunc)
+    emitter = PyEmitter(func, module)
+    source = emitter.emit_source()
+    return CompiledFunction(func.name, source,
+                            compile_python_source(func.name, source),
+                            dispatch_blocks=emitter.dispatch_blocks,
+                            fallthrough_links=emitter.fallthrough_links)
 
 
 def compile_functions(module: Module,

@@ -2,21 +2,27 @@
 
 from repro.bench.harness import (
     BackendComparison,
+    EngineCacheReport,
     WorkloadResult,
+    dispatch_stats,
     format_pipeline_stats,
     format_table,
     geomean,
     residual_shape,
     run_backend_comparison,
+    run_engine_cache_report,
     run_js_workload,
 )
 
 __all__ = [
     "BackendComparison",
+    "EngineCacheReport",
     "WorkloadResult",
+    "dispatch_stats",
     "geomean",
     "run_js_workload",
     "run_backend_comparison",
+    "run_engine_cache_report",
     "format_table",
     "format_pipeline_stats",
     "residual_shape",

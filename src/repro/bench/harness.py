@@ -81,18 +81,50 @@ class BackendComparison:
     backend_fallbacks: int
     wall_vm_seconds: float        # residual IR on the VM (best of repeats)
     wall_py_seconds: float        # residual compiled to Python
+    # Fall-through scheduler accounting over the compiled residuals.
+    residual_blocks: int = 0
+    dispatch_blocks: int = 0
+    fallthrough_links: int = 0
 
     @property
     def speedup(self) -> float:
         return self.wall_vm_seconds / max(self.wall_py_seconds, 1e-12)
 
 
+def dispatch_stats(module, names) -> Tuple[int, int, int]:
+    """(total blocks, dispatch targets, fall-through links) across the
+    named functions — the static dispatch-count delta of the emitter's
+    fall-through block scheduler (emit-only; nothing is executed)."""
+    from repro.backend import PyEmitter, UnsupportedConstruct
+    blocks = dispatch = links = 0
+    for name in names:
+        func = module.functions.get(name)
+        if func is None:
+            continue
+        emitter = PyEmitter(func, module)
+        try:
+            emitter.emit_source()
+        except UnsupportedConstruct:
+            continue
+        blocks += func.num_blocks()
+        dispatch += emitter.dispatch_blocks
+        links += emitter.fallthrough_links
+    return blocks, dispatch, links
+
+
 def run_backend_comparison(name: str, config: str = "wevaled_state",
-                           repeats: int = 3) -> BackendComparison:
+                           repeats: int = 3,
+                           jobs: Optional[int] = None,
+                           cache_dir: Optional[str] = None
+                           ) -> BackendComparison:
     """AOT-compile one workload once, then run the snapshot both ways —
     residual IR on the VM and residual compiled to Python — asserting
-    identical printed output and fuel before reporting the speedup."""
-    rt = JSRuntime(WORKLOADS[name], config)
+    identical printed output and fuel before reporting the speedup.
+
+    ``jobs``/``cache_dir`` configure the compilation engine (worker pool
+    and persistent artifact store); they must not change any output,
+    only compile time."""
+    rt = JSRuntime(WORKLOADS[name], config, jobs=jobs, cache_dir=cache_dir)
     start = time.perf_counter()
     rt.aot_compile()
     aot_seconds = time.perf_counter() - start
@@ -117,6 +149,8 @@ def run_backend_comparison(name: str, config: str = "wevaled_state",
         f"{name}: backend output diverged: {printed_vm!r} != {printed_py!r}")
     assert fuel_vm == fuel_py, (
         f"{name}: backend fuel diverged: {fuel_vm} != {fuel_py}")
+    blocks, dispatch, links = dispatch_stats(
+        rt.module, [p.function_name for p in rt.compiler.processed])
     return BackendComparison(
         name=name,
         config=config,
@@ -127,7 +161,88 @@ def run_backend_comparison(name: str, config: str = "wevaled_state",
         backend_fallbacks=len(rt.compiler.backend_fallbacks),
         wall_vm_seconds=wall_vm,
         wall_py_seconds=wall_py,
+        residual_blocks=blocks,
+        dispatch_blocks=dispatch,
+        fallthrough_links=links,
     )
+
+
+@dataclasses.dataclass
+class EngineCacheReport:
+    """Cold-vs-warm engine compile of one workload (one worker count).
+
+    The warm run is a *fresh* runtime over the same ``cache_dir``; the
+    engine's warm-start contract (asserted here) is that it specializes
+    zero functions and produces byte-identical residual IR."""
+
+    name: str
+    config: str
+    jobs: int
+    requests: int
+    cold_seconds: float
+    warm_seconds: float
+    cold_specialized: int
+    warm_specialized: int
+    warm_artifact_hits: int
+
+
+def run_engine_cache_report(name: str, config: str = "wevaled_state",
+                            jobs: int = 1,
+                            cache_dir: Optional[str] = None
+                            ) -> EngineCacheReport:
+    """Measure cold (empty artifact store) vs warm (fully populated)
+    AOT compile time through the engine path."""
+    import shutil
+    import tempfile
+    from repro.ir import print_function
+
+    own_dir = cache_dir is None
+    root = tempfile.mkdtemp(prefix="repro-aot-") if own_dir else cache_dir
+    try:
+        rt_cold = JSRuntime(WORKLOADS[name], config, jobs=jobs,
+                            cache_dir=root)
+        start = time.perf_counter()
+        rt_cold.aot_compile()
+        cold_seconds = time.perf_counter() - start
+        cold_stats = rt_cold.compiler.engine.stats
+
+        rt_warm = JSRuntime(WORKLOADS[name], config, jobs=jobs,
+                            cache_dir=root)
+        start = time.perf_counter()
+        rt_warm.aot_compile()
+        warm_seconds = time.perf_counter() - start
+        warm_stats = rt_warm.compiler.engine.stats
+        # Warm-start contract: everything loads, nothing recompiles,
+        # and the residual IR is byte-identical.
+        if cold_stats.functions_specialized > 0:
+            assert warm_stats.functions_specialized == 0, (
+                f"{name}: warm engine run recompiled "
+                f"{warm_stats.functions_specialized} function(s)")
+        assert len(rt_cold.compiler.processed) == \
+            len(rt_warm.compiler.processed) == warm_stats.requests, (
+                f"{name}: cold/warm processed request counts diverged")
+        for cold_p, warm_p in zip(rt_cold.compiler.processed,
+                                  rt_warm.compiler.processed):
+            cold_ir = print_function(
+                rt_cold.module.functions[cold_p.function_name], order="id")
+            warm_ir = print_function(
+                rt_warm.module.functions[warm_p.function_name], order="id")
+            assert cold_ir == warm_ir, (
+                f"{name}: warm residual {warm_p.function_name} diverged")
+        return EngineCacheReport(
+            name=name,
+            config=config,
+            jobs=jobs,
+            requests=warm_stats.requests,
+            cold_seconds=cold_seconds,
+            warm_seconds=warm_seconds,
+            cold_specialized=cold_stats.functions_specialized,
+            warm_specialized=warm_stats.functions_specialized,
+            warm_artifact_hits=warm_stats.artifact_hits,
+        )
+    finally:
+        if own_dir:
+            shutil.rmtree(root, ignore_errors=True)
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -4,8 +4,16 @@ The paper caches on "input Wasm module hash plus the function
 specialization request's argument data" to avoid redundant work for the
 unchanging AOT IC corpus and to speed up incremental compilation.  We key
 on (a) a fingerprint of the generic function body, (b) the request's
-argument modes, and (c) the contents of every memory range the request
-promises constant.
+argument modes, (c) the contents of every memory range the request
+promises constant, and (d) the specialization options that shape the
+output.
+
+The same key identifies entries in the *persistent* artifact store
+(:mod:`repro.pipeline.artifacts`); :func:`request_key` is the shared
+key constructor so the in-memory and on-disk tiers can never disagree
+about identity.  Note that engine-only knobs (``jobs``, ``cache_dir``)
+are deliberately *not* part of the key: they change how fast the output
+is produced, never what it is.
 """
 
 from __future__ import annotations
@@ -24,13 +32,15 @@ from repro.ir.module import Module
 from repro.ir.printer import print_function
 
 
-def _function_fingerprint(func: Function) -> str:
+def function_fingerprint(func: Function) -> str:
+    """Fingerprint of a function body (its printed IR, id order)."""
     return hashlib.sha256(
         print_function(func, order="id").encode()).hexdigest()
 
 
-def _memory_fingerprint(request: SpecializationRequest,
-                        memory: bytes) -> str:
+def memory_fingerprint(request: SpecializationRequest,
+                       memory: bytes) -> str:
+    """Fingerprint of every memory range the request promises constant."""
     h = hashlib.sha256()
     for mode in request.args:
         if isinstance(mode, SpecializedMemory):
@@ -42,8 +52,49 @@ def _memory_fingerprint(request: SpecializationRequest,
     return h.hexdigest()
 
 
+def options_key(options: Optional[SpecializeOptions]) -> Optional[tuple]:
+    """The subset of options that changes specialization *output*.
+
+    ``options.backend`` keys the cache even though the residual IR is
+    backend-independent: the execution tier is part of the request
+    configuration, and sharing one cache across tiers is rarer than the
+    debugging confusion of a hit that silently ignores a differing
+    option.
+    """
+    if options is None:
+        return None
+    return (options.ssa_mode, options.optimize, options.opt_config,
+            options.opt_max_rounds, options.backend)
+
+
+def request_key(module: Module, request: SpecializationRequest,
+                options: Optional[SpecializeOptions],
+                snapshot: bytes,
+                fingerprints: Optional[Dict[int, str]] = None) -> tuple:
+    """The canonical cache key for one specialization request.
+
+    Layout (relied on by the pipeline engine): ``key[0]`` is the generic
+    function fingerprint and ``key[2]`` the memory fingerprint.
+    ``fingerprints`` is an optional per-module memo (generic bodies are
+    large; hashing them once per batch instead of once per request
+    matters for the IC corpus).
+    """
+    generic = module.functions[request.generic]
+    if fingerprints is None:
+        generic_fp = function_fingerprint(generic)
+    else:
+        generic_fp = fingerprints.get(id(generic))
+        if generic_fp is None:
+            generic_fp = function_fingerprint(generic)
+            fingerprints[id(generic)] = generic_fp
+    return (generic_fp,
+            request.cache_key(),
+            memory_fingerprint(request, snapshot),
+            options_key(options))
+
+
 class SpecializationCache:
-    """Memoizes weval outputs across identical requests."""
+    """Memoizes weval outputs across identical requests (in memory)."""
 
     def __init__(self):
         self._entries: Dict[tuple, Function] = {}
@@ -51,12 +102,31 @@ class SpecializationCache:
         self.hits = 0
         self.misses = 0
 
-    def _generic_fingerprint(self, func: Function) -> str:
-        cached = self._fingerprints.get(id(func))
+    def key_for(self, module: Module, request: SpecializationRequest,
+                options: Optional[SpecializeOptions],
+                memory: Optional[bytes] = None) -> tuple:
+        snapshot = bytes(memory if memory is not None
+                         else module.memory_init)
+        return request_key(module, request, options, snapshot,
+                           self._fingerprints)
+
+    def lookup(self, key: tuple, name: str) -> Optional[Function]:
+        """Probe the cache; a hit returns a fresh clone named ``name``.
+
+        Hit/miss counters are charged here, so callers composing the
+        probe with an external compile path (the pipeline engine) keep
+        the same accounting as :meth:`get_or_specialize`.
+        """
+        cached = self._entries.get(key)
         if cached is None:
-            cached = _function_fingerprint(func)
-            self._fingerprints[id(func)] = cached
-        return cached
+            self.misses += 1
+            return None
+        self.hits += 1
+        return clone_function(cached, name)
+
+    def insert(self, key: tuple, func: Function) -> None:
+        """Store a clone of ``func`` under ``key``."""
+        self._entries[key] = clone_function(func)
 
     def get_or_specialize(self, module: Module,
                           request: SpecializationRequest,
@@ -71,23 +141,11 @@ class SpecializationCache:
         """
         snapshot = bytes(memory if memory is not None
                          else module.memory_init)
-        generic = module.functions[request.generic]
-        # options.backend keys the cache even though the residual IR is
-        # backend-independent: the execution tier is part of the request
-        # configuration, and sharing one cache across tiers is rarer
-        # than the debugging confusion of a hit that silently ignores a
-        # differing option.
-        key = (self._generic_fingerprint(generic),
-               request.cache_key(),
-               _memory_fingerprint(request, snapshot),
-               (options.ssa_mode, options.optimize, options.opt_config,
-                options.opt_max_rounds, options.backend)
-               if options else None)
-        cached = self._entries.get(key)
+        key = request_key(module, request, options, snapshot,
+                          self._fingerprints)
+        cached = self.lookup(key, request.name())
         if cached is not None:
-            self.hits += 1
-            return clone_function(cached, request.name()), True
-        self.misses += 1
+            return cached, True
         func = specialize(module, request, options, snapshot)
-        self._entries[key] = clone_function(func)
+        self.insert(key, func)
         return func, False

@@ -11,25 +11,33 @@ are patched, and execution resumes from the snapshot.
 1. ``instantiate()`` — create a VM over the module;
 2. run the guest's init export (it may call host functions that in turn
    call :meth:`enqueue`);
-3. ``process_requests()`` — specialize each request (through the cache,
-   if one is given), append the function to the module, register it in
-   the function table, and patch the 64-bit result slot in the heap with
-   the table index;
+3. ``process_requests()`` — hand the whole batch to the
+   :class:`~repro.pipeline.engine.CompilationEngine` (which specializes
+   through the in-memory cache and the on-disk artifact store, in
+   parallel when ``options.jobs > 1``), then — single-threaded, in
+   request order — append each function to the module, register it in
+   the function table, and patch the 64-bit result slot in the heap
+   with the table index;
 4. ``freeze()`` — write the heap back as the module's initial memory;
 5. ``resume()`` — a fresh VM starting from the snapshot, where the
    runtime finds its function pointers filled in and calls specialized
    code via ``call_indirect``.
+
+All three guest runtimes (`jsvm`, `luavm`, `min`) drive their AOT flow
+through this class, so engine configuration (``jobs=``, ``cache_dir=``,
+``backend=`` on :class:`~repro.core.specialize.SpecializeOptions`) is
+the *only* per-runtime compilation wiring left.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.cache import SpecializationCache
 from repro.core.request import SpecializationRequest
-from repro.core.specialize import SpecializeOptions, specialize
+from repro.core.specialize import SpecializeOptions
 from repro.core.stats import SpecializationStats
 from repro.ir.module import Module
 from repro.vm.machine import VM
@@ -41,7 +49,8 @@ class ProcessedRequest:
     function_name: str
     table_index: int
     result_addr: int
-    cache_hit: bool
+    cache_hit: bool            # in-memory SpecializationCache hit
+    artifact_hit: bool = False  # residual loaded from the on-disk store
 
 
 class SnapshotCompiler:
@@ -49,15 +58,21 @@ class SnapshotCompiler:
 
     def __init__(self, module: Module,
                  options: Optional[SpecializeOptions] = None,
-                 cache: Optional[SpecializationCache] = None):
+                 cache: Optional[SpecializationCache] = None,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None):
+        from repro.pipeline.engine import CompilationEngine
         self.module = module
         self.options = options or SpecializeOptions()
         self.cache = cache
+        self.engine = CompilationEngine(module, self.options, cache,
+                                        jobs=jobs, cache_dir=cache_dir)
         self.vm: Optional[VM] = None
         self.pending: List[Tuple[SpecializationRequest, int]] = []
         self.processed: List[ProcessedRequest] = []
         self.total_stats = SpecializationStats()
-        # Tier-2 backend state (populated lazily by compile_backend).
+        # Tier-2 backend state (populated by the engine's emit stage when
+        # ``options.backend == "py"``, or lazily by compile_backend).
         self.backend_functions: Dict[str, Callable] = {}
         self.backend_fallbacks: List[Tuple[str, str]] = []
         self.backend_compile_seconds = 0.0
@@ -83,38 +98,59 @@ class SnapshotCompiler:
         self.pending.append((request, result_addr))
 
     def process_requests(self) -> List[ProcessedRequest]:
-        """Specialize all pending requests against the current heap."""
+        """Compile all pending requests against the current heap and
+        apply the results (module mutation, table registration, heap
+        patching) in request order."""
         vm = self.instantiate()
         snapshot = bytes(vm.memory)
-        processed = []
+        taken: Set[str] = set()
+        batch: List[Tuple[SpecializationRequest, int]] = []
         for request, result_addr in self.pending:
-            name = self._unique_name(request)
-            request = dataclasses.replace(request, specialized_name=name)
-            hit = False
-            if self.cache is not None:
-                func, hit = self.cache.get_or_specialize(
-                    self.module, request, self.options, snapshot)
-            else:
-                func = specialize(self.module, request, self.options,
-                                  snapshot)
+            name = self._unique_name(request, taken)
+            taken.add(name)
+            batch.append((dataclasses.replace(request,
+                                              specialized_name=name),
+                          result_addr))
+
+        emit_before = self.engine.stats.emit_seconds
+        results = self.engine.compile_batch([req for req, _ in batch],
+                                            snapshot)
+        self.backend_compile_seconds += (self.engine.stats.emit_seconds
+                                         - emit_before)
+
+        processed = []
+        for (request, result_addr), result in zip(batch, results):
+            func = result.function
             stats = getattr(func, "_weval_stats", None)
             if stats is not None:
                 self.total_stats.merge(stats)
             self.module.add_function(func)
             index = self.module.add_table_entry(func.name)
             vm.store_u64(result_addr, index)
-            processed.append(ProcessedRequest(request, func.name, index,
-                                              result_addr, hit))
+            if result.pyfunc is not None:
+                self.backend_functions[func.name] = result.pyfunc
+            elif result.fallback_reason is not None:
+                self.backend_fallbacks.append((func.name,
+                                               result.fallback_reason))
+            processed.append(ProcessedRequest(
+                request, func.name, index, result_addr,
+                result.cache_hit, result.artifact_hit))
+        if self.options.backend == "py":
+            # The engine emitted (or warm-loaded) every backend function
+            # in the batch; a later full compile_backend() is a no-op.
+            self._backend_compiled = True
         self.processed.extend(processed)
         self.pending = []
         return processed
 
-    def _unique_name(self, request: SpecializationRequest) -> str:
+    def _unique_name(self, request: SpecializationRequest,
+                     taken: Set[str] = frozenset()) -> str:
         base = request.name()
-        if not self.module.has_function(base):
+        if not self.module.has_function(base) and base not in taken:
             return base
         counter = 1
-        while self.module.has_function(f"{base}.{counter}"):
+        while self.module.has_function(f"{base}.{counter}") or \
+                f"{base}.{counter}" in taken:
             counter += 1
         return f"{base}.{counter}"
 
@@ -135,9 +171,9 @@ class SnapshotCompiler:
         in that case); a partial list compiles only those functions and
         leaves the full set to a later call.  Functions the emitter
         cannot express are recorded in ``backend_fallbacks`` and stay on
-        the IR VM.
+        the IR VM.  Delegates to the engine, so emission runs on the
+        worker pool and emitted source persists in the artifact store.
         """
-        from repro.backend import compile_functions
         full = names is None
         if full:
             if self._backend_compiled:
@@ -145,7 +181,7 @@ class SnapshotCompiler:
             names = [p.function_name for p in self.processed]
         start = time.perf_counter()
         todo = [n for n in names if n not in self.backend_functions]
-        compiled, fallbacks = compile_functions(self.module, todo)
+        compiled, fallbacks = self.engine.compile_backend_functions(todo)
         self.backend_functions.update(compiled)
         recompiled = set(todo)
         self.backend_fallbacks = [f for f in self.backend_fallbacks

@@ -102,6 +102,12 @@ class SpecializeOptions:
     # automatic per-function fallback to the VM.  Defaults to the
     # REPRO_BACKEND environment variable (or "vm").
     backend: str = dataclasses.field(default_factory=_default_backend)
+    # Compilation-engine knobs (repro.pipeline): worker count for batch
+    # compilation and the root of the persistent on-disk artifact store
+    # (None disables persistence).  Neither affects specialization
+    # *output*, so neither is part of any cache key.
+    jobs: int = 1
+    cache_dir: Optional[str] = None
     max_revisits: int = 64             # per-key convergence safeguard
     max_value_specializations: int = 4096
     max_iterations: int = 2_000_000
@@ -116,6 +122,8 @@ class SpecializeOptions:
             raise ValueError(f"bad ssa_mode {self.ssa_mode!r}")
         if self.backend not in ("vm", "py"):
             raise ValueError(f"bad backend {self.backend!r}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         from repro.opt.pass_manager import PIPELINES
         if self.opt_config not in PIPELINES:
             raise ValueError(f"bad opt_config {self.opt_config!r}")

@@ -66,6 +66,39 @@ class PipelineStats:
 
 
 @dataclasses.dataclass
+class EngineStats:
+    """Counters for :class:`~repro.pipeline.engine.CompilationEngine`
+    batches (one batch or a sum over many).
+
+    ``functions_specialized`` counts *fresh* weval runs only — the
+    warm-start proof for the artifact store is exactly this counter
+    staying at zero on a second run over the same module and requests.
+    """
+
+    requests: int = 0
+    functions_specialized: int = 0   # fresh weval transforms
+    cache_hits: int = 0              # in-memory SpecializationCache hits
+    artifact_hits: int = 0           # residual IR loaded from disk
+    artifact_invalid: int = 0        # version skew / fp mismatch / corrupt
+    artifacts_written: int = 0
+    backend_emitted: int = 0         # fresh PyEmitter runs
+    backend_source_hits: int = 0     # emitted source loaded from disk
+    backend_fallbacks: int = 0
+    specialize_seconds: float = 0.0  # summed across workers (CPU-ish)
+    emit_seconds: float = 0.0        # summed across workers
+    wall_seconds: float = 0.0        # batch wall clock
+    jobs: int = 0                    # max worker count used so far
+
+    def merge(self, other: "EngineStats") -> None:
+        for field in dataclasses.fields(self):
+            if field.name == "jobs":
+                self.jobs = max(self.jobs, other.jobs)
+                continue
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+
+
+@dataclasses.dataclass
 class SpecializationStats:
     """Counters for one specialization (or a sum over many)."""
 

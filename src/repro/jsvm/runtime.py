@@ -81,7 +81,9 @@ class JSRuntime:
     def __init__(self, source: str, config: str = "interp_ic",
                  memory_size: int = 1 << 22,
                  cache: Optional[SpecializationCache] = None,
-                 options: Optional[SpecializeOptions] = None):
+                 options: Optional[SpecializeOptions] = None,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None):
         if config not in CONFIGS:
             raise ValueError(f"bad config {config!r}")
         self.config = config
@@ -96,6 +98,14 @@ class JSRuntime:
         self.ic_attaches = 0
         self.cache = cache
         self.options = options or SpecializeOptions()
+        # Engine configuration shorthands (equivalent to setting the
+        # fields on ``options`` directly).
+        if jobs is not None or cache_dir is not None:
+            self.options = dataclasses.replace(
+                self.options,
+                jobs=jobs if jobs is not None else self.options.jobs,
+                cache_dir=(cache_dir if cache_dir is not None
+                           else self.options.cache_dir))
 
         self._add_interpreters()
         self.func_addrs: Dict[int, int] = {}

@@ -147,13 +147,24 @@ u64 lua_interp(u64 proto, u64 frame) {
 
 
 class LuaRuntime:
-    """Compile a MiniLua chunk, run it interpreted or AOT-compiled."""
+    """Compile a MiniLua chunk, run it interpreted or AOT-compiled.
 
-    def __init__(self, source: str, memory_size: int = 1 << 22):
+    The AOT path goes through :class:`SnapshotCompiler` and therefore
+    the compilation engine: pass
+    ``SpecializeOptions(jobs=..., cache_dir=...)`` (here or to
+    :meth:`aot_compile`) for parallel batch compilation and the
+    persistent artifact cache.
+    """
+
+    def __init__(self, source: str, memory_size: int = 1 << 22,
+                 options: Optional[SpecializeOptions] = None,
+                 cache=None):
         self.source = source
         self.protos: List[Proto] = compile_lua(source)
         self.module = Module(memory_size=memory_size)
         self.printed: List[int] = []
+        self.options = options
+        self.cache = cache
 
         program = compile_source(LUA_INTERP_SRC)
         program.add_to_module(self.module,
@@ -217,7 +228,8 @@ class LuaRuntime:
                     ) -> SnapshotCompiler:
         """Specialize every prototype and patch its ``spec`` field —
         the paper's snapshot workflow, driven from the embedder side."""
-        compiler = SnapshotCompiler(self.module, options)
+        compiler = SnapshotCompiler(self.module, options or self.options,
+                                    self.cache)
         compiler.instantiate()
         for proto in self.protos:
             struct_ptr = self.proto_addrs[proto.index]

@@ -12,6 +12,7 @@ from repro.min.isa import Opcode, assemble, MinProgram
 from repro.min.interp import (
     interp_source,
     build_min_module,
+    min_request,
     specialize_min,
     PROGRAM_BASE,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "MinProgram",
     "interp_source",
     "build_min_module",
+    "min_request",
     "specialize_min",
     "PROGRAM_BASE",
     "PyMinInterpreter",

@@ -21,9 +21,10 @@ import dataclasses
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.core.specialize import SpecializeOptions
 from repro.frontend import compile_source
 from repro.ir.instructions import MASK64, wrap_i64
-from repro.min.interp import PROGRAM_BASE, build_min_module, specialize_min
+from repro.min.interp import PROGRAM_BASE, build_min_module, min_request
 from repro.min.isa import ARITY, MinProgram, NUM_REGISTERS, Opcode, assemble
 from repro.vm import VM
 
@@ -136,27 +137,40 @@ def _time(fn: Callable[[], int], repeats: int = 1):
 
 
 def run_fig8_configs(n: int = 1000, repeats: int = 1,
-                     backend: str = "vm") -> Dict[str, ConfigResult]:
+                     backend: str = "vm",
+                     jobs: Optional[int] = None,
+                     cache_dir: Optional[str] = None
+                     ) -> Dict[str, ConfigResult]:
     """Run all five Fig. 8 configurations on sum-to-n; returns per-config
     results keyed by configuration name.
 
     ``backend="py"`` additionally runs the two residual functions through
     the tier-2 Python backend (configs ``wevaled_py`` and
     ``wevaled_state_py``), whose fuel must be identical to the IR-VM
-    runs — only the wall clock moves.
+    runs — only the wall clock moves.  Both residuals are compiled as
+    one :class:`~repro.pipeline.engine.CompilationEngine` batch;
+    ``jobs``/``cache_dir`` configure the worker pool and the persistent
+    artifact cache.
     """
+    from repro.pipeline.engine import CompilationEngine
+
     program = sum_to_n_program(n)
     module = build_min_module(program)
     compile_source(SUM_COMPILED_SRC).add_to_module(module)
-    wevaled = specialize_min(module, program, use_intrinsics=False,
-                             name="min_wevaled")
-    wevaled_state = specialize_min(module, program, use_intrinsics=True,
-                                   name="min_wevaled_state")
+    options = SpecializeOptions(backend=backend, jobs=jobs or 1,
+                                cache_dir=cache_dir)
+    engine = CompilationEngine(module, options)
+    batch = engine.compile_batch([
+        min_request(program, use_intrinsics=False, name="min_wevaled"),
+        min_request(program, use_intrinsics=True,
+                    name="min_wevaled_state"),
+    ], bytes(module.memory_init))
     compiled_fns = {}
-    if backend == "py":
-        from repro.backend import compile_function
-        for func in (wevaled, wevaled_state):
-            compiled_fns[func.name] = compile_function(func, module).pyfunc
+    for item in batch:
+        module.add_function(item.function)
+        if item.pyfunc is not None:
+            compiled_fns[item.function.name] = item.pyfunc
+    wevaled, wevaled_state = (item.function for item in batch)
 
     results: Dict[str, ConfigResult] = {}
 

@@ -153,17 +153,24 @@ def build_min_module(program: MinProgram,
     return module
 
 
+def min_request(program: MinProgram, use_intrinsics: bool,
+                name: Optional[str] = None) -> SpecializationRequest:
+    """The specialization request for one Min interpreter variant — the
+    unit the :class:`~repro.pipeline.engine.CompilationEngine` batches."""
+    generic = "min_interp_spec" if use_intrinsics else "min_interp"
+    return SpecializationRequest(
+        generic,
+        [SpecializedMemory(PROGRAM_BASE, program.size_bytes()),
+         SpecializedConst(len(program.words)), Runtime()],
+        specialized_name=name or f"{generic}.compiled")
+
+
 def specialize_min(module: Module, program: MinProgram,
                    use_intrinsics: bool,
                    options: Optional[SpecializeOptions] = None,
                    name: Optional[str] = None) -> Function:
     """Run the first Futamura projection on a Min interpreter variant."""
-    generic = "min_interp_spec" if use_intrinsics else "min_interp"
-    request = SpecializationRequest(
-        generic,
-        [SpecializedMemory(PROGRAM_BASE, program.size_bytes()),
-         SpecializedConst(len(program.words)), Runtime()],
-        specialized_name=name or f"{generic}.compiled")
+    request = min_request(program, use_intrinsics, name)
     func = specialize(module, request, options)
     module.add_function(func)
     return func

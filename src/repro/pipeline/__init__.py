@@ -1,0 +1,47 @@
+"""The compilation pipeline layer: batch AOT with tiered caching.
+
+This package unifies the per-runtime AOT flows behind one subsystem,
+the paper's production story (S6.5) made concrete:
+
+* :class:`~repro.pipeline.engine.CompilationEngine` — batch
+  specialize → opt → verify → emit with a thread worker pool
+  (``jobs=``); pure stages run concurrently, all module mutation and
+  cache accounting is applied in request order, so outputs are
+  bit-identical at any worker count;
+* :class:`~repro.pipeline.artifacts.ArtifactStore` — the persistent
+  on-disk cache (``cache_dir=``) of residual IR and emitted backend
+  source, keyed by the same fingerprints as the in-memory
+  :class:`~repro.core.cache.SpecializationCache`;
+* :mod:`~repro.pipeline.serialize` — structural JSON round-tripping of
+  IR functions with a strict corruption-is-a-miss contract.
+
+Every embedder reaches this layer through
+:class:`~repro.core.snapshot.SnapshotCompiler`, which delegates its
+``process_requests()`` / ``compile_backend()`` to an engine; configure
+it with ``SpecializeOptions(jobs=..., cache_dir=...)``.
+"""
+
+from repro.pipeline.artifacts import (
+    ARTIFACT_VERSION,
+    EMITTER_VERSION,
+    ArtifactStore,
+    residual_fingerprint,
+)
+from repro.pipeline.engine import CompilationEngine, EngineResult
+from repro.pipeline.serialize import (
+    SerializationError,
+    function_from_dict,
+    function_to_dict,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "EMITTER_VERSION",
+    "ArtifactStore",
+    "CompilationEngine",
+    "EngineResult",
+    "SerializationError",
+    "function_from_dict",
+    "function_to_dict",
+    "residual_fingerprint",
+]

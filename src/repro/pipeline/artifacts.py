@@ -1,0 +1,213 @@
+"""Versioned on-disk artifact store for the compilation pipeline (S6.5).
+
+The paper's production deployment caches specialization outputs keyed on
+the module hash plus the request's argument data, so the unchanging AOT
+IC corpus is never recompiled and the compiled code ships with the
+snapshot.  This module is the persistent half of that story: it stores
+
+* **residual IR** (``spec/``) keyed by the same fingerprints the
+  in-memory :class:`~repro.core.cache.SpecializationCache` uses — the
+  generic function's printed body, the request's argument modes, the
+  contents of every promised-constant memory range, and the
+  specialization options (opt config and backend) — and
+* **emitted backend source** (``py/``) keyed by the *residual*
+  function's printed-IR fingerprint plus the emitter version, so a
+  residual loaded warm reuses the same Python source (or the same
+  recorded per-function VM-fallback decision) without re-emitting.
+
+Key anatomy (one file per entry, file name = sha256 of the key):
+
+    spec/<sha256((generic_fp, request_key, memory_fp, options_key))>.json
+    py/<sha256((residual_fp, EMITTER_VERSION))>.json
+
+Invalidation is entirely by construction: change the interpreter body,
+the bytecode bytes, the opt pipeline, or the backend, and the key
+changes, so the stale artifact is simply never looked up again.  Loads
+are paranoid and never raise for bad cache state: a version skew,
+fingerprint mismatch, JSON error, or truncated file yields status
+``"invalid"`` and the engine silently recompiles.  Writes go through a
+same-directory temp file + ``os.replace`` so a crashed process cannot
+leave a torn artifact behind, and an unwritable cache directory
+degrades to "no cache", never to a failed compile.
+
+The store keeps no mutable counters (loads run on engine worker
+threads); every operation returns a status string and the engine
+aggregates them into :class:`~repro.core.stats.EngineStats` serially.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional, Tuple
+
+from repro.ir.function import Function
+from repro.pipeline.serialize import (
+    SerializationError,
+    function_from_dict,
+    function_to_dict,
+)
+
+# Bump on any change to the artifact schema, the IR serialization, or
+# the semantics of specialization outputs that the key cannot see.
+ARTIFACT_VERSION = 1
+
+# Bump on any change to the Python backend's emitted-code shape (the
+# ``py/`` entries cache emitter *output*, so the emitter itself is part
+# of their identity).
+EMITTER_VERSION = 2  # 2: fall-through block scheduling
+
+HIT = "hit"
+MISS = "miss"
+INVALID = "invalid"  # present but unusable: version/fp skew, corruption
+
+
+def _digest(parts: Tuple) -> str:
+    """Stable hex digest of a key tuple (reprs of ints/strs/tuples are
+    deterministic across processes)."""
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+def residual_fingerprint(ir_text: str) -> str:
+    """Fingerprint of a residual function's printed IR."""
+    return hashlib.sha256(ir_text.encode()).hexdigest()
+
+
+class ArtifactStore:
+    """One directory of compilation artifacts, shared across processes."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.spec_dir = os.path.join(root, "spec")
+        self.py_dir = os.path.join(root, "py")
+        os.makedirs(self.spec_dir, exist_ok=True)
+        os.makedirs(self.py_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Low-level IO.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_json(path: str) -> Tuple[Optional[dict], str]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return None, MISS
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                ValueError):
+            return None, INVALID
+        if not isinstance(data, dict) or \
+                data.get("version") != ARTIFACT_VERSION:
+            return None, INVALID
+        return data, HIT
+
+    @staticmethod
+    def _write_json(path: str, data: dict) -> bool:
+        directory = os.path.dirname(path)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        except OSError:
+            return False
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(data, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Residual IR artifacts.
+    # ------------------------------------------------------------------
+    def spec_path(self, key: Tuple) -> str:
+        return os.path.join(self.spec_dir, _digest(key) + ".json")
+
+    def has_residual(self, key: Tuple) -> bool:
+        """Whether *some* artifact exists for ``key`` (existence only —
+        a corrupt file still counts; it will be diagnosed on load)."""
+        return os.path.exists(self.spec_path(key))
+
+    def load_residual(self, key: Tuple, name: str,
+                      generic_fingerprint: str,
+                      memory_fingerprint: str
+                      ) -> Tuple[Optional[Function], str]:
+        """Load the residual function for ``key`` as ``(function,
+        status)``; the function is ``None`` unless status is ``"hit"``.
+
+        The fingerprints are stored redundantly inside the artifact and
+        re-checked here, so a digest collision or a hand-edited file is
+        caught the same way as corruption: silent recompile.
+        """
+        data, status = self._read_json(self.spec_path(key))
+        if data is None:
+            return None, status
+        if data.get("generic_fingerprint") != generic_fingerprint or \
+                data.get("memory_fingerprint") != memory_fingerprint:
+            return None, INVALID
+        try:
+            func = function_from_dict(data["ir"], name=name)
+        except (SerializationError, KeyError, TypeError):
+            return None, INVALID
+        return func, HIT
+
+    def store_residual(self, key: Tuple, func: Function, ir_text: str,
+                       generic_fingerprint: str,
+                       memory_fingerprint: str) -> bool:
+        try:
+            payload = function_to_dict(func)
+        except SerializationError:
+            # A function the encoding cannot express is simply not
+            # persisted (it will recompile next process) — storing must
+            # never fail a build.
+            return False
+        return self._write_json(self.spec_path(key), {
+            "version": ARTIFACT_VERSION,
+            "generic_fingerprint": generic_fingerprint,
+            "memory_fingerprint": memory_fingerprint,
+            "ir": payload,
+            # The printed text is stored for humans (debugging diffs);
+            # loads reconstruct from the structured form.
+            "ir_text": ir_text,
+        })
+
+    # ------------------------------------------------------------------
+    # Emitted backend source artifacts.
+    # ------------------------------------------------------------------
+    def py_path(self, residual_fp: str) -> str:
+        return os.path.join(self.py_dir,
+                            _digest((residual_fp, EMITTER_VERSION))
+                            + ".json")
+
+    def load_py_source(self, residual_fp: str
+                       ) -> Tuple[Optional[Tuple[Optional[str],
+                                                 Optional[str]]], str]:
+        """Return ``((source, fallback_reason), status)``.
+
+        On a hit exactly one of the pair is non-``None``: a stored
+        fallback marker means the emitter already determined this
+        residual cannot be compiled, so warm runs skip the re-attempt.
+        """
+        data, status = self._read_json(self.py_path(residual_fp))
+        if data is None:
+            return None, status
+        source = data.get("source")
+        fallback = data.get("fallback")
+        if (source is None) == (fallback is None) or \
+                not isinstance(source if source is not None else fallback,
+                               str):
+            return None, INVALID
+        return (source, fallback), HIT
+
+    def store_py_source(self, residual_fp: str, source: Optional[str],
+                        fallback: Optional[str] = None) -> bool:
+        return self._write_json(self.py_path(residual_fp), {
+            "version": ARTIFACT_VERSION,
+            "source": source,
+            "fallback": fallback,
+        })

@@ -1,0 +1,396 @@
+"""The tiered compilation engine: one subsystem for every AOT flow.
+
+Before this layer existed, each guest runtime hand-wired its own
+specialize → optimize → emit sequence, compilation was strictly serial,
+and both the in-memory :class:`~repro.core.cache.SpecializationCache`
+and the compiled Python artifacts evaporated at process exit.  The
+:class:`CompilationEngine` owns the whole tier-up path instead:
+
+* it accepts **batches** of
+  :class:`~repro.core.request.SpecializationRequest`\\s and runs the
+  pure stages — specialize (which includes the verifying mid-end) and
+  backend emission — on a ``concurrent.futures`` thread pool
+  (``jobs=``), while everything order-sensitive (cache accounting,
+  artifact writes, ``compile()``/``exec`` of emitted source, and the
+  caller's module mutation / table registration / heap patching) stays
+  single-threaded and is applied **in request order**, so results are
+  bit-identical at any worker count;
+* it layers the in-memory cache over a **persistent on-disk artifact
+  store** (``cache_dir=``, :mod:`repro.pipeline.artifacts`): residual IR
+  and emitted backend source survive process exit, a warm restart
+  compiles zero functions, and fingerprint mismatches / version skew /
+  corruption silently fall back to a fresh compile;
+* residuals loaded from disk are **verified** before use (the artifact
+  file is outside the process's trust boundary; a verifier rejection is
+  treated exactly like corruption).
+
+Worker-pool note: the pool uses threads, not processes — a module's
+host imports are arbitrary Python callables and cannot cross a process
+boundary.  Under CPython's GIL the win is stage *overlap* (disk loads,
+JSON parse, and the allocator-heavy transform interleave), and the
+engine is the single place a free-threaded or subinterpreter pool can
+later be swapped in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.cache import (
+    SpecializationCache,
+    request_key,
+)
+from repro.core.request import SpecializationRequest
+from repro.core.specialize import SpecializeOptions, specialize
+from repro.core.stats import EngineStats
+from repro.ir.clone import clone_function
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.printer import print_function
+from repro.ir.verifier import VerificationError, verify_function
+from repro.pipeline.artifacts import (
+    HIT,
+    INVALID,
+    MISS,
+    ArtifactStore,
+    residual_fingerprint,
+)
+
+
+@dataclasses.dataclass
+class EngineResult:
+    """Outcome of one request in a batch, in request order.
+
+    Exactly one of ``cache_hit`` / ``artifact_hit`` / ``specialized`` is
+    true for the request that *produced* the function; a duplicate
+    request in the same batch reuses the producer's *residual* (one
+    specialize run) and counts as a cache hit — backend source is still
+    emitted per request, because the emitted code embeds the unique
+    function name in its trap messages.  ``pyfunc``/``py_source`` are
+    populated when the engine's backend is ``"py"``;
+    ``fallback_reason`` records a residual the emitter cannot express
+    (it stays on the IR VM).
+    """
+
+    request: SpecializationRequest
+    function: Function
+    cache_hit: bool = False
+    artifact_hit: bool = False
+    specialized: bool = False
+    py_source: Optional[str] = None
+    pyfunc: Optional[Callable] = None
+    fallback_reason: Optional[str] = None
+
+
+class _Plan:
+    """Mutable per-request bookkeeping while a batch is in flight."""
+
+    __slots__ = ("request", "name", "key", "func", "cache_hit",
+                 "artifact_hit", "specialized", "dup_of",
+                 "py_source", "py_fallback", "py_from_store")
+
+    def __init__(self, request: SpecializationRequest, name: str,
+                 key: tuple):
+        self.request = request
+        self.name = name
+        self.key = key
+        self.func: Optional[Function] = None
+        self.cache_hit = False
+        self.artifact_hit = False
+        self.specialized = False
+        self.dup_of: Optional[int] = None
+        self.py_source: Optional[str] = None
+        self.py_fallback: Optional[str] = None
+        self.py_from_store = False
+
+
+class CompilationEngine:
+    """Batch compiler for specialization requests (specialize → opt →
+    verify → emit) with parallel pure stages and tiered caching."""
+
+    def __init__(self, module: Module,
+                 options: Optional[SpecializeOptions] = None,
+                 cache: Optional[SpecializationCache] = None,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None):
+        self.module = module
+        self.options = options or SpecializeOptions()
+        self.cache = cache
+        self.jobs = max(1, jobs if jobs is not None else self.options.jobs)
+        root = cache_dir if cache_dir is not None else self.options.cache_dir
+        self.store: Optional[ArtifactStore] = None
+        if root:
+            try:
+                self.store = ArtifactStore(root)
+            except OSError:
+                # An uncreatable cache directory (read-only image, path
+                # collision) degrades to "no cache", never to a failed
+                # build — matching the store's own write behavior.
+                self.store = None
+        self.stats = EngineStats()
+        self._fingerprints: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Worker pool.
+    # ------------------------------------------------------------------
+    def _run_all(self, thunks: List[Callable[[], object]]) -> List[object]:
+        """Run pure thunks, in a pool when configured; results come back
+        in submission order regardless of completion order."""
+        if self.jobs == 1 or len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        with ThreadPoolExecutor(
+                max_workers=min(self.jobs, len(thunks))) as pool:
+            futures = [pool.submit(thunk) for thunk in thunks]
+            return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Batch compilation.
+    # ------------------------------------------------------------------
+    def compile_batch(self, requests: List[SpecializationRequest],
+                      snapshot: Optional[bytes] = None
+                      ) -> List[EngineResult]:
+        """Compile a batch of requests against one heap snapshot.
+
+        Returns one :class:`EngineResult` per request, in request order.
+        The engine does not mutate the module; the caller applies the
+        functions (``module.add_function`` + table registration + heap
+        patching) in this order — see
+        :class:`~repro.core.snapshot.SnapshotCompiler`.
+        """
+        start = time.perf_counter()
+        snapshot = bytes(snapshot if snapshot is not None
+                         else self.module.memory_init)
+        stats = self.stats
+        stats.requests += len(requests)
+        stats.jobs = max(stats.jobs, self.jobs)
+        want_py = self.options.backend == "py"
+
+        # Stage 0 (serial): keys, in-memory probes, in-batch dedup.
+        plans: List[_Plan] = []
+        first_of_key: Dict[tuple, int] = {}
+        for request in requests:
+            plan = _Plan(request, request.name(),
+                         request_key(self.module, request, self.options,
+                                     snapshot, self._fingerprints))
+            owner = first_of_key.get(plan.key)
+            if owner is not None:
+                # Same key seen earlier in this batch: reuse its output
+                # (the serial flow would have hit the cache here).
+                plan.dup_of = owner
+            else:
+                if self.cache is not None:
+                    plan.func = self.cache.lookup(plan.key, plan.name)
+                    plan.cache_hit = plan.func is not None
+                if plan.func is None:
+                    first_of_key[plan.key] = len(plans)
+            plans.append(plan)
+
+        # Stage 1 (parallel, pure): artifact load / fresh specialize for
+        # every first-occurrence miss.
+        misses = [plan for plan in plans
+                  if plan.func is None and plan.dup_of is None]
+        outcomes = self._run_all(
+            [self._make_specialize_task(plan, snapshot) for plan in misses])
+        for plan, (func, artifact_status, seconds) in zip(misses, outcomes):
+            plan.func = func
+            plan.artifact_hit = artifact_status == HIT
+            plan.specialized = not plan.artifact_hit
+            if artifact_status == INVALID:
+                stats.artifact_invalid += 1
+            stats.specialize_seconds += seconds
+
+        # Resolve duplicates (serial): clone the producer's function.
+        for plan in plans:
+            if plan.dup_of is not None:
+                producer = plans[plan.dup_of]
+                plan.func = clone_function(producer.func, plan.name)
+                plan.cache_hit = True
+                if self.cache is not None:
+                    # Accounting parity with the serial flow, where the
+                    # producer's insert happened before this probe.
+                    self.cache.hits += 1
+
+        # Stage 2 (parallel, pure): backend emission for every function.
+        if want_py:
+            emitted = self._run_all(
+                [self._make_emit_task(plan) for plan in plans])
+            for plan, (source, fallback, status, seconds) in zip(
+                    plans, emitted):
+                plan.py_source = source
+                plan.py_fallback = fallback
+                plan.py_from_store = status == HIT
+                if status == INVALID:
+                    stats.artifact_invalid += 1
+                stats.emit_seconds += seconds
+
+        # Stage 3 (serial, request order): cache/artifact writes and
+        # ``exec`` of emitted source.
+        results = []
+        for plan in plans:
+            if plan.cache_hit:
+                stats.cache_hits += 1
+                if self.store is not None and plan.dup_of is None and \
+                        not self.store.has_residual(plan.key):
+                    # A warm in-memory cache combined with a fresh
+                    # cache_dir must still leave a complete store behind
+                    # (the warm-start-on-disk contract).
+                    ir_text = print_function(plan.func, order="id")
+                    if self.store.store_residual(
+                            plan.key, plan.func, ir_text,
+                            plan.key[0], plan.key[2]):
+                        stats.artifacts_written += 1
+            elif plan.artifact_hit:
+                stats.artifact_hits += 1
+                if self.cache is not None:
+                    self.cache.insert(plan.key, plan.func)
+            elif plan.specialized:
+                stats.functions_specialized += 1
+                if self.cache is not None:
+                    self.cache.insert(plan.key, plan.func)
+                if self.store is not None:
+                    ir_text = print_function(plan.func, order="id")
+                    if self.store.store_residual(
+                            plan.key, plan.func, ir_text,
+                            plan.key[0], plan.key[2]):
+                        stats.artifacts_written += 1
+            results.append(self._finalize(plan))
+        stats.wall_seconds += time.perf_counter() - start
+        return results
+
+    def _make_specialize_task(self, plan: _Plan, snapshot: bytes):
+        def task() -> Tuple[Function, str, float]:
+            begin = time.perf_counter()
+            artifact_status = MISS
+            func: Optional[Function] = None
+            if self.store is not None:
+                func, artifact_status = self.store.load_residual(
+                    plan.key, plan.name, plan.key[0], plan.key[2])
+                if func is not None:
+                    try:
+                        # Disk artifacts sit outside the process's trust
+                        # boundary: verify before use, and treat a
+                        # rejection exactly like corruption.
+                        verify_function(func, self.module)
+                    except VerificationError:
+                        func, artifact_status = None, INVALID
+            if func is None:
+                func = specialize(self.module, plan.request, self.options,
+                                  snapshot)
+            return func, artifact_status, time.perf_counter() - begin
+        return task
+
+    def _make_emit_task(self, plan: _Plan):
+        def task():
+            begin = time.perf_counter()
+            source, fallback, status = self._emit_one(plan.func)
+            return source, fallback, status, time.perf_counter() - begin
+        return task
+
+    def _emit_one(self, func: Function
+                  ) -> Tuple[Optional[str], Optional[str], str]:
+        """Emit (or warm-load) backend source for one residual function.
+
+        Returns ``(source, fallback_reason, store_status)``.
+        """
+        from repro.backend import PyEmitter, UnsupportedConstruct
+        fp = None
+        if self.store is not None:
+            fp = residual_fingerprint(print_function(func, order="id"))
+            cached, status = self.store.load_py_source(fp)
+            if cached is not None:
+                return cached[0], cached[1], status
+        try:
+            source, fallback = (
+                PyEmitter(func, self.module).emit_source(), None)
+        except UnsupportedConstruct as exc:
+            source, fallback = None, str(exc)
+        if self.store is not None:
+            self.store.store_py_source(fp, source, fallback)
+        return source, fallback, MISS
+
+    def _finalize(self, plan: _Plan) -> EngineResult:
+        """Turn a finished plan into a result; ``exec`` emitted source
+        (serial — callable identity is created in request order)."""
+        from repro.backend import UnsupportedConstruct, compile_python_source
+        stats = self.stats
+        pyfunc = None
+        if plan.py_source is not None:
+            try:
+                pyfunc = compile_python_source(plan.name, plan.py_source)
+            except UnsupportedConstruct as exc:
+                plan.py_source, plan.py_fallback = None, str(exc)
+        if plan.py_source is not None or plan.py_fallback is not None:
+            if plan.py_from_store:
+                stats.backend_source_hits += 1
+            else:
+                stats.backend_emitted += 1
+            if plan.py_fallback is not None:
+                stats.backend_fallbacks += 1
+        return EngineResult(
+            request=plan.request,
+            function=plan.func,
+            cache_hit=plan.cache_hit,
+            artifact_hit=plan.artifact_hit,
+            specialized=plan.specialized,
+            py_source=plan.py_source,
+            pyfunc=pyfunc,
+            fallback_reason=plan.py_fallback,
+        )
+
+    # ------------------------------------------------------------------
+    # Backend-only compilation (tier-up of functions already in the
+    # module, e.g. ``SnapshotCompiler.compile_backend`` after a
+    # ``backend="vm"`` specialization run).
+    # ------------------------------------------------------------------
+    def compile_backend_functions(
+            self, names: List[str]
+            ) -> Tuple[Dict[str, Callable], List[Tuple[str, str]]]:
+        """Emit + compile module functions to Python callables.
+
+        Returns ``(compiled, fallbacks)`` like
+        :func:`repro.backend.compile_functions`, but with parallel
+        emission and artifact-store reuse.
+        """
+        from repro.backend import UnsupportedConstruct, compile_python_source
+        start = time.perf_counter()
+        stats = self.stats
+        stats.jobs = max(stats.jobs, self.jobs)
+        compiled: Dict[str, Callable] = {}
+        fallbacks: List[Tuple[str, str]] = []
+        todo: List[str] = []
+        for name in names:
+            if self.module.functions.get(name) is None:
+                fallbacks.append((name, "not an IR function"))
+            else:
+                todo.append(name)
+        outcomes = self._run_all([
+            self._make_named_emit_task(name) for name in todo])
+        for name, (source, fallback, status, seconds) in zip(todo, outcomes):
+            stats.emit_seconds += seconds
+            if source is not None:
+                try:
+                    compiled[name] = compile_python_source(name, source)
+                except UnsupportedConstruct as exc:
+                    source, fallback = None, str(exc)
+            if source is None:
+                fallbacks.append((name, fallback))
+            if status == HIT:
+                stats.backend_source_hits += 1
+            else:
+                stats.backend_emitted += 1
+            if status == INVALID:
+                stats.artifact_invalid += 1
+        stats.backend_fallbacks += len(fallbacks)
+        stats.wall_seconds += time.perf_counter() - start
+        return compiled, fallbacks
+
+    def _make_named_emit_task(self, name: str):
+        def task():
+            begin = time.perf_counter()
+            source, fallback, status = self._emit_one(
+                self.module.functions[name])
+            return source, fallback, status, time.perf_counter() - begin
+        return task

@@ -1,0 +1,477 @@
+"""Tests for the compilation pipeline: the CompilationEngine, the
+on-disk artifact store, and parallel-batch determinism.
+
+The contracts under test (ISSUE/ROADMAP "production story" layer):
+
+* **Warm-start proof** — a second engine run over the same module and
+  requests specializes *zero* functions: every residual loads from
+  disk, its printed IR is byte-identical to the cold compile's, and the
+  resumed snapshot runs with identical results and identical
+  deterministic fuel.
+* **Corruption safety** — truncated/garbage artifacts, version skew,
+  and fingerprint mismatches are silently treated as misses (fresh
+  recompile), never crashes.
+* **Parallel determinism** — ``jobs=1`` and ``jobs=4`` produce
+  byte-identical residual IR, byte-identical emitted backend source,
+  and the same table/heap patching.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.core import (
+    Runtime,
+    SnapshotCompiler,
+    SpecializationCache,
+    SpecializationRequest,
+    SpecializedConst,
+    SpecializedMemory,
+)
+from repro.core.specialize import SpecializeOptions
+from repro.frontend import compile_source
+from repro.ir import Module, print_function, verify_module
+from repro.pipeline import (
+    ARTIFACT_VERSION,
+    ArtifactStore,
+    CompilationEngine,
+    SerializationError,
+    function_from_dict,
+    function_to_dict,
+)
+
+INTERP = """
+u64 interp(u64 program, u64 proglen, u64 input) {
+  u64 pc = 0;
+  u64 acc = input;
+  weval_push_context(pc);
+  while (1) {
+    u64 op = load64(program + pc * 8);
+    pc = pc + 1;
+    switch (op) {
+    case 0: { acc = acc + load64(program + pc * 8); pc = pc + 1; break; }
+    case 1: { acc = acc * load64(program + pc * 8); pc = pc + 1; break; }
+    case 2: { return acc; }
+    default: { abort(); }
+    }
+    weval_update_context(pc);
+  }
+  return 0;
+}
+
+u64 dispatch(u64 fnptr_addr, u64 program, u64 proglen, u64 input) {
+  u64 spec = load64(fnptr_addr);
+  if (spec != 0) {
+    return icall3(spec, program, proglen, input);
+  }
+  return interp(program, proglen, input);
+}
+"""
+
+BASE_A = 0x800
+BASE_B = 0x900
+FNPTR_A = 0x100
+FNPTR_B = 0x108
+
+CODE_A = [0, 5, 1, 3, 2]   # (x + 5) * 3
+CODE_B = [1, 7, 0, 2, 2]   # x * 7 + 2
+
+
+def build_module() -> Module:
+    module = Module(memory_size=1 << 14)
+    compile_source(INTERP).add_to_module(module)
+    for base, code in ((BASE_A, CODE_A), (BASE_B, CODE_B)):
+        for i, word in enumerate(code):
+            module.write_init_u64(base + i * 8, word)
+    return module
+
+
+def make_requests():
+    return [
+        SpecializationRequest(
+            "interp",
+            [SpecializedMemory(BASE_A, len(CODE_A) * 8),
+             SpecializedConst(len(CODE_A)), Runtime()],
+            specialized_name="spec_a"),
+        SpecializationRequest(
+            "interp",
+            [SpecializedMemory(BASE_B, len(CODE_B) * 8),
+             SpecializedConst(len(CODE_B)), Runtime()],
+            specialized_name="spec_b"),
+    ]
+
+
+def run_snapshot(options: SpecializeOptions, cache=None):
+    """One full cold-or-warm AOT flow; returns (compiler, outputs)
+    where outputs maps function name -> (result, fuel, ir_text)."""
+    module = build_module()
+    compiler = SnapshotCompiler(module, options, cache)
+    compiler.instantiate()
+    for request, fnptr in zip(make_requests(), (FNPTR_A, FNPTR_B)):
+        compiler.enqueue(request, fnptr)
+    compiler.process_requests()
+    compiler.freeze()
+    verify_module(module)
+    outputs = {}
+    for processed, (base, code, arg) in zip(
+            compiler.processed,
+            ((BASE_A, CODE_A, 10), (BASE_B, CODE_B, 10))):
+        vm = compiler.resume()
+        fnptr = processed.result_addr
+        result = vm.call("dispatch", [fnptr, base, len(code), arg])
+        outputs[processed.function_name] = (
+            result, vm.stats.fuel,
+            print_function(module.functions[processed.function_name],
+                           order="id"))
+    return compiler, outputs
+
+
+EXPECTED = {"spec_a": (10 + 5) * 3, "spec_b": 10 * 7 + 2}
+
+
+def check_outputs(outputs):
+    for name, (result, _fuel, _ir) in outputs.items():
+        assert result == EXPECTED[name]
+
+
+# ---------------------------------------------------------------------------
+# Serialization round trip.
+# ---------------------------------------------------------------------------
+class TestSerialization:
+    def test_round_trip_is_identical(self):
+        module = build_module()
+        engine = CompilationEngine(module)
+        func = engine.compile_batch(make_requests()[:1])[0].function
+        payload = json.loads(json.dumps(function_to_dict(func)))
+        clone = function_from_dict(payload)
+        assert print_function(clone, order="id") == \
+            print_function(func, order="id")
+        assert clone._next_value == func._next_value
+        assert clone._next_block == func._next_block
+
+    def test_rename_on_load(self):
+        module = build_module()
+        engine = CompilationEngine(module)
+        func = engine.compile_batch(make_requests()[:1])[0].function
+        clone = function_from_dict(function_to_dict(func), name="renamed")
+        assert clone.name == "renamed"
+
+    @pytest.mark.parametrize("mutilate", [
+        lambda d: d.pop("blocks"),
+        lambda d: d["blocks"][0].update(terminator={"t": "mystery"}),
+        lambda d: d["sig"].update(params=["i32"]),
+        lambda d: d.update(entry=999),
+        lambda d: d["blocks"][0]["instrs"].append(["iconst"]),
+    ])
+    def test_malformed_payload_raises(self, mutilate):
+        module = build_module()
+        engine = CompilationEngine(module)
+        func = engine.compile_batch(make_requests()[:1])[0].function
+        payload = function_to_dict(func)
+        mutilate(payload)
+        with pytest.raises(SerializationError):
+            function_from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Warm start.
+# ---------------------------------------------------------------------------
+class TestWarmStart:
+    def test_second_run_compiles_zero_functions(self, tmp_path):
+        options = SpecializeOptions(cache_dir=str(tmp_path))
+        cold, cold_out = run_snapshot(options)
+        assert cold.engine.stats.functions_specialized == 2
+        assert cold.engine.stats.artifacts_written == 2
+        check_outputs(cold_out)
+
+        warm, warm_out = run_snapshot(options)
+        assert warm.engine.stats.functions_specialized == 0
+        assert warm.engine.stats.artifact_hits == 2
+        check_outputs(warm_out)
+        # Byte-identical residual IR print, identical deterministic fuel.
+        assert warm_out == cold_out
+        assert all(p.artifact_hit for p in warm.processed)
+
+    def test_warm_py_backend_reuses_source_and_fuel(self, tmp_path):
+        options = SpecializeOptions(cache_dir=str(tmp_path), backend="py")
+        cold, cold_out = run_snapshot(options)
+        assert cold.engine.stats.backend_emitted == 2
+        check_outputs(cold_out)
+        warm, warm_out = run_snapshot(options)
+        assert warm.engine.stats.functions_specialized == 0
+        assert warm.engine.stats.backend_emitted == 0
+        assert warm.engine.stats.backend_source_hits == 2
+        assert warm_out == cold_out  # results, fuel, and IR all identical
+        assert set(warm.backend_functions) == {"spec_a", "spec_b"}
+
+    def test_vm_and_py_artifact_spaces_are_disjoint(self, tmp_path):
+        """backend is part of the key: a vm-compiled store does not
+        satisfy a py-backend run (and vice versa)."""
+        run_snapshot(SpecializeOptions(cache_dir=str(tmp_path),
+                                       backend="vm"))
+        warm, _ = run_snapshot(SpecializeOptions(cache_dir=str(tmp_path),
+                                                 backend="py"))
+        assert warm.engine.stats.functions_specialized == 2
+
+    def test_js_runtime_warm_start(self, tmp_path):
+        """End-to-end through JSRuntime: the residuals contain
+        ``call_indirect`` (Signature immediates) and IC-corpus stubs, so
+        this exercises the full serialization surface."""
+        from repro.jsvm import JSRuntime
+        src = ("function compute() { var o = {}; o.x = 3; o.y = 4;\n"
+               "  return o.x * o.y; }\n"
+               "print(compute());")
+        options = SpecializeOptions(cache_dir=str(tmp_path))
+        cold = JSRuntime(src, "wevaled_state", options=options)
+        vm_cold = cold.run()
+        assert cold.compiler.engine.stats.functions_specialized > 0
+        warm = JSRuntime(src, "wevaled_state", options=options)
+        vm_warm = warm.run()
+        assert warm.compiler.engine.stats.functions_specialized == 0
+        assert warm.printed == cold.printed == ["12"]
+        assert vm_warm.stats.fuel == vm_cold.stats.fuel
+        for p_cold, p_warm in zip(cold.compiler.processed,
+                                  warm.compiler.processed):
+            assert print_function(
+                cold.module.functions[p_cold.function_name],
+                order="id") == print_function(
+                warm.module.functions[p_warm.function_name], order="id")
+
+    def test_memory_change_invalidates(self, tmp_path):
+        options = SpecializeOptions(cache_dir=str(tmp_path))
+        run_snapshot(options)
+
+        module = build_module()
+        module.write_init_u64(BASE_A + 8, 6)  # ADDI 6 instead of 5
+        compiler = SnapshotCompiler(module, options)
+        compiler.instantiate()
+        for request, fnptr in zip(make_requests(), (FNPTR_A, FNPTR_B)):
+            compiler.enqueue(request, fnptr)
+        compiler.process_requests()
+        # spec_a's promised-constant bytes changed -> fresh compile;
+        # spec_b still loads from disk.
+        assert compiler.engine.stats.functions_specialized == 1
+        assert compiler.engine.stats.artifact_hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Corruption, truncation, version skew.
+# ---------------------------------------------------------------------------
+def _spec_files(tmp_path):
+    spec_dir = os.path.join(str(tmp_path), "spec")
+    return [os.path.join(spec_dir, f) for f in sorted(os.listdir(spec_dir))]
+
+
+class TestArtifactRobustness:
+    def _warm_after(self, tmp_path, damage):
+        options = SpecializeOptions(cache_dir=str(tmp_path))
+        run_snapshot(options)
+        for path in _spec_files(tmp_path):
+            damage(path)
+        warm, outputs = run_snapshot(options)
+        check_outputs(outputs)
+        return warm
+
+    def test_truncated_artifact_recompiles(self, tmp_path):
+        def damage(path):
+            with open(path, "r+b") as handle:
+                handle.truncate(os.path.getsize(path) // 2)
+        warm = self._warm_after(tmp_path, damage)
+        assert warm.engine.stats.functions_specialized == 2
+        assert warm.engine.stats.artifact_invalid == 2
+
+    def test_garbage_artifact_recompiles(self, tmp_path):
+        def damage(path):
+            with open(path, "wb") as handle:
+                handle.write(b"\x00\xffnot json at all")
+        warm = self._warm_after(tmp_path, damage)
+        assert warm.engine.stats.functions_specialized == 2
+        assert warm.engine.stats.artifact_invalid == 2
+
+    def test_version_mismatch_recompiles(self, tmp_path):
+        def damage(path):
+            with open(path) as handle:
+                data = json.load(handle)
+            data["version"] = ARTIFACT_VERSION + 1
+            with open(path, "w") as handle:
+                json.dump(data, handle)
+        warm = self._warm_after(tmp_path, damage)
+        assert warm.engine.stats.functions_specialized == 2
+        assert warm.engine.stats.artifact_invalid == 2
+
+    def test_fingerprint_mismatch_recompiles(self, tmp_path):
+        def damage(path):
+            with open(path) as handle:
+                data = json.load(handle)
+            data["memory_fingerprint"] = "0" * 64
+            with open(path, "w") as handle:
+                json.dump(data, handle)
+        warm = self._warm_after(tmp_path, damage)
+        assert warm.engine.stats.functions_specialized == 2
+        assert warm.engine.stats.artifact_invalid == 2
+
+    def test_mangled_ir_payload_recompiles(self, tmp_path):
+        def damage(path):
+            with open(path) as handle:
+                data = json.load(handle)
+            data["ir"]["blocks"][0]["terminator"] = {"t": "mystery"}
+            with open(path, "w") as handle:
+                json.dump(data, handle)
+        warm = self._warm_after(tmp_path, damage)
+        assert warm.engine.stats.functions_specialized == 2
+        assert warm.engine.stats.artifact_invalid == 2
+
+    def test_semantically_invalid_ir_recompiles(self, tmp_path):
+        """A parseable artifact whose function fails the verifier is
+        rejected like corruption (artifacts sit outside the trust
+        boundary)."""
+        def damage(path):
+            with open(path) as handle:
+                data = json.load(handle)
+            # Use-before-def: clobber every instruction's args.
+            for block in data["ir"]["blocks"]:
+                for instr in block["instrs"]:
+                    instr[2] = [999999 for _ in instr[2]]
+            with open(path, "w") as handle:
+                json.dump(data, handle)
+        warm = self._warm_after(tmp_path, damage)
+        assert warm.engine.stats.functions_specialized == 2
+        assert warm.engine.stats.artifact_invalid == 2
+
+    def test_store_statuses(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        func, status = store.load_residual(("nope",), "f", "g", "m")
+        assert func is None and status == "miss"
+        source, status = store.load_py_source("0" * 64)
+        assert source is None and status == "miss"
+
+
+# ---------------------------------------------------------------------------
+# Parallel batch compilation.
+# ---------------------------------------------------------------------------
+class TestParallelDeterminism:
+    def test_jobs_1_vs_4_identical_outputs(self, tmp_path):
+        runs = {}
+        for jobs in (1, 4):
+            options = SpecializeOptions(backend="py", jobs=jobs)
+            module = build_module()
+            compiler = SnapshotCompiler(module, options)
+            compiler.instantiate()
+            for request, fnptr in zip(make_requests(), (FNPTR_A, FNPTR_B)):
+                compiler.enqueue(request, fnptr)
+            processed = compiler.process_requests()
+            compiler.freeze()
+            vm = compiler.resume()
+            results = [vm.call("dispatch", [fnptr, base, len(code), 9])
+                       for fnptr, base, code in
+                       ((FNPTR_A, BASE_A, CODE_A), (FNPTR_B, BASE_B, CODE_B))]
+            runs[jobs] = {
+                "names": [p.function_name for p in processed],
+                "tables": [p.table_index for p in processed],
+                "ir": [print_function(module.functions[p.function_name],
+                                      order="id") for p in processed],
+                "results": results,
+                "fuel": vm.stats.fuel,
+            }
+        assert runs[1] == runs[4]
+
+    def test_jobs_populate_identical_artifacts(self, tmp_path):
+        contents = {}
+        for jobs in (1, 4):
+            cache_dir = tmp_path / f"jobs{jobs}"
+            run_snapshot(SpecializeOptions(jobs=jobs, backend="py",
+                                           cache_dir=str(cache_dir)))
+            files = {}
+            for sub in ("spec", "py"):
+                subdir = cache_dir / sub
+                for entry in sorted(os.listdir(subdir)):
+                    files[f"{sub}/{entry}"] = (subdir / entry).read_bytes()
+            contents[jobs] = files
+        assert contents[1] == contents[4]
+
+    def test_duplicate_requests_share_one_compile(self):
+        module = build_module()
+        cache = SpecializationCache()
+        engine = CompilationEngine(module, SpecializeOptions(),
+                                   cache=cache)
+        request = make_requests()[0]
+        twin = dataclasses.replace(request, specialized_name="spec_twin")
+        results = engine.compile_batch([request, twin])
+        assert engine.stats.functions_specialized == 1
+        assert results[1].cache_hit
+        assert results[0].function.name == "spec_a"
+        assert results[1].function.name == "spec_twin"
+        assert cache.hits == 1 and cache.misses == 1
+
+
+# ---------------------------------------------------------------------------
+# Engine surface details.
+# ---------------------------------------------------------------------------
+class TestEngineSurface:
+    def test_memory_cache_layer_over_store(self, tmp_path):
+        """Requests resolve memory-cache first; the disk store fills the
+        memory cache so a later batch in the same process hits RAM."""
+        options = SpecializeOptions(cache_dir=str(tmp_path))
+        run_snapshot(options)  # populate disk
+        cache = SpecializationCache()
+        module = build_module()
+        engine = CompilationEngine(module, options, cache=cache)
+        first = engine.compile_batch(make_requests())
+        assert all(r.artifact_hit for r in first)
+        again = engine.compile_batch([
+            dataclasses.replace(r, specialized_name=r.specialized_name
+                                + ".2") for r in make_requests()])
+        assert all(r.cache_hit for r in again)
+        assert engine.stats.cache_hits == 2
+
+    def test_uncreatable_cache_dir_degrades_to_no_cache(self, tmp_path):
+        """A cache_dir that cannot be created (path collides with a
+        file) degrades to 'no cache', never a failed build."""
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        options = SpecializeOptions(
+            cache_dir=str(blocker / "cache"))
+        engine = CompilationEngine(build_module(), options)
+        assert engine.store is None
+        results = engine.compile_batch(make_requests())
+        assert engine.stats.functions_specialized == 2
+        assert [r.function.name for r in results] == ["spec_a", "spec_b"]
+
+    def test_memory_cache_hits_backfill_the_store(self, tmp_path):
+        """A warm in-memory cache combined with a fresh cache_dir must
+        still leave a complete on-disk store behind."""
+        cache = SpecializationCache()
+        module = build_module()
+        warm_engine = CompilationEngine(module, SpecializeOptions(),
+                                        cache=cache)
+        warm_engine.compile_batch(make_requests())  # warm the RAM cache
+
+        options = SpecializeOptions(cache_dir=str(tmp_path))
+        disk_engine = CompilationEngine(build_module(), options,
+                                        cache=cache)
+        results = disk_engine.compile_batch(make_requests())
+        assert all(r.cache_hit for r in results)
+        assert disk_engine.stats.artifacts_written == 2
+        # A fresh process (no RAM cache) now warm-starts from disk.
+        fresh = CompilationEngine(build_module(), options)
+        fresh_results = fresh.compile_batch(make_requests())
+        assert fresh.stats.functions_specialized == 0
+        assert all(r.artifact_hit for r in fresh_results)
+
+    def test_engine_results_in_request_order(self):
+        module = build_module()
+        engine = CompilationEngine(module, SpecializeOptions(jobs=4))
+        requests = make_requests()
+        results = engine.compile_batch(requests)
+        assert [r.request.specialized_name for r in results] == \
+            [r.specialized_name for r in requests]
+
+    def test_compile_backend_functions_fallback_list(self):
+        module = build_module()
+        engine = CompilationEngine(module, SpecializeOptions())
+        compiled, fallbacks = engine.compile_backend_functions(
+            ["interp", "no_such_function"])
+        assert "interp" in compiled
+        assert fallbacks == [("no_such_function", "not an IR function")]
