@@ -8,10 +8,12 @@ from repro.bench.harness import (
     format_pipeline_stats,
     format_table,
     geomean,
+    profiling_enabled,
     residual_shape,
     run_backend_comparison,
     run_engine_cache_report,
     run_js_workload,
+    run_profiled,
 )
 
 __all__ = [
@@ -25,5 +27,7 @@ __all__ = [
     "run_engine_cache_report",
     "format_table",
     "format_pipeline_stats",
+    "profiling_enabled",
     "residual_shape",
+    "run_profiled",
 ]

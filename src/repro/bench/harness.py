@@ -1,12 +1,14 @@
 """Benchmark helpers: per-config workload execution, geomean, tables,
-and mid-end (pass pipeline) reporting."""
+mid-end (pass pipeline) reporting, and opt-in AOT profiling
+(``REPRO_PROFILE=1``)."""
 
 from __future__ import annotations
 
 import dataclasses
 import math
+import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.stats import PipelineStats
 from repro.ir.function import Function
@@ -245,6 +247,43 @@ def run_engine_cache_report(name: str, config: str = "wevaled_state",
             shutil.rmtree(root, ignore_errors=True)
 
 
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE=1`` asks benches to profile AOT work."""
+    return os.environ.get("REPRO_PROFILE", "") == "1"
+
+
+def run_profiled(fn: Callable[[], object],
+                 top: int = 15) -> Tuple[object, Optional[str]]:
+    """Call ``fn`` and, when ``REPRO_PROFILE=1``, run it under
+    :mod:`cProfile` and render the ``top`` entries by cumulative time as
+    a table — so every transform-speed report starts from data, not
+    guesses.  Returns ``(fn's result, table text or None)``.
+
+    Profiling inflates wall-clock (tracing overhead), so callers should
+    time the un-profiled path separately or label profiled numbers."""
+    if not profiling_enabled():
+        return fn(), None
+    import cProfile
+    import pstats
+
+    profile = cProfile.Profile()
+    result = profile.runcall(fn)
+    stats = pstats.Stats(profile)
+    stats.sort_stats("cumulative")
+    rows: List[List[object]] = []
+    for func_key in stats.fcn_list[:top]:  # sorted by the call above
+        _cc, nc, tt, ct, _callers = stats.stats[func_key]
+        filename, lineno, name = func_key
+        where = (name if filename.startswith(("<", "~"))
+                 else f"{os.path.basename(filename)}:{lineno}({name})")
+        rows.append([f"{ct:.3f}s", f"{tt:.3f}s", nc, where])
+    table = format_table(["cumtime", "tottime", "calls",
+                          f"function (top {top} by cumulative)"], rows)
+    return result, (f"cProfile of AOT (REPRO_PROFILE=1): "
+                    f"{stats.total_tt:.3f}s total in "
+                    f"{stats.total_calls} calls\n{table}")
+
+
 def geomean(values: Iterable[float]) -> float:
     values = [v for v in values]
     if not values:
@@ -260,16 +299,31 @@ def residual_shape(func: Function) -> Tuple[int, int, int]:
 
 def format_pipeline_stats(stats: PipelineStats) -> str:
     """Render mid-end pipeline stats as a paper-style table: one row per
-    pass plus a summary row, for the transform-speed reports."""
+    pass plus a summary row, for the transform-speed reports.
+
+    Every column aggregates the same quantity in every row: ``runs``
+    counts pass *executions* (not pipeline invocations), ``skips``
+    counts scheduler-proven no-ops, and the ``total`` row is the column
+    sum over passes.  Pipeline-level context (function count, rounds,
+    instruction delta, wall time) goes on its own line so it can't be
+    misread as a pass counter."""
     rows: List[List[object]] = []
     for name in sorted(stats.per_pass):
         pass_stats = stats.per_pass[name]
-        rows.append([name, pass_stats.runs, pass_stats.changes,
-                     f"{pass_stats.seconds:.3f}s"])
-    rows.append(["total", stats.runs,
-                 f"{stats.instrs_before}->{stats.instrs_after} instrs",
-                 f"{stats.seconds:.3f}s"])
-    table = format_table(["pass", "runs", "changes", "time"], rows)
+        rows.append([name, pass_stats.runs, pass_stats.skips,
+                     pass_stats.changes, f"{pass_stats.seconds:.3f}s"])
+    per_pass = list(stats.per_pass.values())
+    rows.append(["total",
+                 sum(p.runs for p in per_pass),
+                 sum(p.skips for p in per_pass),
+                 sum(p.changes for p in per_pass),
+                 f"{sum(p.seconds for p in per_pass):.3f}s"])
+    table = format_table(
+        ["pass", "runs", "skips", "changes", "pass time"], rows)
+    table += (f"\n{stats.runs} function(s), {stats.rounds} round(s), "
+              f"{stats.instrs_before}->{stats.instrs_after} instrs, "
+              f"{stats.seconds:.3f}s pipeline "
+              f"({stats.workcheck_seconds:.3f}s in work detectors)")
     if stats.fixpoint_cap_hits:
         table += (f"\nWARNING: fixpoint round cap hit on "
                   f"{stats.fixpoint_cap_hits} function(s)")

@@ -13,7 +13,7 @@ duplication of specialized code.  An empty context is the root.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 Context = Tuple[Tuple[str, object], ...]
 
@@ -24,16 +24,33 @@ ROOT: Context = ()
 # interpreter body, keeping the context set finite.
 DYNAMIC = "__dyn__"
 
+# Hash-consing table: contexts are dict-key components of every
+# specialized-block key, so handing out one canonical tuple per distinct
+# context lets dict probes and equality checks hit the identity fast
+# path instead of comparing tuples element by element.
+_INTERN: Dict[Context, Context] = {}
+_INTERN_CAP = 1 << 20  # safety valve, never expected in practice
+
+
+def _intern(ctx: Context) -> Context:
+    cached = _INTERN.get(ctx)
+    if cached is not None:
+        return cached
+    if len(_INTERN) >= _INTERN_CAP:
+        _INTERN.clear()
+    _INTERN[ctx] = ctx
+    return ctx
+
 
 def push(ctx: Context, value: int) -> Context:
-    return ctx + (("c", value),)
+    return _intern(ctx + (("c", value),))
 
 
 def pop(ctx: Context) -> Context:
     ctx = _strip_sv(ctx)
     if not ctx:
         raise ValueError("pop_context on an empty context stack")
-    return ctx[:-1]
+    return _intern(ctx[:-1])
 
 
 def update(ctx: Context, value: int) -> Context:
@@ -42,13 +59,13 @@ def update(ctx: Context, value: int) -> Context:
     if not ctx:
         # update without a push: treat as push (tolerant, like the paper's
         # "not load-bearing" stance).
-        return (("c", value),)
-    return ctx[:-1] + (("c", value),)
+        return _intern((("c", value),))
+    return _intern(ctx[:-1] + (("c", value),))
 
 
 def push_value(ctx: Context, value: object) -> Context:
     """Add a value-specialization sub-entry ("The Trick")."""
-    return ctx + (("sv", value),)
+    return _intern(ctx + (("sv", value),))
 
 
 def _strip_sv(ctx: Context) -> Context:

@@ -14,10 +14,10 @@ is the mechanism that erases the bytecode from the compiled result.
 
 from __future__ import annotations
 
-import dataclasses
 import math
 import struct
-from typing import List, Optional, Tuple, Union
+import threading
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.ir.instructions import (
     COMPARISON_OPS,
@@ -30,29 +30,122 @@ from repro.ir.instructions import (
 from repro.ir.types import F64, I64, Type
 
 
-@dataclasses.dataclass(frozen=True)
 class Const:
-    """A compile-time constant: int bit pattern (i64) or float (f64)."""
+    """A compile-time constant: int bit pattern (i64) or float (f64).
 
-    value: Union[int, float]
-    ty: Type
+    Abstract values are compared billions of times across a large
+    specialization (every meet touches every slot of every predecessor
+    state), so both classes are slotted, hash-cached, and equipped with
+    an identity fast path in ``__eq__``.  Combined with interning (see
+    :func:`intern_const`), most equality checks reduce to a pointer
+    comparison.  Equality semantics match the former frozen-dataclass
+    behavior exactly: identity-or-``==`` per component, as tuple
+    comparison does (so ``0.0 == -0.0``, distinct NaN objects stay
+    unequal, and two Consts wrapping the *same* NaN object — e.g. the
+    ``math.nan`` singleton the constant folder returns — stay equal,
+    keeping NaN-valued entry states stable across rebuilds).
+    """
 
-    def __post_init__(self):
-        if self.ty == I64:
-            assert isinstance(self.value, int)
+    __slots__ = ("value", "ty", "_hash")
+
+    def __init__(self, value: Union[int, float], ty: Type):
+        if ty is I64:
+            assert isinstance(value, int)
         else:
-            assert isinstance(self.value, float)
+            assert isinstance(value, float)
+        self.value = value
+        self.ty = ty
+        self._hash = hash((value, ty))
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        return (type(other) is Const
+                and (self.value is other.value
+                     or self.value == other.value)
+                and self.ty is other.ty)
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        return f"Const(value={self.value!r}, ty={self.ty!r})"
 
 
-@dataclasses.dataclass(frozen=True)
 class Dyn:
     """A run-time value; ``vid`` is its id in the specialized function."""
 
-    vid: int
-    ty: Type
+    __slots__ = ("vid", "ty", "_hash")
+
+    def __init__(self, vid: int, ty: Type):
+        self.vid = vid
+        self.ty = ty
+        self._hash = hash((vid, ty))
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        return (type(other) is Dyn and self.vid == other.vid
+                and self.ty is other.ty)
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __hash__(self):
+        return self._hash
+
+    def __repr__(self):
+        return f"Dyn(vid={self.vid!r}, ty={self.ty!r})"
 
 
 AbsVal = Union[Const, Dyn]
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing of constants.
+#
+# The specializer re-creates the same small set of Const objects (opcode
+# operands, pcs, flags, zeros) at nearly every transcription step.
+# Interning i64 constants makes those objects *identical*, so state
+# equality checks, meets, and signature comparisons hit the ``is`` fast
+# path instead of structural comparison.  f64 constants are left alone:
+# they are rare, and an equality-keyed table would conflate 0.0/-0.0
+# (whose bit patterns the optimizer deliberately keeps distinct).
+#
+# Hit/miss counters are thread-local so the pipeline engine's worker
+# threads (one specialization per task) each observe a consistent delta.
+# ---------------------------------------------------------------------------
+
+_CONST_INTERN: Dict[int, Const] = {}
+_CONST_INTERN_CAP = 1 << 20  # safety valve, never expected in practice
+_intern_tls = threading.local()
+
+
+def intern_const(value: Union[int, float], ty: Type) -> Const:
+    """Return a canonical :class:`Const` (i64 values are hash-consed)."""
+    if ty is not I64:
+        return Const(value, ty)
+    cached = _CONST_INTERN.get(value)
+    if cached is not None:
+        _intern_tls.hits = getattr(_intern_tls, "hits", 0) + 1
+        return cached
+    if len(_CONST_INTERN) >= _CONST_INTERN_CAP:
+        _CONST_INTERN.clear()
+    cached = _CONST_INTERN[value] = Const(value, ty)
+    _intern_tls.misses = getattr(_intern_tls, "misses", 0) + 1
+    return cached
+
+
+def intern_counters() -> Tuple[int, int]:
+    """(hits, misses) of :func:`intern_const` on the calling thread."""
+    return (getattr(_intern_tls, "hits", 0),
+            getattr(_intern_tls, "misses", 0))
+
+
+ZERO = intern_const(0, I64)
 
 
 class ConstMemoryImage:

@@ -30,19 +30,22 @@ ablation.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import os
 import time
-from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core import context as ctx_mod
 from repro.core.intrinsics import INTRINSICS
 from repro.core.lattice import (
+    ZERO,
     AbsVal,
     Const,
     ConstMemoryImage,
     Dyn,
     fold_pure_op,
+    intern_const,
+    intern_counters,
     load_size,
 )
 from repro.core.request import (
@@ -59,10 +62,14 @@ from repro.core.state import (
     StackSlot,
     binding_of,
     meet_states,
+    states_equal,
+    states_equal_observable,
     unstable_slots,
 )
 from repro.core.stats import SpecializationStats
+from repro.ir.cfg import reverse_postorder
 from repro.ir.clone import clone_function
+from repro.ir.renumber import canonicalize_function
 from repro.ir.function import Block, Function
 from repro.ir.instructions import (
     OPCODES,
@@ -116,6 +123,13 @@ class SpecializeOptions:
     # duplication, never correctness, so this is a sound safety valve
     # against runaway specialization of dynamically-unreachable paths.
     max_contexts: int = 100_000
+    # Escape hatch for the fixpoint engine's throughput machinery:
+    # disables unchanged-input meet skipping in the specializer and both
+    # levels of mid-end pass skipping (dirty sets and work detectors),
+    # recomputing everything the fast engine claims it may elide.  Output
+    # is byte-identical either way — the determinism tier asserts it — so
+    # this knob is deliberately NOT part of any cache key.
+    debug_exhaustive: bool = False
 
     def __post_init__(self):
         if self.ssa_mode not in ("minimal", "naive"):
@@ -143,17 +157,27 @@ class _Edge:
 
 
 class _KeyInfo:
-    """Bookkeeping for one specialized block (one ⟨context, block⟩ pair)."""
+    """Bookkeeping for one specialized block (one ⟨context, block⟩ pair).
 
-    __slots__ = ("key", "spec_block", "entry_sig", "entry_state",
+    ``out_version`` is a monotone counter bumped only when a rebuild
+    changes this block's *observable* behavior (its out-state or its
+    outgoing edges); successors snapshot the versions they consumed in
+    ``last_input_sig`` so an unchanged input set skips the whole meet.
+    ``minted`` caches the value ids allocated at each mint position of a
+    rebuild, so re-transcribing from an equal entry state reproduces the
+    exact same SSA ids — that stability is what makes ``out_version``
+    stick and kills the id-churn re-flow cascades of the FIFO engine.
+    """
+
+    __slots__ = ("key", "spec_block", "entry_state",
                  "out_state", "edges_out", "in_edges", "param_ids",
                  "param_slots", "revisits", "force_all_params", "built",
-                 "pinned_slots")
+                 "pinned_slots", "out_version", "last_input_sig",
+                 "minted", "mint_pos", "priority")
 
     def __init__(self, key: Key, spec_block: Block):
         self.key = key
         self.spec_block = spec_block
-        self.entry_sig = None
         self.entry_state: Optional[FlowState] = None
         self.out_state: Optional[FlowState] = None
         self.edges_out: List[_Edge] = []
@@ -164,6 +188,11 @@ class _KeyInfo:
         self.force_all_params = False
         self.built = False
         self.pinned_slots = set()
+        self.out_version = 0
+        self.last_input_sig: Optional[tuple] = None
+        self.minted: List[int] = []
+        self.mint_pos = 0
+        self.priority: Tuple[int, int] = (0, 0)
 
 
 class _Specializer:
@@ -184,7 +213,8 @@ class _Specializer:
                 f"modes, function has {len(generic.sig.params)} params")
 
         self.generic = self._prepare(generic)
-        self.live_in, self.block_params = self._liveness(self.generic)
+        self.live_in, self.live_out, self.block_params = \
+            self._liveness(self.generic)
 
         snapshot = bytes(memory if memory is not None
                          else module.memory_init)
@@ -197,10 +227,31 @@ class _Specializer:
 
         self.out = Function(request.name(), generic.sig)
         self.infos: Dict[Key, _KeyInfo] = {}
-        self.worklist: deque = deque()
         self.queued: Set[Key] = set()
         self._iterations = 0
         self._seen_contexts: Set[tuple] = set()
+
+        # Worklist policy: a priority queue ordered by (context discovery
+        # index, generic-block reverse-postorder index).  Within one
+        # context the generic CFG is flowed predecessors-first, and
+        # contexts are flowed roughly in the order specialization
+        # discovers them, which tracks forward progress through the
+        # unrolled interpreter.  Processing predecessors before successors
+        # lets meets converge in ~one pass over reducible regions instead
+        # of re-flowing.  Both engines share this order — the convergence
+        # damper's pin set depends on the visit order, so the order is
+        # part of which (equally valid) fixpoint is chosen;
+        # ``debug_exhaustive`` only disables the *skipping* machinery
+        # (unchanged-input meets), which is the part whose soundness the
+        # determinism tier must check.
+        self._exhaustive = options.debug_exhaustive
+        self._heap: List[Tuple[Tuple[int, int], Key]] = []
+        self._rpo_index: Dict[int, int] = {
+            bid: i for i, bid in enumerate(reverse_postorder(self.generic))}
+        self._rpo_unreachable = len(self._rpo_index)
+        self._ctx_order: Dict[tuple, int] = {}
+        self._key_strs: Dict[Key, str] = {}
+        self._mint_info: Optional[_KeyInfo] = None
 
     # ------------------------------------------------------------------
     # Preparation: clone + split blocks after specialized_value calls.
@@ -267,7 +318,16 @@ class _Specializer:
                 if new != live_in[bid]:
                     live_in[bid] = new
                     changed = True
-        return live_in, params
+        # Live-out sets bound what successors can observe of a block's
+        # out-state env — the domain of the out-version change check.
+        live_out_sets: Dict[int, Set[int]] = {}
+        for bid in func.blocks:
+            out: Set[int] = set()
+            for succ in succs[bid]:
+                out.update(live_in[succ])
+                out.update(params[succ])
+            live_out_sets[bid] = out
+        return live_in, live_out_sets, params
 
     # ------------------------------------------------------------------
     # Worklist management.
@@ -276,6 +336,10 @@ class _Specializer:
         info = self.infos.get(key)
         if info is None:
             info = _KeyInfo(key, self.out.new_block())
+            ctx, gblock = key
+            order = self._ctx_order.setdefault(ctx, len(self._ctx_order))
+            info.priority = (order, self._rpo_index.get(
+                gblock, self._rpo_unreachable + gblock))
             self.infos[key] = info
             self.stats.contexts_created += 1
         return info
@@ -283,27 +347,43 @@ class _Specializer:
     def _enqueue(self, key: Key) -> None:
         if key not in self.queued:
             self.queued.add(key)
-            self.worklist.append(key)
+            # The priority pair is a bijection of the key (one context
+            # index, one block index each), so heap comparisons never
+            # reach the key itself.
+            heapq.heappush(self._heap, (self.infos[key].priority, key))
+
+    def _pop(self) -> Key:
+        return heapq.heappop(self._heap)[1]
 
     # ------------------------------------------------------------------
     # Driver.
     # ------------------------------------------------------------------
     def run(self) -> Function:
         start = time.perf_counter()
+        intern_hits0, intern_misses0 = intern_counters()
         self._seed()
-        while self.worklist:
+        while self.queued:
             self._iterations += 1
             if self._iterations > self.options.max_iterations:
                 raise SpecializeError(
                     f"{self.request.name()}: specialization did not "
                     f"converge after {self._iterations} iterations")
-            key = self.worklist.popleft()
+            key = self._pop()
             self.queued.discard(key)
             self._process(key)
         self._fill_edges()
+        # Erase the fixpoint history from the numbering: canonical ids
+        # make the output independent of revisit counts and skip
+        # decisions (and drop debris blocks from abandoned edges), which
+        # is what lets the fast and debug_exhaustive engines be compared
+        # byte for byte.
+        canonicalize_function(self.out)
         self.stats.output_blocks = len(self.out.blocks)
         self.stats.output_instrs = self.out.num_instrs()
         self.stats.output_block_params = self.out.total_block_params()
+        intern_hits1, intern_misses1 = intern_counters()
+        self.stats.intern_hits = intern_hits1 - intern_hits0
+        self.stats.intern_misses = intern_misses1 - intern_misses0
         self.stats.wallclock_seconds = time.perf_counter() - start
         return self.out
 
@@ -323,12 +403,12 @@ class _Specializer:
                     value = int(value) & ((1 << 64) - 1)
                 else:
                     value = float(value)
-                seed_env[gvid] = Const(value, ty)
+                seed_env[gvid] = intern_const(value, ty)
             elif isinstance(mode, SpecializedMemory):
                 vid = self.out.add_block_param(prologue, ty)  # ignored
                 if ty != I64:
                     raise SpecializeError("SpecializedMemory arg must be i64")
-                seed_env[gvid] = Const(mode.pointer, ty)
+                seed_env[gvid] = intern_const(mode.pointer, ty)
             else:
                 raise SpecializeError(f"bad arg mode {mode!r}")
 
@@ -348,17 +428,35 @@ class _Specializer:
     # ------------------------------------------------------------------
     # Per-key processing: meet entries, rebuild if changed.
     # ------------------------------------------------------------------
+    def _edge_sort_key(self, item) -> Tuple[str, int]:
+        pred_key, pos = item[0]
+        text = self._key_strs.get(pred_key)
+        if text is None:
+            text = self._key_strs[pred_key] = str(pred_key)
+        return (text, pos)
+
     def _process(self, key: Key) -> None:
         info = self.infos[key]
+        self.stats.block_visits += 1
         contributions = []
-        for (pred_key, _pos), overrides in sorted(
-                info.in_edges.items(),
-                key=lambda item: (str(item[0][0]), item[0][1])):
+        input_sig = []
+        for (pred_key, pos), overrides in sorted(
+                info.in_edges.items(), key=self._edge_sort_key):
             pred = self.infos.get(pred_key)
             if pred is None or pred.out_state is None:
                 continue
             contributions.append((pred.out_state, overrides))
+            input_sig.append((pred_key, pos, pred.out_version))
         if not contributions:
+            return
+        # Change detection: if every contributing predecessor still has
+        # the out-version this key last consumed, the meet's inputs are
+        # unchanged and so is its result — skip it entirely.  (Stable
+        # minting in _rebuild is what keeps out-versions from churning.)
+        input_sig = tuple(input_sig)
+        if (not self._exhaustive and info.built
+                and input_sig == info.last_input_sig):
+            self.stats.meets_skipped += 1
             return
 
         gblock_id = key[1]
@@ -383,8 +481,10 @@ class _Specializer:
             )
 
         meet = run_meet()
-        sig = meet.state.signature()
-        if info.built and sig == info.entry_sig:
+        self.stats.meets_performed += 1
+        info.last_input_sig = input_sig
+        if info.built and info.entry_state is not None \
+                and states_equal(meet.state, info.entry_state):
             info.param_slots = meet.param_slots
             return
         info.revisits += 1
@@ -399,15 +499,12 @@ class _Specializer:
             if new_pins - info.pinned_slots:
                 info.pinned_slots |= new_pins
                 meet = run_meet()
-                sig = meet.state.signature()
             elif info.revisits > 4 * self.options.max_revisits:
                 # Last resort: everything becomes a parameter.
                 info.force_all_params = True
                 meet = run_meet()
-                sig = meet.state.signature()
         if info.built:
             self.stats.block_revisits += 1
-        info.entry_sig = sig
         info.entry_state = meet.state
         info.param_slots = meet.param_slots
         self._rebuild(info)
@@ -430,6 +527,10 @@ class _Specializer:
         block.terminator = None
         self.stats.blocks_specialized += 1
 
+        old_out = info.out_state
+        old_edges = [(e.succ_key, e.position, e.overrides)
+                     for e in info.edges_out]
+
         # Drop old outgoing edge registrations; they will be re-added.
         for edge in info.edges_out:
             succ = self.infos.get(edge.succ_key)
@@ -441,25 +542,67 @@ class _Specializer:
         const_cache: Dict[Tuple[object, Type], int] = {}
         pending_sv: Optional[Tuple[Instr, int, int, AbsVal]] = None
 
-        for instr in gblock.instrs:
-            if instr.op == "call" and instr.imm in INTRINSICS:
-                ctx, pending_sv = self._transcribe_intrinsic(
-                    block, state, const_cache, ctx, instr)
-                if pending_sv is not None:
-                    break  # specialized_value is last by preparation
-            else:
-                self._transcribe_instr(block, state, const_cache, instr)
+        # Stable minting: value ids allocated during this rebuild come
+        # from the per-key position cache, so transcribing the same entry
+        # state twice yields identical ids (see _KeyInfo).
+        self._mint_info = info
+        info.mint_pos = 0
+        try:
+            for instr in gblock.instrs:
+                if instr.op == "call" and instr.imm in INTRINSICS:
+                    ctx, pending_sv = self._transcribe_intrinsic(
+                        block, state, const_cache, ctx, instr)
+                    if pending_sv is not None:
+                        break  # specialized_value is last by preparation
+                else:
+                    self._transcribe_instr(block, state, const_cache, instr)
 
-        if pending_sv is not None:
-            self._emit_value_specialization(info, block, state, const_cache,
-                                            ctx, gblock, pending_sv)
-        else:
-            self._transcribe_terminator(info, block, state, const_cache,
-                                        ctx, gblock)
+            if pending_sv is not None:
+                self._emit_value_specialization(info, block, state,
+                                                const_cache, ctx, gblock,
+                                                pending_sv)
+            else:
+                self._transcribe_terminator(info, block, state, const_cache,
+                                            ctx, gblock)
+        finally:
+            self._mint_info = None
         info.out_state = state
         info.built = True
+        # Version-bump only on *observable* change: successors read the
+        # env through their entry domains (bounded by this block's
+        # live-outs) and the edge overrides (compared below); bindings
+        # for values dead past this block can churn without invalidating
+        # any downstream meet.
+        if old_out is None or \
+                not states_equal_observable(old_out, state,
+                                            self.live_out[gblock_id]) or \
+                [(e.succ_key, e.position, e.overrides)
+                 for e in info.edges_out] != old_edges:
+            info.out_version += 1
 
     # --- plain instructions ------------------------------------------------
+    def _mint(self, ty: Type) -> int:
+        """Allocate an SSA value id, stably across rebuilds of one key.
+
+        Inside a rebuild, ids are handed out by position from the owning
+        key's mint cache so an identical re-transcription reproduces the
+        same ids; outside (phase 2 edge fixups), fresh ids are minted.
+        Reused positions refresh ``value_types`` in case the instruction
+        at that position changed type between rebuilds.
+        """
+        info = self._mint_info
+        if info is None:
+            return self.out.new_value(ty)
+        pos = info.mint_pos
+        info.mint_pos = pos + 1
+        if pos < len(info.minted):
+            vid = info.minted[pos]
+            self.out.value_types[vid] = ty
+            return vid
+        vid = self.out.new_value(ty)
+        info.minted.append(vid)
+        return vid
+
     def _mat(self, block: Block,
              const_cache: Dict[Tuple[object, Type], int],
              value: AbsVal) -> int:
@@ -470,7 +613,7 @@ class _Specializer:
         vid = const_cache.get(key)
         if vid is None:
             op = "iconst" if value.ty == I64 else "fconst"
-            vid = self.out.new_value(value.ty)
+            vid = self._mint(value.ty)
             block.instrs.append(Instr(op, vid, (), value.value, value.ty))
             const_cache[key] = vid
         return vid
@@ -494,7 +637,7 @@ class _Specializer:
             addr = (abs_args[0].value + (instr.imm or 0)) & ((1 << 64) - 1)
             folded = self.image.read(addr, size, signed)
             if folded is not None:
-                state.env[instr.result] = Const(folded, I64)
+                state.env[instr.result] = intern_const(folded, I64)
                 self.stats.loads_folded_from_const_memory += 1
                 return
         if op == "loadf64" and isinstance(abs_args[0], Const):
@@ -511,14 +654,14 @@ class _Specializer:
                                   [a.value for a in abs_args])
             if folded is not None:
                 ty = instr.result_type or I64
-                state.env[instr.result] = Const(folded, ty)
+                state.env[instr.result] = intern_const(folded, ty)
                 self.stats.instrs_folded += 1
                 return
 
         args = tuple(self._mat(block, const_cache, a) for a in abs_args)
         if instr.result is not None:
             ty = instr.result_type
-            vid = self.out.new_value(ty)
+            vid = self._mint(ty)
             state.env[instr.result] = Dyn(vid, ty)
         else:
             vid = None
@@ -584,7 +727,7 @@ class _Specializer:
         # --- state intrinsics (S4) ----------------------------------------
         if name == "read_reg":
             idx = self._require_const_int(abs_args[0], "register index")
-            state.env[instr.result] = state.regs.get(idx, Const(0, I64))
+            state.env[instr.result] = state.regs.get(idx, ZERO)
             stats.reg_reads += 1
             return ctx, None
         if name == "write_reg":
@@ -600,7 +743,7 @@ class _Specializer:
                 stats.local_loads_elided += 1
                 return ctx, None
             addr = self._mat(block, const_cache, abs_args[1])
-            vid = self.out.new_value(I64)
+            vid = self._mint(I64)
             block.instrs.append(Instr("load64", vid, (addr,), 0, I64))
             loaded = Dyn(vid, I64)
             state.locals[idx] = LocalSlot(abs_args[1], loaded, False)
@@ -626,7 +769,7 @@ class _Specializer:
                 stats.stack_loads_elided += 1
             else:
                 addr = self._mat(block, const_cache, abs_args[0])
-                vid = self.out.new_value(I64)
+                vid = self._mint(I64)
                 block.instrs.append(Instr("load64", vid, (addr,), 0, I64))
                 state.env[instr.result] = Dyn(vid, I64)
                 stats.stack_loads_real += 1
@@ -638,7 +781,7 @@ class _Specializer:
                 stats.stack_loads_elided += 1
             else:
                 addr = self._mat(block, const_cache, abs_args[1])
-                vid = self.out.new_value(I64)
+                vid = self._mint(I64)
                 block.instrs.append(Instr("load64", vid, (addr,), 0, I64))
                 state.env[instr.result] = Dyn(vid, I64)
                 stats.stack_loads_real += 1
@@ -772,14 +915,14 @@ class _Specializer:
         cont = term.target.block
 
         value_vid = self._mat(block, const_cache, value)
-        lo_vid = self._mat(block, const_cache, Const(lo, I64))
-        index_vid = self.out.new_value(I64)
+        lo_vid = self._mat(block, const_cache, intern_const(lo, I64))
+        index_vid = self._mint(I64)
         block.instrs.append(Instr("isub", index_vid, (value_vid, lo_vid),
                                   None, I64))
         cases = []
         for i in range(hi - lo + 1):
             sub_ctx = ctx_mod.push_value(ctx, lo + i)
-            overrides = {instr.result: Const((lo + i) & ((1 << 64) - 1), I64)}
+            overrides = {instr.result: intern_const((lo + i) & ((1 << 64) - 1), I64)}
             cases.append(self._add_edge(info, i, sub_ctx, cont, overrides))
         # Out-of-range values take a continuation specialized with no
         # knowledge of the value: semantics are preserved for any input.
@@ -869,7 +1012,8 @@ def specialize(module: Module, request: SpecializationRequest,
         optimize_function(func, max_rounds=options.opt_max_rounds,
                           config=options.opt_config, module=module,
                           stats=spec.stats.opt,
-                          verify=options.verify_opt or None)
+                          verify=options.verify_opt or None,
+                          exhaustive=options.debug_exhaustive)
     if stats is not None:
         stats.merge(spec.stats)
     func._weval_stats = spec.stats  # noqa: SLF001 - attached for reporting

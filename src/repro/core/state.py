@@ -30,7 +30,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.lattice import AbsVal, Const, Dyn
+from repro.core.lattice import ZERO, AbsVal, Const, Dyn
 from repro.ir.types import I64, Type
 
 # A slot key identifies one potential block parameter of a specialized
@@ -72,22 +72,49 @@ class FlowState:
         other.stack = list(self.stack)
         return other
 
-    def signature(self) -> tuple:
-        """A hashable snapshot used to detect entry-state changes."""
-        return (
-            tuple(sorted(self.env.items(), key=lambda kv: kv[0])),
-            tuple(sorted(self.regs.items(), key=lambda kv: kv[0])),
-            tuple(sorted(self.locals.items(), key=lambda kv: kv[0])),
-            tuple(self.stack),
-        )
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<FlowState env={len(self.env)} regs={len(self.regs)} "
                 f"locals={len(self.locals)} stack={len(self.stack)}>")
 
 
 def _abs_equal(a: Optional[AbsVal], b: Optional[AbsVal]) -> bool:
-    return a == b
+    # Interned abstract values (repro.core.lattice) make the identity
+    # check the common case; == is the structural fallback.
+    return a is b or a == b
+
+
+def states_equal(a: FlowState, b: FlowState) -> bool:
+    """Cheap whole-state equality for fixpoint change detection.
+
+    Dict/list comparison short-circuits on per-element identity, so with
+    interned lattice values and the specializer's stable value minting
+    this is close to a pointer walk.
+    """
+    return (a.env == b.env and a.regs == b.regs
+            and a.locals == b.locals and a.stack == b.stack)
+
+
+def states_equal_observable(old: FlowState, new: FlowState,
+                            env_domain: Set[int]) -> bool:
+    """Equality of the parts of an out-state that successors can see.
+
+    A block's transcription state carries *every* generic binding it
+    flowed through, but a successor's meet reads only the bindings in
+    its own entry domain (its live-ins, a subset of this block's
+    live-outs) plus the branch arguments (compared separately as edge
+    overrides) — while regs, locals, and the operand stack are observed
+    in full.  Comparing only the observable projection is what lets a
+    rebuild whose entry state changed in successor-invisible ways keep
+    its ``out_version``, so downstream meets are skipped.
+    """
+    if old.regs != new.regs or old.locals != new.locals \
+            or old.stack != new.stack:
+        return False
+    old_get, new_get = old.env.get, new.env.get
+    for key in env_domain:
+        if not _abs_equal(old_get(key), new_get(key)):
+            return False
+    return True
 
 
 def binding_of(state: FlowState, overrides: Dict[int, AbsVal],
@@ -100,7 +127,7 @@ def binding_of(state: FlowState, overrides: Dict[int, AbsVal],
             return overrides[index]
         return state.env.get(index)
     if kind == "reg":
-        return state.regs.get(index, Const(0, I64))
+        return state.regs.get(index, ZERO)
     if kind == "lcl_val":
         slot_obj = state.locals.get(index)
         return slot_obj.value if slot_obj else None

@@ -15,15 +15,21 @@ from typing import Dict
 
 @dataclasses.dataclass
 class PassStats:
-    """Counters for one named optimization pass (or a sum over runs)."""
+    """Counters for one named optimization pass (or a sum over runs).
+
+    ``runs`` counts actual pass *executions*; ``skips`` counts rounds
+    where the dirty-set scheduler proved the pass had no work and did
+    not run it."""
 
     runs: int = 0
     changes: int = 0
+    skips: int = 0
     seconds: float = 0.0
 
     def merge(self, other: "PassStats") -> None:
         self.runs += other.runs
         self.changes += other.changes
+        self.skips += other.skips
         self.seconds += other.seconds
 
 
@@ -39,6 +45,9 @@ class PipelineStats:
     runs: int = 0
     rounds: int = 0
     fixpoint_cap_hits: int = 0
+    passes_skipped: int = 0          # scheduler no-op skips (both levels)
+    passes_skipped_nowork: int = 0   # ... of which by a work detector
+    workcheck_seconds: float = 0.0   # time spent inside work detectors
     instrs_before: int = 0
     instrs_after: int = 0
     blocks_before: int = 0
@@ -116,6 +125,11 @@ class SpecializationStats:
     # Transform work.
     blocks_specialized: int = 0
     block_revisits: int = 0
+    block_visits: int = 0            # worklist pops (incl. skipped meets)
+    meets_performed: int = 0
+    meets_skipped: int = 0           # inputs unchanged: meet elided
+    intern_hits: int = 0             # lattice-constant hash-cons hits
+    intern_misses: int = 0
     contexts_created: int = 0
     instrs_folded: int = 0
     loads_folded_from_const_memory: int = 0
@@ -138,7 +152,17 @@ class SpecializationStats:
                 setattr(self, field.name,
                         mine + getattr(other, field.name))
 
-    # Convenience ratios for the S6.2-style report.
+    # Convenience ratios for the S6.2/S6.5-style reports.
+    def intern_hit_rate(self) -> float:
+        total = self.intern_hits + self.intern_misses
+        return self.intern_hits / total if total else 0.0
+
+    def revisit_rate(self) -> float:
+        """Re-flows per worklist visit — the S6.5 transform-speed waste
+        metric (0 means every block was built exactly once)."""
+        return (self.block_revisits / self.block_visits
+                if self.block_visits else 0.0)
+
     def stack_load_elision_rate(self) -> float:
         total = self.stack_loads_elided + self.stack_loads_real
         return self.stack_loads_elided / total if total else 0.0

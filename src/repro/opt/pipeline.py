@@ -22,20 +22,26 @@ def optimize_function(func: Function, max_rounds: int = 6,
                       config: str = DEFAULT_PIPELINE,
                       module: Optional[Module] = None,
                       stats: Optional[PipelineStats] = None,
-                      verify: Optional[bool] = None) -> PipelineStats:
-    """Run the named pass pipeline on one function; returns its stats."""
+                      verify: Optional[bool] = None,
+                      exhaustive: bool = False) -> PipelineStats:
+    """Run the named pass pipeline on one function; returns its stats.
+
+    ``exhaustive=True`` disables dirty-set pass skipping (identical
+    output, more pass executions — the determinism tier's reference
+    schedule)."""
     manager = PassManager(config, max_rounds=max_rounds, verify=verify,
-                          stats=stats)
+                          stats=stats, exhaustive=exhaustive)
     return manager.run(func, module)
 
 
 def optimize_module(module: Module, max_rounds: int = 6,
                     config: str = DEFAULT_PIPELINE,
                     stats: Optional[PipelineStats] = None,
-                    verify: Optional[bool] = None) -> PipelineStats:
+                    verify: Optional[bool] = None,
+                    exhaustive: bool = False) -> PipelineStats:
     """Optimize every function in a module with one shared stats sink."""
     manager = PassManager(config, max_rounds=max_rounds, verify=verify,
-                          stats=stats)
+                          stats=stats, exhaustive=exhaustive)
     for func in module.functions.values():
         manager.run(func, module)
     return manager.stats

@@ -47,6 +47,35 @@ class TestContexts:
         assert "c=3" in ctx.describe(ctx.push(ctx.ROOT, 3))
 
 
+class TestAbsValEquality:
+    """The hand-written ``__eq__`` must match the former frozen-dataclass
+    semantics exactly: identity-or-``==`` per component, as tuple
+    comparison does."""
+
+    def test_interned_identity_fast_path(self):
+        from repro.core.lattice import intern_const
+        assert intern_const(7, I64) is intern_const(7, I64)
+        assert Const(7, I64) == Const(7, I64)
+        assert Const(7, I64) != Const(8, I64)
+        assert Dyn(3, I64) == Dyn(3, I64)
+        assert Dyn(3, I64) != Dyn(3, F64)
+        assert Const(0, I64) != Dyn(0, I64)
+
+    def test_signed_zero_stays_equal(self):
+        assert Const(0.0, F64) == Const(-0.0, F64)
+        assert hash(Const(0.0, F64)) == hash(Const(-0.0, F64))
+
+    def test_nan_same_object_equal_distinct_objects_not(self):
+        import math
+        # Two Consts wrapping the *same* NaN object (the math.nan
+        # singleton the constant folder returns) compare equal — tuple
+        # comparison's per-element identity shortcut — so NaN-valued
+        # entry states stay stable across specializer rebuilds.
+        assert Const(math.nan, F64) == Const(math.nan, F64)
+        other_nan = float("nan")
+        assert Const(math.nan, F64) != Const(other_nan, F64)
+
+
 class TestConstMemory:
     def test_reads_inside_ranges_fold(self):
         snapshot = bytearray(64)

@@ -248,4 +248,8 @@ class TestVerifyingPassManager:
         manager = PassManager("default", verify=True)
         stats = manager.run(func)
         assert stats.fixpoint_cap_hits == 0
-        assert stats.per_pass["gvn"].runs >= 1
+        # The scheduler must have considered gvn: either it ran, or its
+        # work detector proved it a no-op (verified on a clone, since
+        # verify=True re-runs every skipped pass and asserts 0 changes).
+        gvn = stats.per_pass["gvn"]
+        assert gvn.runs + gvn.skips >= 1
