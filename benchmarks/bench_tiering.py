@@ -1,0 +1,288 @@
+"""Runtime tiering: time-to-first-result, steady state, promotions.
+
+The production question PR 5 answers: a server cannot afford to weval
+its whole snapshot before the first request (cold AOT front-loads the
+entire compile cost), but it also cannot stay on the generic
+interpreter.  This bench runs a host-driven *service* — the embedder
+dispatches requests into guest handlers through the ``spec`` slots,
+exactly like the guest-level dispatch the runtimes use — under three
+strategies and reports:
+
+* **time-to-first-result** — cold start (strategy setup + first request)
+  to the first response, best of two fresh services per strategy;
+* **steady-state latency** — best-observed request latency once every
+  tier has settled, over interleaved measurement batches (tiered must
+  be within 10% of the AOT tier-2 throughput — identical compiled code
+  at that point, so the guard catches real per-call overhead while
+  staying robust to machine noise);
+* **time-to-steady-state** — when the last promotion landed;
+* **promotion counts** — on the mixed hot/cold workload, dynamic tier-up
+  must compile only the hot subset, while AOT pays for every function
+  and every IC stub up front.
+
+Workloads: the richards kernel served as repeated ``schedule(1)``
+requests (``schedule(5)`` for the steady-state windows), and a mixed
+service with 12 cold endpoints (each hit once at startup) plus 2 hot
+ones.
+
+Regression guards (CI, ``--quick``): tiered time-to-first-result beats
+cold AOT by >= 5x on richards, and tiered steady-state stays within 10%
+of AOT.  Measured locally (py backend): AOT ttfr ~220ms vs tiered
+~35ms (~6x), steady ~2.3ms per schedule(5) both (ratio ~1.0), 9
+promotions vs 24 AOT compiles; mixed workload promotes 2 hot functions
++ their stubs out of 14 registered functions.
+"""
+
+import time
+
+from conftest import write_result
+from repro.bench import format_table
+from repro.core.specialize import SpecializeOptions
+from repro.jsvm import JSRuntime
+from repro.jsvm.runtime import SPEC_FIELD_WORD
+from repro.jsvm.values import VALUE_UNDEFINED, box_double, unbox_double
+
+RICHARDS_SERVICE = """
+function makeTask(id, priority) {
+  return {id: id, priority: priority, state: 0, count: 0, run: taskRun};
+}
+function taskRun(quantum) {
+  var i = 0;
+  while (i < quantum) {
+    this.count = this.count + this.priority;
+    this.state = (this.state + 1) % 3;
+    i++;
+  }
+  return this.count;
+}
+function schedule(rounds) {
+  var t1 = makeTask(1, 1);
+  var t2 = makeTask(2, 2);
+  var t3 = makeTask(3, 3);
+  var total = 0;
+  for (var r = 0; r < rounds; r++) {
+    total = total + t1.run(4) + t2.run(3) + t3.run(2);
+  }
+  return total;
+}
+print(0);
+"""
+
+
+def _cold_fn(index):
+    """One cold endpoint: distinct body so each is its own
+    specialization unit (and its own AOT cost)."""
+    return (f"function cold{index}(x) {{\n"
+            f"  var acc = x + {index};\n"
+            f"  var obj = {{a: acc, b: {index}}};\n"
+            f"  var i = 0;\n"
+            f"  while (i < {2 + index % 3}) {{\n"
+            f"    obj.a = obj.a * 2 - obj.b;\n"
+            f"    i = i + 1;\n"
+            f"  }}\n"
+            f"  return obj.a;\n"
+            f"}}\n")
+
+
+N_COLD = 12
+
+MIXED_SERVICE = "".join(_cold_fn(i) for i in range(N_COLD)) + """
+function hotPoly(n) {
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    acc = acc * 3 + i * i - 1;
+    i = i + 1;
+  }
+  return acc;
+}
+function hotObj(n) {
+  var o = {value: 0, step: 2};
+  var i = 0;
+  while (i < n) {
+    o.value = o.value + o.step;
+    i = i + 1;
+  }
+  return o.value;
+}
+function startup(x) {
+  var acc = 0;
+""" + "".join(f"  acc = acc + cold{i}(x);\n" for i in range(N_COLD)) + """
+  return acc;
+}
+print(0);
+"""
+
+
+class Service:
+    """A JS runtime served host-side: one guest handler per request,
+    dispatched through the function's ``spec`` slot (specialized when
+    present, generic interpreter otherwise) — the same dispatch shape
+    the guest-level CALL opcode uses."""
+
+    def __init__(self, source: str, mode: str, threshold=None):
+        self.rt = JSRuntime(source, "wevaled_state",
+                            options=SpecializeOptions(backend="py"))
+        self.structs = {f.name: self.rt.func_addrs[f.index]
+                        for f in self.rt.compiled.functions}
+        start = time.perf_counter()
+        if mode == "aot":
+            self.vm = self.rt.run()
+        else:
+            self.vm = self.rt.run(mode="tiered", threshold=threshold)
+        self.setup_seconds = time.perf_counter() - start
+        self.controller = self.rt.controller
+
+    def serve(self, name: str, arg: float) -> float:
+        vm, rt = self.vm, self.rt
+        struct = self.structs[name]
+        vm.store_u64(rt.frame_base, VALUE_UNDEFINED)
+        vm.store_u64(rt.frame_base + 8, box_double(float(arg)))
+        spec = vm.load_u64(struct + SPEC_FIELD_WORD * 8)
+        if spec:
+            return unbox_double(vm.call_table(spec,
+                                              [struct, rt.frame_base]))
+        return unbox_double(vm.call(rt.generic_entry,
+                                    [struct, rt.frame_base]))
+
+    def promotions(self) -> int:
+        return self.controller.stats.promotions if self.controller else 0
+
+
+def _drive(service: Service, requests):
+    """Serve ``(name, arg)`` requests; returns (results, latencies,
+    time_to_steady) where time_to_steady is the elapsed time at the
+    completion of the request that triggered the last promotion."""
+    results, latencies = [], []
+    start = time.perf_counter()
+    time_to_steady = 0.0
+    promotions = service.promotions()
+    for name, arg in requests:
+        begin = time.perf_counter()
+        results.append(service.serve(name, arg))
+        latencies.append(time.perf_counter() - begin)
+        now_promotions = service.promotions()
+        if now_promotions != promotions:
+            promotions = now_promotions
+            time_to_steady = time.perf_counter() - start
+    return results, latencies, time_to_steady
+
+
+def test_tiering_richards_service(benchmark, request):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    quick = request.config.getoption("--quick")
+    n_requests = 40 if quick else 60
+    requests = [("schedule", 1)] * n_requests
+
+    # Cold start is a one-shot measurement per service, so take the
+    # best of two fresh services per strategy — a CPU-frequency step or
+    # scheduler hiccup during a single setup would otherwise dominate
+    # the ratio.
+    aot_ttfr = tiered_ttfr = float("inf")
+    for attempt in range(2):
+        aot = Service(RICHARDS_SERVICE, "aot")
+        aot_results, aot_lat, _ = _drive(aot, requests)
+        aot_ttfr = min(aot_ttfr, aot.setup_seconds + aot_lat[0])
+
+        tiered = Service(RICHARDS_SERVICE, "tiered")
+        tiered_results, tiered_lat, steady_at = _drive(tiered, requests)
+        tiered_ttfr = min(tiered_ttfr,
+                          tiered.setup_seconds + tiered_lat[0])
+
+        assert tiered_results == aot_results  # identical responses
+
+    # Steady-state: both services settled (every tier promoted and
+    # compiled), so per-request work is identical code.  Use a larger
+    # request (schedule(5), a few ms) so timer resolution and per-call
+    # jitter shrink relative to the work, interleave the measurement
+    # batches so machine-wide drift (frequency scaling, background
+    # load) hits both equally, and compare best-observed latency —
+    # robust to one-sided noise spikes in a way medians over small
+    # separate windows are not.
+    batch = [("schedule", 5)] * (4 if quick else 8)
+    aot_warm, tiered_warm = [], []
+    for _ in range(4):
+        _, lat, _ = _drive(aot, batch)
+        aot_warm.extend(lat)
+        _, lat, _ = _drive(tiered, batch)
+        tiered_warm.extend(lat)
+    aot_steady = min(aot_warm)
+    tiered_steady = min(tiered_warm)
+
+    stats = tiered.controller.stats
+    counts = tiered.controller.tier_counts()
+    speedup = aot_ttfr / tiered_ttfr
+    rows = [
+        ["time-to-first-result (cold AOT)", f"{aot_ttfr * 1000:.1f}ms",
+         f"setup {aot.setup_seconds * 1000:.0f}ms + request"],
+        ["time-to-first-result (tiered)", f"{tiered_ttfr * 1000:.1f}ms",
+         f"{speedup:.1f}x faster cold start"],
+        ["time-to-steady-state (tiered)", f"{steady_at * 1000:.1f}ms",
+         f"last promotion, {stats.promotions} total"],
+        ["steady-state (AOT tier 2)", f"{aot_steady * 1e6:.0f}us/req",
+         "all functions precompiled"],
+        ["steady-state (tiered)", f"{tiered_steady * 1e6:.0f}us/req",
+         f"ratio {tiered_steady / aot_steady:.2f}"],
+        ["tiers settled", f"{counts[0]}/t0 {counts[1]}/t1 {counts[2]}/t2",
+         f"promote time {stats.promote_seconds * 1000:.0f}ms"],
+    ]
+    report = ("Runtime tiering — richards served as schedule(1) "
+              "requests\n" +
+              format_table(["metric", "value", "detail"], rows) +
+              "\n\n" + tiered.controller.report())
+    write_result("tiering", report)
+
+    # --- regression guards -------------------------------------------
+    assert speedup >= 5.0, (
+        f"tiered time-to-first-result only {speedup:.2f}x better than "
+        f"cold AOT (need >= 5x)")
+    assert tiered_steady <= aot_steady * 1.10, (
+        f"tiered steady-state {tiered_steady * 1e6:.0f}us/req vs AOT "
+        f"{aot_steady * 1e6:.0f}us/req (allowed within 10%)")
+    assert stats.promotions > 0 and counts[0] > 0  # genuinely tiered
+
+
+def test_tiering_mixed_hot_cold(benchmark, request):
+    """Mixed service: 12 cold endpoints hit once, 2 hot ones hammered.
+    Dynamic tier-up must compile only the hot subset."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    quick = request.config.getoption("--quick")
+    n_hot = 30 if quick else 60
+    requests = [("startup", 1)]
+    for i in range(n_hot):
+        requests.append(("hotPoly", 40) if i % 2 else ("hotObj", 40))
+
+    aot = Service(MIXED_SERVICE, "aot")
+    aot_results, aot_lat, _ = _drive(aot, requests)
+    aot_ttfr = aot.setup_seconds + aot_lat[0]
+    aot_compiled = len(aot.rt.compiler.processed)
+
+    tiered = Service(MIXED_SERVICE, "tiered")
+    tiered_results, tiered_lat, _ = _drive(tiered, requests)
+    tiered_ttfr = tiered.setup_seconds + tiered_lat[0]
+
+    assert tiered_results == aot_results
+    stats = tiered.controller.stats
+    counts = tiered.controller.tier_counts()
+    registered = len(tiered.controller.profiles)
+    rows = [
+        ["AOT compiles (functions + stubs)", aot_compiled, "all up front"],
+        ["tiered promotions", stats.promotions,
+         f"of {registered} registered"],
+        ["cold functions left on tier 0", counts[0],
+         f"{N_COLD} cold endpoints + untouched stubs"],
+        ["time-to-first-result (cold AOT)", f"{aot_ttfr * 1000:.1f}ms",
+         ""],
+        ["time-to-first-result (tiered)", f"{tiered_ttfr * 1000:.1f}ms",
+         f"{aot_ttfr / tiered_ttfr:.1f}x faster"],
+    ]
+    report = ("Runtime tiering — mixed hot/cold service "
+              f"({N_COLD} cold + 2 hot endpoints)\n" +
+              format_table(["metric", "value", "detail"], rows) +
+              "\n\n" + tiered.controller.report())
+    write_result("tiering_mixed", report)
+
+    # The whole point: dynamic tier-up compiles a strict subset.
+    assert stats.promotions < aot_compiled
+    assert counts[0] >= N_COLD  # every cold endpoint stayed generic
+    assert tiered_ttfr < aot_ttfr

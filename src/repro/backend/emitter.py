@@ -551,6 +551,12 @@ class PyEmitter:
         if op == "global_set":
             self.used.add("G")
             return [f"G[{instr.imm!r}] = v{args[0]}"]
+        if op == "guard":
+            # The VM catches GuardFailed at this function's call boundary
+            # and rolls the counters back, so the segment fuel already
+            # charged for this block is unwound with the deopt.
+            return [f"if v{args[0]} != {int(instr.imm)}: "
+                    f"raise GuardFailed({self.func.name!r})"]
 
         raise UnsupportedConstruct(
             f"{self.func.name}: unsupported opcode {op!r}")

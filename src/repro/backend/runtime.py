@@ -18,9 +18,9 @@ import math
 import struct
 
 from repro.ir.instructions import MASK64, to_signed
-from repro.vm.machine import OutOfFuel, VMTrap
+from repro.vm.machine import GuardFailed, OutOfFuel, VMTrap
 
-__all__ = ["BACKEND_GLOBALS", "OutOfFuel", "VMTrap"]
+__all__ = ["BACKEND_GLOBALS", "GuardFailed", "OutOfFuel", "VMTrap"]
 
 
 def _idiv_s(a: int, b: int) -> int:
@@ -105,6 +105,7 @@ def _sext(raw: int, bits: int) -> int:
 BACKEND_GLOBALS = {
     "VMTrap": VMTrap,
     "OutOfFuel": OutOfFuel,
+    "GuardFailed": GuardFailed,
     "_idiv_s": _idiv_s,
     "_idiv_u": _idiv_u,
     "_irem_s": _irem_s,

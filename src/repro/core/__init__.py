@@ -18,6 +18,7 @@ from repro.core.request import (
     Runtime,
     SpecializedConst,
     SpecializedMemory,
+    SpeculatedConst,
     SpecializationRequest,
 )
 from repro.core.specialize import specialize, SpecializeError
@@ -35,6 +36,7 @@ __all__ = [
     "Runtime",
     "SpecializedConst",
     "SpecializedMemory",
+    "SpeculatedConst",
     "SpecializationRequest",
     "specialize",
     "SpecializeError",

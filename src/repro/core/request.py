@@ -44,6 +44,20 @@ class SpecializedMemory(ArgMode):
     length: int
 
 
+@dataclasses.dataclass(frozen=True)
+class SpeculatedConst(ArgMode):
+    """The parameter is *expected* to have this value (profile-observed).
+
+    Unlike :class:`SpecializedConst`, the promise is not guaranteed by
+    the embedder: the specializer folds the value as a constant but emits
+    an entry ``guard`` instruction checking the actual argument, and a
+    failed guard deoptimizes the call back to the generic function (see
+    :mod:`repro.pipeline.tiering`).  i64 parameters only.
+    """
+
+    value: int
+
+
 @dataclasses.dataclass
 class SpecializationRequest:
     """One unit of work for the weval transform."""
@@ -65,6 +79,8 @@ class SpecializationRequest:
                 parts.append(f"c{arg.value}")
             elif isinstance(arg, SpecializedMemory):
                 parts.append(f"m{arg.pointer:x}")
+            elif isinstance(arg, SpeculatedConst):
+                parts.append(f"g{arg.value}")
             else:
                 parts.append("r")
         return f"{self.generic}.spec.{'_'.join(parts)}"

@@ -53,6 +53,7 @@ from repro.core.request import (
     SpecializationRequest,
     SpecializedConst,
     SpecializedMemory,
+    SpeculatedConst,
 )
 from repro.core.state import (
     FlowState,
@@ -62,6 +63,7 @@ from repro.core.state import (
     StackSlot,
     binding_of,
     meet_states,
+    single_pred_entry_state,
     states_equal,
     states_equal_observable,
     unstable_slots,
@@ -146,6 +148,24 @@ class SpecializeOptions:
 Key = Tuple[tuple, int]  # (context, generic block id)
 
 _PROLOGUE_KEY: Key = (("__prologue__",), -1)
+
+# Per-opcode transcription dispatch, precomputed once at import:
+# ``op -> (pure, load_size() pair or None, is_loadf64)``.  The
+# transcription loop is one of the two hottest paths of cold AOT (with
+# meet_states); folding the OPCODES probe, the load_size() call, and
+# the loadf64 compare into a single dict hit removes three lookups per
+# transcribed instruction.
+_TRANSCRIBE_DISPATCH: Dict[str, tuple] = {
+    op: (info.pure, load_size(op), op == "loadf64")
+    for op, info in OPCODES.items()
+}
+
+# Kill switch for the sole-contributor meet fast path.  Like
+# ``debug_exhaustive`` it changes how the entry state is computed, never
+# what it is — the fixpoint tier flips it off and asserts the full
+# ``meet_states`` rebuild produces byte-identical residuals — so it is
+# deliberately outside every cache key.
+SINGLE_PRED_FAST_MEET = True
 
 
 @dataclasses.dataclass
@@ -409,6 +429,18 @@ class _Specializer:
                 if ty != I64:
                     raise SpecializeError("SpecializedMemory arg must be i64")
                 seed_env[gvid] = intern_const(mode.pointer, ty)
+            elif isinstance(mode, SpeculatedConst):
+                # Guarded speculation: fold the profile-observed value as
+                # a constant, but keep the parameter live and check it at
+                # entry — a mismatch at run time deopts to the generic
+                # function instead of computing with a wrong constant.
+                vid = self.out.add_block_param(prologue, ty)
+                if ty != I64:
+                    raise SpecializeError("SpeculatedConst arg must be i64")
+                value = int(mode.value) & ((1 << 64) - 1)
+                prologue.instrs.append(
+                    Instr("guard", None, (vid,), value, None))
+                seed_env[gvid] = intern_const(value, ty)
             else:
                 raise SpecializeError(f"bad arg mode {mode!r}")
 
@@ -471,6 +503,19 @@ class _Specializer:
             return vid
 
         def run_meet():
+            # Sole-contributor fast path: no join can force a block
+            # parameter, so the meet degenerates to reusing the
+            # predecessor's out-state (exact — both engines take it, and
+            # the determinism tier pins the output bytes).
+            if (SINGLE_PRED_FAST_MEET
+                    and len(contributions) == 1
+                    and not info.pinned_slots
+                    and not info.force_all_params
+                    and self.options.ssa_mode != "naive"):
+                pred_state, pred_overrides = contributions[0]
+                self.stats.meets_single_pred += 1
+                return single_pred_entry_state(pred_state, pred_overrides,
+                                               env_domain)
             return meet_states(
                 contributions, env_domain,
                 lambda gvid: self.generic.value_types[gvid],
@@ -621,7 +666,7 @@ class _Specializer:
     def _transcribe_instr(self, block: Block, state: FlowState,
                           const_cache, instr: Instr) -> None:
         op = instr.op
-        info = OPCODES[op]
+        pure, size_info, is_loadf64 = _TRANSCRIBE_DISPATCH[op]
         try:
             abs_args = [state.env[a] for a in instr.args]
         except KeyError as exc:
@@ -631,7 +676,6 @@ class _Specializer:
 
         # Loads from promised-constant memory fold to constants: this is
         # the bytecode-erasing step.
-        size_info = load_size(op)
         if size_info is not None and isinstance(abs_args[0], Const):
             size, signed = size_info
             addr = (abs_args[0].value + (instr.imm or 0)) & ((1 << 64) - 1)
@@ -640,7 +684,7 @@ class _Specializer:
                 state.env[instr.result] = intern_const(folded, I64)
                 self.stats.loads_folded_from_const_memory += 1
                 return
-        if op == "loadf64" and isinstance(abs_args[0], Const):
+        if is_loadf64 and isinstance(abs_args[0], Const):
             addr = (abs_args[0].value + (instr.imm or 0)) & ((1 << 64) - 1)
             folded_f = self.image.read_f64(addr)
             if folded_f is not None:
@@ -649,7 +693,7 @@ class _Specializer:
                 return
 
         # Pure constant folding.
-        if info.pure and all(isinstance(a, Const) for a in abs_args):
+        if pure and all(isinstance(a, Const) for a in abs_args):
             folded = fold_pure_op(op, instr.imm,
                                   [a.value for a in abs_args])
             if folded is not None:

@@ -186,6 +186,42 @@ def unstable_slots(old: FlowState, new: FlowState) -> Set[SlotKey]:
     return changed
 
 
+def single_pred_entry_state(state: FlowState,
+                            overrides: Dict[int, AbsVal],
+                            env_domain: Set[int]) -> MeetResult:
+    """Entry state when exactly one predecessor contributes.
+
+    With a single contributor and no forced parameters, every slot of
+    :func:`meet_states` trivially keeps the predecessor's value, so the
+    slot-by-slot meet machinery (``binding_of`` per slot, ``meet_slot``
+    closure calls) collapses to reusing the predecessor's out-state
+    components directly: the env is restricted to the entry domain with
+    the edge overrides applied, and regs/locals/stack are shallow
+    copies sharing the predecessor's (immutable) slot objects.  The
+    result is value-identical to the full meet — asserted byte-for-byte
+    by the fixpoint determinism tier — at a fraction of the cost, which
+    matters because reducible interpreter CFGs make one-predecessor
+    blocks the overwhelmingly common case.
+
+    Callers must not take this path when parameters could be forced
+    (``naive`` SSA mode, pinned slots, ``force_all_params``).
+    """
+    result = FlowState()
+    env = state.env
+    renv = result.env
+    for gvid in env_domain:
+        if gvid in overrides:
+            renv[gvid] = overrides[gvid]
+        else:
+            value = env.get(gvid)
+            if value is not None:
+                renv[gvid] = value
+    result.regs = dict(state.regs)
+    result.locals = dict(state.locals)
+    result.stack = list(state.stack)
+    return MeetResult(result, [])
+
+
 def meet_states(
     contributions: Sequence[Tuple[FlowState, Dict[int, AbsVal]]],
     env_domain: Set[int],

@@ -108,6 +108,33 @@ class EngineStats:
 
 
 @dataclasses.dataclass
+class TieringStats:
+    """Counters for :class:`~repro.pipeline.tiering.TieringController`.
+
+    ``tier0_calls`` counts calls that actually executed on the generic
+    interpreter — hook-observed calls that were redirected to an
+    installed specialization (or promoted at that boundary) are not
+    tier-0 executions.  ``deopts`` counts guard failures
+    unwound at a call boundary; ``demotions`` counts speculative
+    residuals retired because of one (at most one per function — the
+    respecialized replacement carries no guards).
+    """
+
+    tier0_calls: int = 0
+    promotions: int = 0              # functions promoted off tier 0
+    speculative_promotions: int = 0  # ... of which carry entry guards
+    tier2_installs: int = 0          # backend callables installed
+    deopts: int = 0
+    demotions: int = 0
+    promote_seconds: float = 0.0     # wall clock spent inside promotions
+
+    def merge(self, other: "TieringStats") -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+
+
+@dataclasses.dataclass
 class SpecializationStats:
     """Counters for one specialization (or a sum over many)."""
 
@@ -128,6 +155,7 @@ class SpecializationStats:
     block_visits: int = 0            # worklist pops (incl. skipped meets)
     meets_performed: int = 0
     meets_skipped: int = 0           # inputs unchanged: meet elided
+    meets_single_pred: int = 0       # sole-contributor fast-path meets
     intern_hits: int = 0             # lattice-constant hash-cons hits
     intern_misses: int = 0
     contexts_created: int = 0

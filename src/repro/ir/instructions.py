@@ -146,6 +146,14 @@ _OP_LIST = [
     # Globals (all i64).  imm = global name.
     OpInfo("global_get", (), I64, pure=False),
     OpInfo("global_set", (I64,), None, pure=False),
+    # Speculation guard.  imm = the expected i64 constant.  Falls through
+    # when the operand equals the immediate; otherwise control is
+    # transferred back to the function's registered generic fallback
+    # (deoptimization).  Only the specializer emits guards — one per
+    # SpeculatedConst argument, at function entry — and the verifier
+    # enforces that every guard precedes any side-effecting instruction,
+    # so an abandoned speculative prefix is observationally free.
+    OpInfo("guard", (I64,), None, pure=False),
 ]
 
 OPCODES = {info.name: info for info in _OP_LIST}

@@ -43,6 +43,8 @@ def _fmt_imm(instr: Instr) -> str:
         return f" sig{imm}"
     if instr.op in ("global_get", "global_set"):
         return f" ${imm}"
+    if instr.op == "guard":
+        return f" expect {imm}"
     if isinstance(imm, int):
         return f" +{imm}" if imm else ""
     return f" {imm!r}"

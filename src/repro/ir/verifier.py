@@ -90,8 +90,26 @@ def verify_function(func: Function, module: Module = None) -> None:
         block = func.blocks[bid]
         _check(block.terminator is not None,
                f"{func.name}: block{bid} lacks a terminator")
+        seen_effect = False
         for i, instr in enumerate(block.instrs):
             _verify_instr(func, module, bid, i, instr, def_block)
+            if instr.op == "guard":
+                # Deopt safety: a failed guard abandons the activation
+                # and re-runs the generic function, which is only sound
+                # while nothing observable has happened yet.  Guards are
+                # therefore confined to the entry block, ahead of every
+                # store/call (pure ops and loads may precede them; their
+                # counter effects are rolled back on deopt).
+                _check(bid == func.entry,
+                       f"{func.name}/block{bid}[{i}]: guard outside the "
+                       f"entry block")
+                _check(not seen_effect,
+                       f"{func.name}/block{bid}[{i}]: guard after a "
+                       f"side-effecting instruction")
+            info = OPCODES.get(instr.op)
+            if info is not None and (info.is_store or info.is_call
+                                     or instr.op == "global_set"):
+                seen_effect = True
         _verify_terminator(func, bid, block.terminator, def_block)
 
     # Dominance checks.
@@ -139,6 +157,10 @@ def _verify_instr(func: Function, module, bid: int, index: int,
         if module is not None:
             _check(instr.imm in module.globals,
                    f"{name}: unknown global {instr.imm}")
+    if instr.op == "guard":
+        _check(isinstance(instr.imm, int) and 0 <= instr.imm < (1 << 64),
+               f"{name}: guard imm must be an unsigned i64 constant")
+        _check(instr.result is None, f"{name}: guard has no result")
     # Fixed-arity ops.
     _check(len(instr.args) == len(info.arg_types),
            f"{name}: {instr.op} expects {len(info.arg_types)} args, "

@@ -113,6 +113,7 @@ class JSRuntime:
         self._layout()
         self.frame_base = memory_size * 3 // 4
         self.compiler: Optional[SnapshotCompiler] = None
+        self.controller = None  # set by run_tiered
         self._aot_done = False
 
     # ------------------------------------------------------------------
@@ -317,69 +318,118 @@ class JSRuntime:
         """Whether :meth:`aot_compile` has produced the snapshot."""
         return self._aot_done
 
-    def aot_compile(self) -> SnapshotCompiler:
+    def _js_request(self, func: JSFunction,
+                    js_generic: str) -> SpecializationRequest:
+        """The specialization request for one JS function (shared by the
+        AOT batch and dynamic promotion — identical cache keys)."""
+        struct_ptr = self.func_addrs[func.index]
+        code_ptr = self.module.read_init_u64(struct_ptr)
+        consts_ptr = self.module.read_init_u64(struct_ptr + 16)
+        return SpecializationRequest(
+            js_generic,
+            [SpecializedConst(struct_ptr), RuntimeArg()],
+            specialized_name=f"js${func.name}",
+            extra_const_memory=[
+                (FUNC_TABLE_PTR_ADDR, 8),
+                (self.func_table_ptr,
+                 len(self.compiled.functions) * 8),
+                (struct_ptr, SPEC_FIELD_WORD * 8),      # not `spec`
+                (struct_ptr + 72, 8),                    # frame_slots
+                (code_ptr, len(func.code) * 8),
+                (consts_ptr, max(len(func.constants), 1) * 8),
+                # Callee struct headers (for CALL's frame_slots and
+                # arity reads) — every function's non-spec words.
+                *[(self.func_addrs[f.index], SPEC_FIELD_WORD * 8)
+                  for f in self.compiled.functions],
+                *[(self.func_addrs[f.index] + 72, 8)
+                  for f in self.compiled.functions],
+            ])
+
+    def _ic_request(self, kind: str, shape_id: int, name_id: int,
+                    stub: _StubInfo,
+                    ic_generic: str) -> SpecializationRequest:
+        """The specialization request for one IC-corpus stub."""
+        return SpecializationRequest(
+            ic_generic,
+            [SpecializedMemory(stub.cacheir_ptr,
+                               stub.cacheir_words * 8),
+             SpecializedConst(stub.cacheir_words),
+             RuntimeArg(), RuntimeArg()],
+            specialized_name=f"ic${kind}${shape_id}${name_id}")
+
+    def tier_entries(self) -> List:
+        """Every tierable function of this runtime: one entry per JS
+        function (watched at the generic ``js_interp`` fallback, keyed
+        by function-struct pointer, frame pointer speculation-eligible)
+        and one per IC-corpus stub (watched at ``ic_interp``, keyed by
+        CacheIR pointer) — the paper's pre-collected corpus, now
+        promoted on demand instead of all at snapshot time."""
+        from repro.pipeline.tiering import TierEntry
         if self.config not in ("wevaled", "wevaled_state"):
-            raise RuntimeError(f"config {self.config} is not AOT")
+            raise RuntimeError(f"config {self.config} has no tier-up "
+                               f"targets")
         use_state = self.config == "wevaled_state"
         js_generic = "js_interp_s" if use_state else "js_interp"
         ic_generic = "ic_interp_s" if use_state else "ic_interp"
-
-        compiler = SnapshotCompiler(self.module, self.options, self.cache)
-        compiler.instantiate()
-
-        # One request per JS function.
+        entries = []
         for func in self.compiled.functions:
             struct_ptr = self.func_addrs[func.index]
-            code_ptr = self.module.read_init_u64(struct_ptr)
-            consts_ptr = self.module.read_init_u64(struct_ptr + 16)
-            request = SpecializationRequest(
-                js_generic,
-                [SpecializedConst(struct_ptr), RuntimeArg()],
-                specialized_name=f"js${func.name}",
-                extra_const_memory=[
-                    (FUNC_TABLE_PTR_ADDR, 8),
-                    (self.func_table_ptr,
-                     len(self.compiled.functions) * 8),
-                    (struct_ptr, SPEC_FIELD_WORD * 8),      # not `spec`
-                    (struct_ptr + 72, 8),                    # frame_slots
-                    (code_ptr, len(func.code) * 8),
-                    (consts_ptr, max(len(func.constants), 1) * 8),
-                    # Callee struct headers (for CALL's frame_slots and
-                    # arity reads) — every function's non-spec words.
-                    *[(self.func_addrs[f.index], SPEC_FIELD_WORD * 8)
-                      for f in self.compiled.functions],
-                    *[(self.func_addrs[f.index] + 72, 8)
-                      for f in self.compiled.functions],
-                ])
-            compiler.enqueue(request, struct_ptr + SPEC_FIELD_WORD * 8)
-
-        # One request per IC-corpus stub (the paper's 2320-stub corpus).
+            entries.append(TierEntry(
+                generic="js_interp",
+                key=struct_ptr,
+                request=self._js_request(func, js_generic),
+                result_addr=struct_ptr + SPEC_FIELD_WORD * 8,
+                speculate_args=(1,),
+            ))
+        # One entry per IC-corpus stub (the paper's 2320-stub corpus).
         for (kind, shape_id, name_id), stub in sorted(self.corpus.items()):
-            request = SpecializationRequest(
-                ic_generic,
-                [SpecializedMemory(stub.cacheir_ptr,
-                                   stub.cacheir_words * 8),
-                 SpecializedConst(stub.cacheir_words),
-                 RuntimeArg(), RuntimeArg()],
-                specialized_name=f"ic${kind}${shape_id}${name_id}")
-            compiler.enqueue(request, stub.addr + 24)
+            entries.append(TierEntry(
+                generic="ic_interp",
+                key=stub.cacheir_ptr,
+                request=self._ic_request(kind, shape_id, name_id, stub,
+                                         ic_generic),
+                result_addr=stub.addr + 24,
+            ))
+        return entries
 
-        compiler.process_requests()
-        compiler.freeze()
-        self.compiler = compiler
+    def _make_controller(self, options=None, **kwargs):
+        from repro.pipeline.tiering import TieringController
+        controller = TieringController(self.module,
+                                       options or self.options,
+                                       cache=self.cache, **kwargs)
+        for entry in self.tier_entries():
+            controller.register(entry)
+        return controller
+
+    def aot_compile(self) -> SnapshotCompiler:
+        if self.config not in ("wevaled", "wevaled_state"):
+            raise RuntimeError(f"config {self.config} is not AOT")
+        # Pure AOT is "promote everything at startup" through the same
+        # controller the dynamic flow uses (one engine batch).
+        controller = self._make_controller()
+        controller.promote_all()
+        controller.compiler.freeze()
+        self.compiler = controller.compiler
         self._aot_done = True
-        return compiler
+        return self.compiler
 
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
-    def run(self, backend: Optional[str] = None) -> VM:
+    def run(self, backend: Optional[str] = None,
+            mode: Optional[str] = None, **tiered_kwargs) -> VM:
         """Execute main; returns the VM (result on ``vm.result``).
 
         ``backend`` overrides ``options.backend`` for this run: ``"py"``
         executes residual functions as compiled Python (tier 2), ``"vm"``
-        interprets the residual IR.
+        interprets the residual IR.  ``mode="tiered"`` skips the AOT
+        batch entirely and runs under profile-guided dynamic tier-up
+        (see :meth:`run_tiered`, which takes the extra kwargs);
+        ``mode="aot"`` (the default for AOT configs) is the snapshot
+        flow.
         """
+        if mode == "tiered":
+            return self.run_tiered(backend=backend, **tiered_kwargs)
         if self.config in ("wevaled", "wevaled_state") and not self._aot_done:
             self.aot_compile()
         vm = (self.compiler.resume(backend) if self.compiler is not None
@@ -397,6 +447,40 @@ class JSRuntime:
         else:
             vm.result = vm.call(self.generic_entry,
                                 [main_struct, self.frame_base])
+        return vm
+
+    def run_tiered(self, threshold: float = None,
+                   speculate: bool = False,
+                   backend: Optional[str] = None,
+                   jobs: Optional[int] = None,
+                   cache_dir: Optional[str] = None,
+                   compile_threshold: int = 0) -> VM:
+        """Execute main under profile-guided dynamic tier-up.
+
+        Execution starts immediately on the generic interpreter (no AOT
+        batch); JS functions and IC stubs are specialized at call
+        boundaries once their profiles cross ``threshold`` (``1``
+        reproduces the AOT execution bit for bit; ``float("inf")``
+        never promotes and matches ``interp_ic``).  ``speculate=True``
+        arms guarded frame-pointer speculation with deopt back to the
+        generic interpreter.  The controller is left on
+        ``self.controller`` for inspection.
+        """
+        options = self.options
+        if backend is not None:
+            options = dataclasses.replace(options, backend=backend)
+        controller = self._make_controller(
+            options, threshold=threshold,
+            speculate=speculate, jobs=jobs, cache_dir=cache_dir,
+            compile_threshold=compile_threshold)
+        vm = controller.attach(VM(self.module))
+        self.controller = controller
+        vm.stats.fuel += CODE_LOAD_FUEL_PER_WORD * sum(
+            len(f.code) for f in self.compiled.functions)
+        main_struct = self.func_addrs[0]
+        vm.store_u64(self.frame_base, VALUE_UNDEFINED)
+        vm.result = vm.call(self.generic_entry,
+                            [main_struct, self.frame_base])
         return vm
 
     def specialized_function_count(self) -> int:

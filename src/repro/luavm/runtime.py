@@ -17,6 +17,7 @@ speedup measured here isolates interpreter-dispatch removal.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional
 
 from repro.core import (
@@ -174,6 +175,7 @@ class LuaRuntime:
         self._layout_memory()
         self.stack_base = memory_size // 2
         self.compiler: Optional[SnapshotCompiler] = None
+        self.controller = None  # set by run_tiered
 
     # ------------------------------------------------------------------
     def _host_print(self, vm, value):
@@ -223,34 +225,60 @@ class LuaRuntime:
                             [self.proto_addrs[0], self.stack_base])
         return vm
 
+    def _request_for(self, proto: Proto) -> SpecializationRequest:
+        """The specialization request for one prototype (shared between
+        the AOT batch and dynamic promotion — identical keys, so both
+        flows hit the same cache/artifact entries)."""
+        struct_ptr = self.proto_addrs[proto.index]
+        code_ptr = self.module.read_init_u64(struct_ptr)
+        consts_ptr = self.module.read_init_u64(struct_ptr + 16)
+        return SpecializationRequest(
+            "lua_interp",
+            [SpecializedConst(struct_ptr), RuntimeArg()],
+            specialized_name=f"lua${proto.name}",
+            extra_const_memory=[
+                (PROTO_TABLE_PTR_ADDR, 8),
+                (self.proto_table_ptr, len(self.protos) * 8),
+                (struct_ptr, SPEC_FIELD_OFFSET),  # not the spec field
+                (code_ptr, len(proto.code) * 8),
+                (consts_ptr, max(len(proto.constants), 1) * 8),
+            ])
+
+    def tier_entries(self) -> list:
+        """One :class:`~repro.pipeline.tiering.TierEntry` per prototype:
+        tier 0 is ``lua_interp`` (watched at the ``lua_call`` fallback),
+        the dispatch slot is the proto's ``spec`` field, and the frame
+        pointer is eligible for guarded speculation."""
+        from repro.pipeline.tiering import TierEntry
+        return [TierEntry(
+            generic="lua_interp",
+            key=self.proto_addrs[proto.index],
+            request=self._request_for(proto),
+            result_addr=self.proto_addrs[proto.index] + SPEC_FIELD_OFFSET,
+            speculate_args=(1,),
+        ) for proto in self.protos]
+
+    def _make_controller(self, options: Optional[SpecializeOptions] = None,
+                         **kwargs):
+        from repro.pipeline.tiering import TieringController
+        controller = TieringController(self.module,
+                                       options or self.options,
+                                       cache=self.cache, **kwargs)
+        for entry in self.tier_entries():
+            controller.register(entry)
+        return controller
+
     def aot_compile(self,
                     options: Optional[SpecializeOptions] = None
                     ) -> SnapshotCompiler:
         """Specialize every prototype and patch its ``spec`` field —
-        the paper's snapshot workflow, driven from the embedder side."""
-        compiler = SnapshotCompiler(self.module, options or self.options,
-                                    self.cache)
-        compiler.instantiate()
-        for proto in self.protos:
-            struct_ptr = self.proto_addrs[proto.index]
-            code_ptr = self.module.read_init_u64(struct_ptr)
-            consts_ptr = self.module.read_init_u64(struct_ptr + 16)
-            request = SpecializationRequest(
-                "lua_interp",
-                [SpecializedConst(struct_ptr), RuntimeArg()],
-                specialized_name=f"lua${proto.name}",
-                extra_const_memory=[
-                    (PROTO_TABLE_PTR_ADDR, 8),
-                    (self.proto_table_ptr, len(self.protos) * 8),
-                    (struct_ptr, SPEC_FIELD_OFFSET),  # not the spec field
-                    (code_ptr, len(proto.code) * 8),
-                    (consts_ptr, max(len(proto.constants), 1) * 8),
-                ])
-            compiler.enqueue(request, struct_ptr + SPEC_FIELD_OFFSET)
-        compiler.process_requests()
-        compiler.freeze()
-        self.compiler = compiler
-        return compiler
+        the paper's snapshot workflow, now expressed as "promote
+        everything at startup" through the tiering controller."""
+        controller = self._make_controller(options)
+        controller.promote_all()
+        controller.compiler.freeze()
+        self.compiler = controller.compiler
+        return self.compiler
 
     def run_aot(self, backend: Optional[str] = None) -> VM:
         """Run the chunk after AOT compilation (calls go through the
@@ -266,3 +294,44 @@ class LuaRuntime:
         vm.result = vm.call("lua_call",
                             [self.proto_addrs[0], self.stack_base])
         return vm
+
+    def run_tiered(self, threshold: float = None,
+                   speculate: bool = False,
+                   backend: Optional[str] = None,
+                   options: Optional[SpecializeOptions] = None,
+                   jobs: Optional[int] = None,
+                   cache_dir: Optional[str] = None,
+                   compile_threshold: int = 0) -> VM:
+        """Run the chunk under profile-guided dynamic tier-up.
+
+        No ahead-of-time work happens: every proto starts on the
+        generic ``lua_interp`` (tier 0) and is promoted at a call
+        boundary once its profile crosses ``threshold`` (default
+        :data:`~repro.pipeline.tiering.DEFAULT_THRESHOLD`; ``1``
+        reproduces the AOT execution exactly, ``float("inf")`` never
+        promotes).  The controller is left on ``self.controller`` for
+        inspection.
+        """
+        options = options or self.options or SpecializeOptions()
+        if backend is not None:
+            options = dataclasses.replace(options, backend=backend)
+        controller = self._make_controller(
+            options, threshold=threshold,
+            speculate=speculate, jobs=jobs, cache_dir=cache_dir,
+            compile_threshold=compile_threshold)
+        vm = controller.attach(VM(self.module))
+        self.controller = controller
+        vm.result = vm.call("lua_call",
+                            [self.proto_addrs[0], self.stack_base])
+        return vm
+
+    def run(self, mode: str = "interp", **kwargs) -> VM:
+        """Uniform entry point: ``mode`` is ``"interp"``, ``"aot"``, or
+        ``"tiered"`` (kwargs go to the mode's method)."""
+        if mode == "interp":
+            return self.run_interpreted()
+        if mode == "aot":
+            return self.run_aot(**kwargs)
+        if mode == "tiered":
+            return self.run_tiered(**kwargs)
+        raise ValueError(f"bad mode {mode!r}")

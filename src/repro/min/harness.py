@@ -24,7 +24,13 @@ from typing import Callable, Dict, List, Optional
 from repro.core.specialize import SpecializeOptions
 from repro.frontend import compile_source
 from repro.ir.instructions import MASK64, wrap_i64
-from repro.min.interp import PROGRAM_BASE, build_min_module, min_request
+from repro.min.interp import (
+    PROGRAM_BASE,
+    SPEC_SLOT_STATE,
+    build_min_module,
+    min_request,
+    min_tier_entry,
+)
 from repro.min.isa import ARITY, MinProgram, NUM_REGISTERS, Opcode, assemble
 from repro.vm import VM
 
@@ -152,25 +158,26 @@ def run_fig8_configs(n: int = 1000, repeats: int = 1,
     ``jobs``/``cache_dir`` configure the worker pool and the persistent
     artifact cache.
     """
-    from repro.pipeline.engine import CompilationEngine
+    from repro.pipeline.tiering import TieringController
 
     program = sum_to_n_program(n)
     module = build_min_module(program)
     compile_source(SUM_COMPILED_SRC).add_to_module(module)
     options = SpecializeOptions(backend=backend, jobs=jobs or 1,
                                 cache_dir=cache_dir)
-    engine = CompilationEngine(module, options)
-    batch = engine.compile_batch([
-        min_request(program, use_intrinsics=False, name="min_wevaled"),
-        min_request(program, use_intrinsics=True,
-                    name="min_wevaled_state"),
-    ], bytes(module.memory_init))
-    compiled_fns = {}
-    for item in batch:
-        module.add_function(item.function)
-        if item.pyfunc is not None:
-            compiled_fns[item.function.name] = item.pyfunc
-    wevaled, wevaled_state = (item.function for item in batch)
+    # AOT is "promote everything at startup" through the tiering
+    # controller: both variants compile as one engine batch.  The second
+    # entry's profile key is disambiguated by its slot (the harness never
+    # attaches a profiling hook, so keys are only identity here).
+    controller = TieringController(module, options)
+    controller.register(min_tier_entry(program, use_intrinsics=False,
+                                       name="min_wevaled"))
+    controller.register(dataclasses.replace(
+        min_tier_entry(program, use_intrinsics=True,
+                       name="min_wevaled_state"),
+        key=SPEC_SLOT_STATE))
+    wevaled_name, wevaled_state_name = controller.promote_all()
+    compiled_fns = dict(controller.compiler.backend_functions)
 
     results: Dict[str, ConfigResult] = {}
 
@@ -199,14 +206,14 @@ def run_fig8_configs(n: int = 1000, repeats: int = 1,
     vm_config("compiled", "sum_compiled", [n])
     vm_config("vm_interp", "min_interp",
               [PROGRAM_BASE, len(program.words), 0])
-    vm_config("wevaled", wevaled.name,
+    vm_config("wevaled", wevaled_name,
               [PROGRAM_BASE, len(program.words), 0])
-    vm_config("wevaled_state", wevaled_state.name,
+    vm_config("wevaled_state", wevaled_state_name,
               [PROGRAM_BASE, len(program.words), 0])
     if backend == "py":
-        vm_config("wevaled_py", wevaled.name,
+        vm_config("wevaled_py", wevaled_name,
                   [PROGRAM_BASE, len(program.words), 0], use_backend=True)
-        vm_config("wevaled_state_py", wevaled_state.name,
+        vm_config("wevaled_state_py", wevaled_state_name,
                   [PROGRAM_BASE, len(program.words), 0], use_backend=True)
 
     expected = n * (n + 1) // 2
@@ -216,3 +223,55 @@ def run_fig8_configs(n: int = 1000, repeats: int = 1,
                 f"{config.name} computed {config.result}, expected "
                 f"{expected}")
     return results
+
+
+def make_tiered_min(program: MinProgram,
+                    threshold: float = 1,
+                    speculate: bool = False,
+                    use_intrinsics: bool = True,
+                    options: Optional[SpecializeOptions] = None,
+                    jobs: Optional[int] = None,
+                    cache_dir: Optional[str] = None,
+                    compile_threshold: int = 0):
+    """The ``mode="tiered"`` entry point for Min.
+
+    Returns ``(vm, controller)``: a VM whose calls to ``min_interp`` are
+    profiled and promoted by the
+    :class:`~repro.pipeline.tiering.TieringController` once they cross
+    ``threshold`` (``float("inf")`` never promotes — pure tier 0;
+    ``1`` promotes at the first call, reproducing the AOT execution).
+    ``speculate=True`` additionally arms guarded value speculation on
+    the ``input`` parameter.
+    """
+    from repro.pipeline.tiering import TieringController
+
+    module = build_min_module(program)
+    controller = TieringController(
+        module, options, jobs=jobs, cache_dir=cache_dir,
+        threshold=threshold, speculate=speculate,
+        compile_threshold=compile_threshold)
+    controller.register(min_tier_entry(program, use_intrinsics,
+                                       speculate_input=speculate))
+    vm = controller.attach(VM(module))
+    return vm, controller
+
+
+def run_tiered(program: MinProgram, inputs, threshold: float = 1,
+               speculate: bool = False, use_intrinsics: bool = True,
+               options: Optional[SpecializeOptions] = None):
+    """Run ``program`` on each input through the tiered Min runtime.
+
+    Returns ``(results, vm, controller)`` where ``results[i]`` is the
+    accumulator returned for ``inputs[i]``.  All calls share one VM, so
+    promotion (and any speculation guard installed from the first
+    calls' profile) carries across inputs — a later input that breaks
+    the speculation exercises the deopt path.
+    """
+    vm, controller = make_tiered_min(program, threshold=threshold,
+                                     speculate=speculate,
+                                     use_intrinsics=use_intrinsics,
+                                     options=options)
+    results = [vm.call("min_interp",
+                       [PROGRAM_BASE, len(program.words), value])
+               for value in inputs]
+    return results, vm, controller

@@ -30,6 +30,14 @@ from repro.min.isa import MinProgram, NUM_REGISTERS
 
 PROGRAM_BASE = 0x1000
 
+# Heap slots the tiering controller patches with the module-table index
+# of the installed residual, one per interpreter variant.  Min has no
+# guest-level dispatch through them (the VM's tier hook redirects calls
+# at the host boundary instead), but giving each variant a slot keeps
+# the install path identical to the dispatch-slot runtimes.
+SPEC_SLOT_PLAIN = 0x10
+SPEC_SLOT_STATE = 0x18
+
 
 def interp_source(use_intrinsics: bool) -> str:
     """mini-C source for the Min interpreter.
@@ -163,6 +171,24 @@ def min_request(program: MinProgram, use_intrinsics: bool,
         [SpecializedMemory(PROGRAM_BASE, program.size_bytes()),
          SpecializedConst(len(program.words)), Runtime()],
         specialized_name=name or f"{generic}.compiled")
+
+
+def min_tier_entry(program: MinProgram, use_intrinsics: bool,
+                   name: Optional[str] = None,
+                   speculate_input: bool = False):
+    """A :class:`~repro.pipeline.tiering.TierEntry` for one interpreter
+    variant: tier 0 runs the plain ``min_interp`` (the only runnable
+    generic), promotion specializes the requested variant.
+    ``speculate_input=True`` marks the ``input`` parameter eligible for
+    guarded value speculation."""
+    from repro.pipeline.tiering import TierEntry
+    slot = SPEC_SLOT_STATE if use_intrinsics else SPEC_SLOT_PLAIN
+    return TierEntry(
+        generic="min_interp",
+        key=PROGRAM_BASE,
+        request=min_request(program, use_intrinsics, name),
+        result_addr=slot,
+        speculate_args=(2,) if speculate_input else ())
 
 
 def specialize_min(module: Module, program: MinProgram,

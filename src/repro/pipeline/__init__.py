@@ -13,7 +13,12 @@ the paper's production story (S6.5) made concrete:
   source, keyed by the same fingerprints as the in-memory
   :class:`~repro.core.cache.SpecializationCache`;
 * :mod:`~repro.pipeline.serialize` — structural JSON round-tripping of
-  IR functions with a strict corruption-is-a-miss contract.
+  IR functions with a strict corruption-is-a-miss contract;
+* :class:`~repro.pipeline.tiering.TieringController` — profile-guided
+  dynamic tier-up at run time (tier 0 generic interpreter → tier 1
+  residual IR → tier 2 compiled Python), with guarded speculation and
+  deopt back to the generic interpreter.  Pure AOT is the special case
+  :meth:`~repro.pipeline.tiering.TieringController.promote_all`.
 
 Every embedder reaches this layer through
 :class:`~repro.core.snapshot.SnapshotCompiler`, which delegates its
@@ -33,14 +38,24 @@ from repro.pipeline.serialize import (
     function_from_dict,
     function_to_dict,
 )
+from repro.pipeline.tiering import (
+    DEFAULT_THRESHOLD,
+    FunctionProfile,
+    TierEntry,
+    TieringController,
+)
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "DEFAULT_THRESHOLD",
     "EMITTER_VERSION",
     "ArtifactStore",
     "CompilationEngine",
     "EngineResult",
+    "FunctionProfile",
     "SerializationError",
+    "TierEntry",
+    "TieringController",
     "function_from_dict",
     "function_to_dict",
     "residual_fingerprint",

@@ -30,6 +30,22 @@ same-directory temp file + ``os.replace`` so a crashed process cannot
 leave a torn artifact behind, and an unwritable cache directory
 degrades to "no cache", never to a failed compile.
 
+**Cross-process safety.**  One ``cache_dir`` may be shared by many
+concurrent writer processes (parallel CI shards, several tiered
+runtimes promoting against one store).  Two layers keep that safe:
+every write holds an advisory ``flock`` on ``<root>/.lock`` around its
+temp-file + ``os.replace`` sequence, so replaces of one entry are
+serialized even on filesystems where rename ordering is weak; and
+after the replace, the writer *re-reads its own entry* and validates
+the stored fingerprints before reporting success, so a lost race, a
+torn page, or an out-of-space truncation is reported as "not stored"
+(the entry recompiles next process) rather than poisoning the store.
+Readers stay lock-free: an entry file is only ever observed in a
+whole-before or whole-after state thanks to the atomic replace, and
+anything else fails fingerprint validation on load.  On platforms
+without ``fcntl`` the lock degrades to the (already atomic) plain
+write; the reread validation still applies.
+
 The store keeps no mutable counters (loads run on engine worker
 threads); every operation returns a status string and the engine
 aggregates them into :class:`~repro.core.stats.EngineStats` serially.
@@ -41,7 +57,12 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.ir.function import Function
 from repro.pipeline.serialize import (
@@ -75,6 +96,46 @@ def residual_fingerprint(ir_text: str) -> str:
     return hashlib.sha256(ir_text.encode()).hexdigest()
 
 
+class _StoreLock:
+    """Advisory cross-process lock over one artifact directory.
+
+    A fresh file handle per acquisition (re-entrant across threads is
+    not needed — engine writes are single-threaded per process); any
+    failure to lock degrades to lock-free operation, never to a failed
+    write.
+    """
+
+    def __init__(self, root: str):
+        self._path = os.path.join(root, ".lock")
+        self._handle = None
+
+    def __enter__(self) -> "_StoreLock":
+        if fcntl is not None:
+            try:
+                self._handle = open(self._path, "a+b")
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                if self._handle is not None:
+                    try:
+                        self._handle.close()
+                    except OSError:
+                        pass
+                self._handle = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
 class ArtifactStore:
     """One directory of compilation artifacts, shared across processes."""
 
@@ -103,24 +164,35 @@ class ArtifactStore:
             return None, INVALID
         return data, HIT
 
-    @staticmethod
-    def _write_json(path: str, data: dict) -> bool:
+    def _write_json(self, path: str, data: dict,
+                    stored_ok: Callable[[dict], bool]) -> bool:
+        """Atomically publish ``data`` at ``path`` and prove it landed.
+
+        The temp-file + ``os.replace`` pair runs under the store's
+        advisory lock (concurrent writers of one ``cache_dir`` are
+        serialized), and the entry is re-read and checked with
+        ``stored_ok`` before success is reported — a write that cannot
+        be read back whole is a failed write, not a poisoned store.
+        """
         directory = os.path.dirname(path)
-        try:
-            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        except OSError:
-            return False
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(data, handle)
-            os.replace(tmp, path)
-        except OSError:
+        with _StoreLock(self.root):
             try:
-                os.unlink(tmp)
+                fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
             except OSError:
-                pass
-            return False
-        return True
+                return False
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(data, handle)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                return False
+            reread, status = self._read_json(path)
+            return status == HIT and reread is not None \
+                and stored_ok(reread)
 
     # ------------------------------------------------------------------
     # Residual IR artifacts.
@@ -174,7 +246,10 @@ class ArtifactStore:
             # The printed text is stored for humans (debugging diffs);
             # loads reconstruct from the structured form.
             "ir_text": ir_text,
-        })
+        }, stored_ok=lambda d: (
+            d.get("generic_fingerprint") == generic_fingerprint
+            and d.get("memory_fingerprint") == memory_fingerprint
+            and isinstance(d.get("ir"), dict)))
 
     # ------------------------------------------------------------------
     # Emitted backend source artifacts.
@@ -210,4 +285,5 @@ class ArtifactStore:
             "version": ARTIFACT_VERSION,
             "source": source,
             "fallback": fallback,
-        })
+        }, stored_ok=lambda d: (
+            d.get("source") == source and d.get("fallback") == fallback))

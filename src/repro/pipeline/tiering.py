@@ -1,0 +1,402 @@
+"""Profile-guided dynamic tier-up: the runtime half of the pipeline.
+
+The paper's deployment — and this repo's AOT flows until now — is
+strictly ahead-of-time: every guest runtime specializes its whole
+snapshot before the first guest instruction runs, which front-loads the
+entire compile cost onto startup even though most functions in a real
+workload are cold.  The :class:`TieringController` refactors that into a
+three-tier runtime system over the *same* compilation machinery:
+
+* **tier 0** — the generic interpreter on the VM, with lightweight
+  call and loop-backedge counters (``vm.tier_hook`` /
+  ``vm.count_backedges`` in :mod:`repro.vm.machine`);
+* **tier 1** — the weval residual IR, interpreted by the VM;
+* **tier 2** — the residual compiled to native Python by
+  :mod:`repro.backend`.
+
+Promotion happens *at call boundaries*: the VM's tier hook fires when a
+guest-level dispatch slot is still empty and the call is about to fall
+back to the generic interpreter.  When a function's profile crosses the
+hot threshold the controller compiles it right there — through the
+owning :class:`~repro.core.snapshot.SnapshotCompiler` and therefore the
+:class:`~repro.pipeline.engine.CompilationEngine` with its batching,
+worker pool, and persistent artifact store — installs it in the module
+table, patches the guest dispatch slot in the *live* heap, and redirects
+the triggering call itself.  Because the redirect replaces the exact
+call that would have gone generic, a threshold of 1 reproduces the
+pure-AOT execution bit for bit (same residuals, same fuel), and a
+threshold of ∞ degenerates to the plain interpreter; the tiered
+differential tier asserts both.  Pure AOT itself is now just
+:meth:`TieringController.promote_all` — "promote everything at
+startup" through the same code path the dynamic system uses.
+
+**Guarded speculation.**  With ``speculate=True`` the controller
+watches the values of designated runtime arguments while a function is
+cold.  If an argument held one stable value across every profiled call,
+promotion specializes it as a
+:class:`~repro.core.request.SpeculatedConst`: the specializer folds the
+value as a constant behind an entry ``guard`` instruction.  A failed
+guard raises :class:`~repro.vm.machine.GuardFailed`; the VM unwinds the
+call, rolls the execution counters back (sound because the verifier
+pins guards ahead of every side effect), re-runs the generic function,
+and notifies the controller, which *demotes exactly once*: the
+speculative residual is retired and the function is respecialized
+without the failed speculation, so steady state never ping-pongs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.request import (
+    Runtime,
+    SpecializationRequest,
+    SpeculatedConst,
+)
+from repro.core.snapshot import SnapshotCompiler
+from repro.core.specialize import SpecializeOptions
+from repro.core.stats import TieringStats
+from repro.ir.module import Module
+from repro.vm.machine import VM
+
+# Calls a function must accumulate before promotion.  Deliberately low:
+# a guest call is expensive relative to the profile bookkeeping, and the
+# residual usually wins after a handful of calls.
+DEFAULT_THRESHOLD = 8
+
+# How many loop backedges count as one call toward the hot score: a
+# function that is entered rarely but spins long loops still promotes
+# (at its next call boundary).
+BACKEDGE_WEIGHT = 512
+
+_UNSTABLE = object()
+
+
+@dataclasses.dataclass
+class TierEntry:
+    """One tierable guest function, declared by the embedding runtime.
+
+    ``generic`` is the *runnable* generic entry (the function the guest
+    dispatch falls back to and the tier hook watches); ``request`` may
+    target a different, specialization-only variant (e.g. the
+    state-intrinsic interpreter body).  ``key`` is the guest identity of
+    the function (function-struct/proto/bytecode pointer) and must equal
+    ``args[key_index]`` of a generic call; ``result_addr`` is the heap
+    slot guest code dispatches through, patched with the module-table
+    index on installation.  ``speculate_args`` lists indices of
+    ``Runtime`` parameters eligible for guarded value speculation.
+    """
+
+    generic: str
+    key: int
+    request: SpecializationRequest
+    result_addr: int
+    key_index: int = 0
+    speculate_args: Tuple[int, ...] = ()
+
+
+class FunctionProfile:
+    """Per-function tiering state (tier 0 counters and beyond)."""
+
+    __slots__ = ("entry", "calls", "backedges", "tier", "installed_name",
+                 "table_index", "deopts", "samples", "no_speculate",
+                 "calls_at_promotion", "tier2_attempted")
+
+    def __init__(self, entry: TierEntry):
+        self.entry = entry
+        self.calls = 0
+        self.backedges = 0
+        self.tier = 0
+        self.installed_name: Optional[str] = None
+        self.table_index = 0
+        self.deopts = 0
+        # True once a staged backend emit was attempted — an emitter
+        # fallback keeps the function on tier 1 *permanently* (retrying
+        # would fail identically, on every hot call).
+        self.tier2_attempted = False
+        # arg index -> first observed value, or _UNSTABLE once two calls
+        # disagreed (speculation is then off for that argument).
+        self.samples: Dict[int, object] = {}
+        self.no_speculate = False
+        self.calls_at_promotion = 0
+
+    def score(self, backedge_weight: int) -> int:
+        return self.calls + self.backedges // backedge_weight
+
+
+class TieringController:
+    """Owns per-function tier state and drives promotion and deopt.
+
+    One controller serves one module and one live VM.  The AOT flows
+    construct it, :meth:`register` every function, and call
+    :meth:`promote_all`; the tiered flows :meth:`attach` it to the VM
+    and let the profile decide.  All compilation goes through the
+    controller's :class:`~repro.core.snapshot.SnapshotCompiler` (and so
+    the batching/caching :class:`~repro.pipeline.engine.CompilationEngine`).
+
+    ``compile_threshold`` staggers tier 2: ``0`` (default) installs the
+    backend callable at promotion time when ``options.backend == "py"``;
+    ``n > 0`` keeps a promoted function on tier 1 — redirected at the
+    call boundary, its dispatch slot deliberately unpatched so calls
+    keep entering the hook — for ``n`` further calls before paying for
+    backend compilation and patching the slot.
+    """
+
+    def __init__(self, module: Module,
+                 options: Optional[SpecializeOptions] = None,
+                 cache=None,
+                 jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 threshold: float = DEFAULT_THRESHOLD,
+                 speculate: bool = False,
+                 backedge_weight: int = BACKEDGE_WEIGHT,
+                 compile_threshold: int = 0):
+        self.module = module
+        self.options = options or SpecializeOptions()
+        self.threshold = (DEFAULT_THRESHOLD if threshold is None
+                          else threshold)
+        self.speculate = speculate
+        self.backedge_weight = max(1, backedge_weight)
+        self.compile_threshold = compile_threshold
+        self.want_py = self.options.backend == "py"
+        staged = self.want_py and compile_threshold > 0
+        self._staged_tier2 = staged
+        # In staged mode the engine specializes to residual IR only; the
+        # backend emit for a function is paid when *it* reaches tier 2.
+        compiler_options = (dataclasses.replace(self.options, backend="vm")
+                            if staged else self.options)
+        self.compiler = SnapshotCompiler(module, compiler_options, cache,
+                                         jobs=jobs, cache_dir=cache_dir)
+        self.vm: Optional[VM] = None
+        self.stats = TieringStats()
+        self.entries: List[TierEntry] = []
+        self.profiles: Dict[Tuple[str, int], FunctionProfile] = {}
+        self._key_index: Dict[str, int] = {}
+        self._speculative: Dict[str, FunctionProfile] = {}
+        self._last_profile: Optional[FunctionProfile] = None
+        self._backedges_seen = 0
+
+    # ------------------------------------------------------------------
+    # Setup.
+    # ------------------------------------------------------------------
+    def register(self, entry: TierEntry) -> None:
+        """Declare one tierable function (before or after attaching)."""
+        index = self._key_index.setdefault(entry.generic, entry.key_index)
+        if index != entry.key_index:
+            raise ValueError(
+                f"{entry.generic}: inconsistent key_index "
+                f"({index} vs {entry.key_index})")
+        self.entries.append(entry)
+        self.profiles[(entry.generic, entry.key)] = FunctionProfile(entry)
+        if self.vm is not None:
+            self.vm.tier_generics = frozenset(self._key_index)
+
+    def attach(self, vm: VM) -> VM:
+        """Bind the controller to a live VM and enable profiling."""
+        self.vm = vm
+        self.compiler.vm = vm
+        vm.tier_hook = self._on_call
+        vm.tier_generics = frozenset(self._key_index)
+        vm.deopt_hook = self._on_deopt
+        vm.count_backedges = True
+        return vm
+
+    # ------------------------------------------------------------------
+    # The pure-AOT path: promote everything, up front, in one batch.
+    # ------------------------------------------------------------------
+    def promote_all(self) -> List[str]:
+        """Compile and install every registered function now (one engine
+        batch — parallel across ``jobs`` workers, artifact-cached)."""
+        start = time.perf_counter()
+        for entry in self.entries:
+            self.compiler.enqueue(entry.request, entry.result_addr)
+        processed = self.compiler.process_requests()
+        names = []
+        installs = 0
+        for entry, item in zip(self.entries, processed):
+            profile = self.profiles[(entry.generic, entry.key)]
+            profile.installed_name = item.function_name
+            profile.table_index = item.table_index
+            tier = 2 if (self.want_py and item.function_name
+                         in self.compiler.backend_functions) else 1
+            if tier == 2 and profile.tier != 2:
+                installs += 1
+            profile.tier = tier
+            names.append(item.function_name)
+        self.stats.promotions += len(processed)
+        self.stats.tier2_installs += installs
+        self.stats.promote_seconds += time.perf_counter() - start
+        if self.vm is not None and self.compiler.backend_functions:
+            self.vm.install_compiled(self.compiler.backend_functions)
+        return names
+
+    # ------------------------------------------------------------------
+    # Tier-0 profiling hook (VM call boundary).
+    # ------------------------------------------------------------------
+    def _on_call(self, name: str, args) -> Optional[str]:
+        profile = self.profiles.get((name, args[self._key_index[name]]))
+        if profile is None:
+            return None
+        vm = self.vm
+        # Attribute loop backedges observed since the last boundary to
+        # the most recent cold function (a deliberately lightweight
+        # heuristic: exact attribution would need per-frame tracking).
+        delta = vm.stats.backedges - self._backedges_seen
+        if delta:
+            self._backedges_seen = vm.stats.backedges
+            if self._last_profile is not None:
+                self._last_profile.backedges += delta
+        self._last_profile = profile
+        profile.calls += 1
+        if profile.tier == 1 and self._staged_tier2:
+            # Promoted but deliberately unpatched: redirect to the
+            # residual, and pay for tier 2 once it proves durable.
+            if (not profile.tier2_attempted
+                    and profile.calls - profile.calls_at_promotion
+                    >= self.compile_threshold):
+                self._install_tier2(profile)
+            return profile.installed_name
+        if profile.tier != 0:
+            return profile.installed_name
+        if self.speculate and profile.entry.speculate_args \
+                and not profile.no_speculate:
+            samples = profile.samples
+            for index in profile.entry.speculate_args:
+                seen = samples.get(index)
+                if seen is None:
+                    samples[index] = args[index]
+                elif seen is not _UNSTABLE and seen != args[index]:
+                    samples[index] = _UNSTABLE
+        if profile.score(self.backedge_weight) >= self.threshold:
+            return self._promote(profile)
+        # Only now is the call certain to execute on the generic
+        # interpreter (every earlier path redirected it).
+        self.stats.tier0_calls += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Promotion.
+    # ------------------------------------------------------------------
+    def _speculative_request(self, profile: FunctionProfile
+                             ) -> Tuple[SpecializationRequest, bool]:
+        entry = profile.entry
+        request = entry.request
+        if not (self.speculate and entry.speculate_args
+                and not profile.no_speculate):
+            return request, False
+        modes = list(request.args)
+        speculated = False
+        for index in entry.speculate_args:
+            value = profile.samples.get(index)
+            if value is None or value is _UNSTABLE:
+                continue
+            if isinstance(modes[index], Runtime):
+                modes[index] = SpeculatedConst(value)
+                speculated = True
+        if not speculated:
+            return request, False
+        return dataclasses.replace(
+            request, args=modes,
+            specialized_name=request.name() + ".guarded"), True
+
+    def _promote(self, profile: FunctionProfile) -> str:
+        """Compile ``profile``'s function and install it at this call
+        boundary; returns the installed name (the call redirect)."""
+        start = time.perf_counter()
+        entry = profile.entry
+        request, speculative = self._speculative_request(profile)
+        self.compiler.enqueue(request, entry.result_addr)
+        item = self.compiler.process_requests()[-1]
+        name = item.function_name
+        profile.installed_name = name
+        profile.table_index = item.table_index
+        profile.calls_at_promotion = profile.calls
+        profile.tier2_attempted = False
+        vm = self.vm
+        if speculative:
+            # A failed guard must land in the *runnable* generic body.
+            vm.deopt_fallbacks[name] = entry.generic
+            self._speculative[name] = profile
+            self.stats.speculative_promotions += 1
+        if self._staged_tier2:
+            # Keep dispatch flowing through the hook until the function
+            # earns its backend compile: un-patch the slot the snapshot
+            # compiler just wrote.
+            vm.store_u64(entry.result_addr, 0)
+            profile.tier = 1
+        elif self.want_py:
+            pyfunc = self.compiler.backend_functions.get(name)
+            if pyfunc is not None:
+                vm.install_compiled({name: pyfunc})
+                profile.tier = 2
+                self.stats.tier2_installs += 1
+            else:
+                profile.tier = 1  # emitter fallback: stays on the IR VM
+        else:
+            profile.tier = 1
+        self.stats.promotions += 1
+        self.stats.promote_seconds += time.perf_counter() - start
+        return name
+
+    def _install_tier2(self, profile: FunctionProfile) -> None:
+        """Compile an already-promoted residual to tier 2 and patch the
+        guest dispatch slot (staged mode only).  One attempt per
+        promotion: an emitter fallback leaves the function on the tier-1
+        residual for good."""
+        profile.tier2_attempted = True
+        name = profile.installed_name
+        compiled = self.compiler.compile_backend([name])
+        if name in compiled:
+            self.vm.install_compiled({name: compiled[name]})
+            profile.tier = 2
+            self.stats.tier2_installs += 1
+        self.vm.store_u64(profile.entry.result_addr, profile.table_index)
+
+    # ------------------------------------------------------------------
+    # Deopt (guard failure at a call boundary).
+    # ------------------------------------------------------------------
+    def _on_deopt(self, name: str) -> None:
+        self.stats.deopts += 1
+        profile = self._speculative.pop(name, None)
+        if profile is None:
+            # Already demoted (an in-flight frame hit the same retired
+            # residual); the VM's fallback mapping still routes it to
+            # the generic body, nothing more to do.
+            return
+        profile.deopts += 1
+        profile.no_speculate = True
+        profile.tier = 0
+        self.stats.demotions += 1
+        # Respecialize without the failed speculation and install the
+        # plain residual; the deopted call itself runs generically (the
+        # VM re-dispatches it after this hook returns).
+        self._promote(profile)
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+    def tier_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {0: 0, 1: 0, 2: 0}
+        for profile in self.profiles.values():
+            counts[profile.tier] = counts.get(profile.tier, 0) + 1
+        return counts
+
+    def report(self) -> str:
+        """Human-readable per-function tier table (examples, benches)."""
+        lines = ["function".ljust(34) + "tier  calls  backedges  deopts"]
+        for (generic, key), profile in sorted(self.profiles.items()):
+            label = profile.installed_name or f"{generic}[{key:#x}]"
+            lines.append(f"{label[:33].ljust(34)}{profile.tier:>4}"
+                         f"{profile.calls:>7}{profile.backedges:>11}"
+                         f"{profile.deopts:>8}")
+        counts = self.tier_counts()
+        stats = self.stats
+        lines.append(
+            f"tiers: {counts.get(0, 0)}/t0 {counts.get(1, 0)}/t1 "
+            f"{counts.get(2, 0)}/t2 | promotions={stats.promotions} "
+            f"(speculative={stats.speculative_promotions}) "
+            f"deopts={stats.deopts} demotions={stats.demotions} "
+            f"promote={stats.promote_seconds * 1000:.1f}ms")
+        return "\n".join(lines)

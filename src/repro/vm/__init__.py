@@ -8,6 +8,6 @@ instructions executed) and load/store counters, which the benchmark
 harness uses as a stable stand-in for hardware time.
 """
 
-from repro.vm.machine import VM, VMTrap, OutOfFuel, ExecStats
+from repro.vm.machine import VM, VMTrap, OutOfFuel, GuardFailed, ExecStats
 
-__all__ = ["VM", "VMTrap", "OutOfFuel", "ExecStats"]
+__all__ = ["VM", "VMTrap", "OutOfFuel", "GuardFailed", "ExecStats"]

@@ -43,6 +43,17 @@ class OutOfFuel(Exception):
     """The configured fuel limit was exhausted."""
 
 
+class GuardFailed(Exception):
+    """A speculation ``guard`` instruction saw an unexpected value.
+
+    Raised by specialized code only; the VM catches it at the call
+    boundary of the guarded function, rolls the execution counters back
+    to the call entry (the verifier guarantees nothing observable
+    happened before a guard), and deoptimizes: the call re-runs under
+    the function's registered generic fallback.
+    """
+
+
 @dataclasses.dataclass
 class ExecStats:
     """Deterministic execution counters."""
@@ -53,9 +64,15 @@ class ExecStats:
     calls: int = 0
     indirect_calls: int = 0
     host_calls: int = 0
+    backedges: int = 0      # backward intra-function jumps (tier profiling)
 
     def snapshot(self) -> "ExecStats":
         return dataclasses.replace(self)
+
+    def restore(self, saved: "ExecStats") -> None:
+        """Roll every counter back to ``saved`` (deopt unwinding)."""
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, getattr(saved, field.name))
 
     def delta(self, since: "ExecStats") -> "ExecStats":
         return ExecStats(
@@ -65,6 +82,7 @@ class ExecStats:
             calls=self.calls - since.calls,
             indirect_calls=self.indirect_calls - since.indirect_calls,
             host_calls=self.host_calls - since.host_calls,
+            backedges=self.backedges - since.backedges,
         )
 
 
@@ -82,6 +100,21 @@ class VM:
         # observable semantics as interpreting the IR body.  Consulted on
         # every call, so compiled and interpreted functions mix freely.
         self.compiled: Dict[str, object] = dict(compiled or {})
+        # Dynamic-tiering hooks (repro.pipeline.tiering).  ``tier_hook``
+        # fires before a call to any function named in ``tier_generics``
+        # and may return a replacement function name (a just-promoted
+        # specialization); ``deopt_fallbacks`` maps a guarded specialized
+        # function to the generic function a failed guard falls back to,
+        # and ``deopt_hook`` is notified of each deopt.  All default to
+        # inert so untiered execution pays one ``is not None`` test per
+        # call at most.
+        self.tier_hook = None
+        self.tier_generics: frozenset = frozenset()
+        self.deopt_fallbacks: Dict[str, str] = {}
+        self.deopt_hook = None
+        # Backward-jump profiling (tier 0 loop counters); off by default
+        # so the interpreter hot loop is untouched outside tiered mode.
+        self.count_backedges = False
         self._call_depth = 0
         self._max_call_depth = 1000
         # Guest calls map to Python recursion (a handful of Python frames
@@ -136,6 +169,21 @@ class VM:
             self.stats.host_calls += 1
             host = self.module.imports[name]
             return host.fn(self, *args)
+        if self.tier_hook is not None and name in self.tier_generics:
+            # Profile the call; a freshly promoted specialization is
+            # installed *at this boundary* and takes over immediately
+            # (guest-level dispatch slots only observe it from the next
+            # call on, which would make the promoting call itself run
+            # generic and diverge from the pure-AOT execution).
+            redirect = self.tier_hook(name, args)
+            if redirect is not None:
+                name = redirect
+        if self.deopt_fallbacks and name in self.deopt_fallbacks:
+            return self._call_guarded(name, args)
+        return self._dispatch(name, args)
+
+    def _dispatch(self, name: str, args) -> object:
+        """Run a compiled or IR function by name (post-hook)."""
         fn = self.compiled.get(name)
         if fn is not None:
             self._call_depth += 1
@@ -150,6 +198,28 @@ class VM:
         if func is None:
             raise VMTrap(f"call to unknown function {name}")
         return self._run_function(func, list(args))
+
+    def _call_guarded(self, name: str, args) -> object:
+        """Call a speculatively specialized function with deopt support.
+
+        A :class:`GuardFailed` from the callee's entry guards rolls the
+        execution counters back to the call boundary and re-runs the
+        registered generic fallback with the same arguments, so the call
+        is observably identical to one that was never specialized.
+        """
+        saved = self.stats.snapshot()
+        try:
+            return self._dispatch(name, args)
+        except GuardFailed:
+            self.stats.restore(saved)
+            if self.deopt_hook is not None:
+                self.deopt_hook(name)
+            fallback = self.deopt_fallbacks[name]
+            func = self.module.functions.get(fallback)
+            if func is None:
+                raise VMTrap(f"deopt of {name}: unknown fallback "
+                             f"{fallback}")
+            return self._run_function(func, list(args))
 
     def call_table(self, index: int, args: List[object]) -> object:
         self.stats.indirect_calls += 1
@@ -187,6 +257,7 @@ class VM:
         blocks = func.blocks
         block = entry
         memory = self.memory
+        count_backedges = self.count_backedges
 
         while True:
             for instr in block.instrs:
@@ -418,6 +489,12 @@ class VM:
                     env[instr.result] = self.globals[instr.imm]
                 elif op == "global_set":
                     self.globals[instr.imm] = env[instr.args[0]]
+                # --- speculation -----------------------------------------
+                elif op == "guard":
+                    if env[instr.args[0]] != instr.imm:
+                        raise GuardFailed(
+                            f"{func.name}: guard expected {instr.imm}, "
+                            f"got {env[instr.args[0]]}")
                 else:
                     raise VMTrap(f"unimplemented opcode {op}")
 
@@ -446,6 +523,10 @@ class VM:
             else:
                 raise VMTrap(f"block{block.id} not terminated")
 
+            if count_backedges and call.block <= block.id:
+                # Tier-0 loop profiling: a non-forward jump approximates
+                # a loop backedge (block ids grow in creation order).
+                stats.backedges += 1
             target = blocks[call.block]
             if call.args:
                 values = [env[a] for a in call.args]

@@ -12,6 +12,16 @@ and the full default pipeline, so a miscompiling pass shows up as a
 divergence between levels, a specializer bug shows up at both, and a
 backend bug shows up as a VM-vs-py divergence at either level.
 
+The **tiered tier** runs the same seeded programs under profile-guided
+dynamic tier-up (:mod:`repro.pipeline.tiering`) at the two degenerate
+thresholds: ``float("inf")`` never promotes, so prints/traps/fuel must
+be identical to the generic interpreter, and ``1`` promotes at the
+first call boundary, so they must be identical to the pure-AOT flow —
+the tiering machinery may move *when* compilation happens, never what
+executes.  The Min tier additionally arms guarded value speculation
+with an input that changes mid-workload, exercising the guard-failure
+deopt path (identical results, exactly one demotion).
+
 The generators are structured (bounded counted loops, forward skips,
 guarded conditionals) so every program terminates; MiniLua programs
 include integer division and remainder whose divisors may reach zero,
@@ -26,7 +36,7 @@ from repro.backend import compile_function
 from repro.core.specialize import SpecializeOptions
 from repro.jsvm import JSRuntime
 from repro.luavm.runtime import LuaRuntime
-from repro.min.harness import PyMinInterpreter
+from repro.min.harness import PyMinInterpreter, make_tiered_min
 from repro.min.interp import PROGRAM_BASE, build_min_module, specialize_min
 from repro.min.isa import assemble
 from repro.vm import VM
@@ -38,6 +48,9 @@ OPT_LEVELS = {
     "O0": SpecializeOptions(optimize=False, backend="vm"),
     "full": SpecializeOptions(backend="vm"),
 }
+
+TIERED_OPTIONS = SpecializeOptions(backend="vm")
+INF = float("inf")
 
 
 # ---------------------------------------------------------------------------
@@ -128,6 +141,67 @@ def test_min_differential(seed):
             assert vm_py.stats.fuel == vm.stats.fuel, (
                 f"seed {seed} level {level} input {value}: backend fuel "
                 f"{vm_py.stats.fuel} != VM fuel {vm.stats.fuel}")
+
+
+@pytest.mark.parametrize("seed", range(N_MIN))
+def test_min_tiered(seed):
+    """Tiered tier: threshold ∞ ≡ interp, threshold 1 ≡ AOT (fuel and
+    results), plus a guard-failure deopt exercised via speculation."""
+    rng = random.Random(0xA11CE + seed)
+    program = random_min_program(rng)
+    use_intrinsics = bool(seed % 2)
+    inputs = (0, rng.randint(1, 99))
+    args = lambda value: [PROGRAM_BASE, len(program.words), value]  # noqa: E731
+
+    # References: cumulative fuel over both inputs on one VM each.
+    module = build_min_module(program)
+    vm_interp = VM(module)
+    expected = [vm_interp.call("min_interp", args(v)) for v in inputs]
+    aot_module = build_min_module(program)
+    func = specialize_min(aot_module, program, use_intrinsics,
+                          options=TIERED_OPTIONS, name="spec_ref")
+    vm_aot = VM(aot_module)
+    aot_results = [vm_aot.call(func.name, args(v)) for v in inputs]
+    assert aot_results == expected
+
+    # Threshold ∞: pure tier 0, identical to the generic interpreter.
+    vm_inf, controller_inf = make_tiered_min(
+        program, threshold=INF, use_intrinsics=use_intrinsics,
+        options=TIERED_OPTIONS)
+    assert [vm_inf.call("min_interp", args(v)) for v in inputs] == expected
+    assert vm_inf.stats.fuel == vm_interp.stats.fuel, (
+        f"seed {seed}: tiered-inf fuel {vm_inf.stats.fuel} != interp "
+        f"{vm_interp.stats.fuel}")
+    assert controller_inf.stats.promotions == 0
+
+    # Threshold 1: promoted at the first call boundary, identical to AOT.
+    vm_one, controller_one = make_tiered_min(
+        program, threshold=1, use_intrinsics=use_intrinsics,
+        options=TIERED_OPTIONS)
+    assert [vm_one.call("min_interp", args(v)) for v in inputs] == expected
+    assert vm_one.stats.fuel == vm_aot.stats.fuel, (
+        f"seed {seed}: tiered-1 fuel {vm_one.stats.fuel} != AOT "
+        f"{vm_aot.stats.fuel}")
+    assert controller_one.stats.promotions == 1
+
+    # Guard-failure deopt: speculate on the input seen in the first two
+    # calls, then change it — the guard must fail, the call must fall
+    # back to the generic interpreter with identical results, and the
+    # function must demote (and respecialize) exactly once.
+    stable, changed = inputs[1], inputs[1] + 1
+    vm_spec, controller = make_tiered_min(
+        program, threshold=2, speculate=True,
+        use_intrinsics=use_intrinsics, options=TIERED_OPTIONS)
+    plain = VM(build_min_module(program))
+    for value in (stable, stable, changed, changed):
+        got = vm_spec.call("min_interp", args(value))
+        want = plain.call("min_interp", args(value))
+        assert got == want, (
+            f"seed {seed}: speculative tiered {got} != interp {want} "
+            f"for input {value}")
+    assert controller.stats.speculative_promotions == 1
+    assert controller.stats.deopts >= 1
+    assert controller.stats.demotions == 1  # demotes exactly once
 
 
 # ---------------------------------------------------------------------------
@@ -249,6 +323,40 @@ def test_lua_differential(seed):
             f"interp={expected!r} aot={got_py!r}")
 
 
+def _run_lua_mode(source: str, mode: str, threshold: float = None):
+    """Run a chunk interp / aot / tiered; returns (status, result,
+    prints, fuel) with fuel None on trap (the VM is unreachable)."""
+    runtime = LuaRuntime(source, options=TIERED_OPTIONS)
+    try:
+        if mode == "interp":
+            vm = runtime.run_interpreted()
+        elif mode == "aot":
+            runtime.aot_compile()
+            vm = runtime.run_aot()
+        else:
+            vm = runtime.run_tiered(threshold=threshold)
+        return ("ok", vm.result, tuple(runtime.printed), vm.stats.fuel)
+    except VMTrap:
+        return ("trap", None, tuple(runtime.printed), None)
+
+
+@pytest.mark.parametrize("seed", range(N_LUA))
+def test_lua_tiered(seed):
+    """Tiered tier for MiniLua: threshold ∞ ≡ interp and threshold 1 ≡
+    AOT, including prints, traps, and deterministic fuel."""
+    rng = random.Random(0xB0B + seed)
+    source = random_lua_chunk(rng)
+    interp = _run_lua_mode(source, "interp")
+    aot = _run_lua_mode(source, "aot")
+    tiered_inf = _run_lua_mode(source, "tiered", threshold=INF)
+    tiered_one = _run_lua_mode(source, "tiered", threshold=1)
+    assert tiered_inf == interp, (
+        f"seed {seed}:\n{source}\ninterp={interp!r} "
+        f"tiered-inf={tiered_inf!r}")
+    assert tiered_one == aot, (
+        f"seed {seed}:\n{source}\naot={aot!r} tiered-1={tiered_one!r}")
+
+
 # ---------------------------------------------------------------------------
 # MiniJS
 # ---------------------------------------------------------------------------
@@ -323,3 +431,38 @@ def test_js_differential(seed):
         assert vm_py.stats.fuel == vm.stats.fuel, (
             f"seed {seed} config {config} level {level}: backend fuel "
             f"{vm_py.stats.fuel} != VM fuel {vm.stats.fuel}")
+
+
+@pytest.mark.parametrize("seed", range(N_JS))
+def test_js_tiered(seed):
+    """Tiered tier for MiniJS: threshold ∞ ≡ interp_ic and threshold 1
+    ≡ the AOT snapshot flow (prints and deterministic fuel), across
+    both JS functions and the IC-stub corpus."""
+    rng = random.Random(0xCAFE + seed)
+    source = random_js_source(rng)
+    reference = JSRuntime(source, "interp_ic")
+    vm_ref = reference.run()
+    config = "wevaled_state" if seed % 2 else "wevaled"
+
+    aot_rt = JSRuntime(source, config, options=TIERED_OPTIONS)
+    vm_aot = aot_rt.run()
+    assert aot_rt.printed == reference.printed
+
+    rt_inf = JSRuntime(source, config, options=TIERED_OPTIONS)
+    vm_inf = rt_inf.run(mode="tiered", threshold=INF)
+    assert rt_inf.printed == reference.printed, (
+        f"seed {seed} config {config}:\n{source}\n"
+        f"interp={reference.printed!r} tiered-inf={rt_inf.printed!r}")
+    assert vm_inf.stats.fuel == vm_ref.stats.fuel, (
+        f"seed {seed} config {config}: tiered-inf fuel "
+        f"{vm_inf.stats.fuel} != interp {vm_ref.stats.fuel}")
+    assert rt_inf.controller.stats.promotions == 0
+
+    rt_one = JSRuntime(source, config, options=TIERED_OPTIONS)
+    vm_one = rt_one.run(mode="tiered", threshold=1)
+    assert rt_one.printed == reference.printed, (
+        f"seed {seed} config {config}:\n{source}\n"
+        f"interp={reference.printed!r} tiered-1={rt_one.printed!r}")
+    assert vm_one.stats.fuel == vm_aot.stats.fuel, (
+        f"seed {seed} config {config}: tiered-1 fuel "
+        f"{vm_one.stats.fuel} != AOT {vm_aot.stats.fuel}")

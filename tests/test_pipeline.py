@@ -475,3 +475,73 @@ class TestEngineSurface:
             ["interp", "no_such_function"])
         assert "interp" in compiled
         assert fallbacks == [("no_such_function", "not an IR function")]
+
+
+# ---------------------------------------------------------------------------
+# Cross-process artifact-store safety.
+# ---------------------------------------------------------------------------
+
+def _hammer_store(cache_dir: str, barrier, rounds: int) -> None:
+    """Child-process body: repeatedly cold-compile the shared request
+    set into one cache_dir, overlapping with a sibling writer.
+
+    Every iteration rewrites the same artifact files (the advisory-lock
+    + reread-validation path), and asserts its own outputs so a torn
+    read in the child surfaces as a nonzero exit code.
+    """
+    barrier.wait()  # maximize writer overlap
+    options = SpecializeOptions(cache_dir=cache_dir, backend="py")
+    for _ in range(rounds):
+        _, outputs = run_snapshot(options)
+        check_outputs(outputs)
+
+
+class TestCrossProcessStore:
+    def test_two_process_writers_leave_valid_store(self, tmp_path):
+        """Two processes hammering one cache_dir concurrently must not
+        interleave torn state: afterwards every entry loads as a clean
+        hit and a fresh engine warm-starts with zero fresh compiles."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        workers = [
+            ctx.Process(target=_hammer_store,
+                        args=(str(tmp_path), barrier, 4))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        # The surviving store state must be fully valid: a cold process
+        # warm-starts entirely from disk, with no invalid entries.
+        options = SpecializeOptions(cache_dir=str(tmp_path), backend="py")
+        module = build_module()
+        engine = CompilationEngine(module, options)
+        results = engine.compile_batch(make_requests())
+        assert engine.stats.functions_specialized == 0
+        assert engine.stats.artifact_invalid == 0
+        assert all(r.artifact_hit for r in results)
+        assert all(r.pyfunc is not None for r in results)
+
+    def test_failed_validation_reports_not_stored(self, tmp_path,
+                                                  monkeypatch):
+        """A write whose reread does not validate (e.g. truncated by the
+        filesystem) is reported as not stored, never as success."""
+        store = ArtifactStore(str(tmp_path))
+        original = ArtifactStore._read_json
+
+        def truncated_read(path):
+            data, status = original(path)
+            if data is not None and "ir" in data:
+                data = dict(data, ir=None)  # simulate a torn payload
+            return data, status
+
+        monkeypatch.setattr(ArtifactStore, "_read_json",
+                            staticmethod(truncated_read))
+        module = build_module()
+        func = module.functions["interp"]
+        ok = store.store_residual(("k",), func, "text", "gfp", "mfp")
+        assert not ok

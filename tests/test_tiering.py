@@ -1,0 +1,315 @@
+"""Unit tests for the runtime tiering subsystem.
+
+Covers the pieces the differential tier exercises only end-to-end:
+
+* the ``guard`` instruction's verifier placement rules (entry block
+  only, ahead of any side effect);
+* VM deopt mechanics — counter rollback, fallback dispatch, and the
+  exactness of the "as if never specialized" contract on both
+  execution backends;
+* :class:`~repro.pipeline.tiering.TieringController` policy: hot-call
+  promotion, loop-backedge scoring, staged tier-2, demote-exactly-once
+  after a guard failure, and artifact-store sharing between the AOT
+  and tiered flows.
+"""
+
+import pytest
+
+from repro.core import SpeculatedConst, SpecializationRequest
+from repro.core.request import Runtime, SpecializedConst, SpecializedMemory
+from repro.core.specialize import SpecializeOptions, specialize
+from repro.ir.function import Block, Function, Signature
+from repro.ir.instructions import BlockCall, Instr, Jump, Ret
+from repro.ir.types import I64
+from repro.ir.verifier import VerificationError, verify_function
+from repro.luavm.runtime import LuaRuntime
+from repro.min.harness import make_tiered_min, sum_to_n_program
+from repro.min.interp import PROGRAM_BASE, build_min_module
+from repro.vm import VM
+from repro.vm.machine import GuardFailed
+
+
+def _args(program, value):
+    return [PROGRAM_BASE, len(program.words), value]
+
+
+# ---------------------------------------------------------------------------
+# Verifier rules for guards.
+# ---------------------------------------------------------------------------
+
+def _guard_func(guard_block: str = "entry", after_store: bool = False):
+    func = Function("g", Signature((I64,), (I64,)))
+    entry = func.new_block()
+    func.entry = entry.id
+    param = func.new_value(I64)
+    entry.params = [(param, I64)]
+    func.value_types[param] = I64
+    other = func.new_block()
+    guard = Instr("guard", None, (param,), 7, None)
+    if guard_block == "entry":
+        if after_store:
+            entry.instrs.append(Instr("store64", None, (param, param),
+                                      0, None))
+        entry.instrs.append(guard)
+    else:
+        other.instrs.append(guard)
+    entry.terminator = Jump(BlockCall(other.id, ()))
+    other.terminator = Ret((param,))
+    return func
+
+
+class TestGuardVerification:
+    def test_entry_guard_accepted(self):
+        verify_function(_guard_func())
+
+    def test_guard_outside_entry_rejected(self):
+        with pytest.raises(VerificationError, match="outside the entry"):
+            verify_function(_guard_func(guard_block="other"))
+
+    def test_guard_after_side_effect_rejected(self):
+        with pytest.raises(VerificationError, match="after a side"):
+            verify_function(_guard_func(after_store=True))
+
+    def test_guard_imm_must_be_u64(self):
+        func = _guard_func()
+        func.entry_block().instrs[0].imm = "nope"
+        with pytest.raises(VerificationError, match="guard imm"):
+            verify_function(func)
+
+    def test_speculated_residual_verifies(self):
+        program = sum_to_n_program(5)
+        module = build_min_module(program)
+        request = SpecializationRequest(
+            "min_interp",
+            [SpecializedMemory(PROGRAM_BASE, program.size_bytes()),
+             SpecializedConst(len(program.words)),
+             SpeculatedConst(3)],
+            specialized_name="spec_g")
+        func = specialize(module, request, SpecializeOptions(backend="vm"))
+        verify_function(func, module)
+        assert any(i.op == "guard" for i in func.entry_block().instrs)
+
+
+# ---------------------------------------------------------------------------
+# VM deopt mechanics.
+# ---------------------------------------------------------------------------
+
+class TestDeopt:
+    @pytest.fixture()
+    def guarded_module(self):
+        program = sum_to_n_program(20)
+        module = build_min_module(program)
+        request = SpecializationRequest(
+            "min_interp",
+            [SpecializedMemory(PROGRAM_BASE, program.size_bytes()),
+             SpecializedConst(len(program.words)),
+             SpeculatedConst(0)],
+            specialized_name="spec_g")
+        func = specialize(module, request, SpecializeOptions(backend="vm"))
+        module.add_function(func)
+        return program, module
+
+    def test_unregistered_guard_failure_propagates(self, guarded_module):
+        """Without a registered fallback a failed guard is loud, not
+        silently wrong."""
+        program, module = guarded_module
+        vm = VM(module)
+        with pytest.raises(GuardFailed):
+            vm.call("spec_g", _args(program, 1))
+
+    def test_deopt_is_observably_generic(self, guarded_module):
+        """A deopted call matches the generic call in result AND every
+        execution counter (fuel, loads, stores): the speculative prefix
+        is rolled back in full."""
+        program, module = guarded_module
+        vm = VM(module)
+        vm.deopt_fallbacks["spec_g"] = "min_interp"
+        result = vm.call("spec_g", _args(program, 5))
+        ref = VM(module)
+        expected = ref.call("min_interp", _args(program, 5))
+        assert result == expected
+        assert vm.stats.fuel == ref.stats.fuel
+        assert vm.stats.loads == ref.stats.loads
+        assert vm.stats.stores == ref.stats.stores
+
+    def test_deopt_from_compiled_backend(self, guarded_module):
+        """GuardFailed raised inside tier-2 compiled code unwinds at the
+        same boundary with the same rollback."""
+        from repro.backend import compile_function
+        program, module = guarded_module
+        compiled = compile_function(module.functions["spec_g"], module)
+        assert "GuardFailed" in compiled.source
+        vm = VM(module)
+        vm.install_compiled({"spec_g": compiled.pyfunc})
+        vm.deopt_fallbacks["spec_g"] = "min_interp"
+        seen = []
+        vm.deopt_hook = seen.append
+        ref = VM(module)
+        assert vm.call("spec_g", _args(program, 5)) == \
+            ref.call("min_interp", _args(program, 5))
+        assert vm.stats.fuel == ref.stats.fuel
+        assert seen == ["spec_g"]
+
+    def test_guard_pass_runs_specialized(self, guarded_module):
+        program, module = guarded_module
+        vm = VM(module)
+        vm.deopt_fallbacks["spec_g"] = "min_interp"
+        result = vm.call("spec_g", _args(program, 0))
+        ref = VM(module)
+        assert result == ref.call("min_interp", _args(program, 0))
+        assert vm.stats.fuel < ref.stats.fuel  # actually ran tier 1
+
+
+# ---------------------------------------------------------------------------
+# Controller policy.
+# ---------------------------------------------------------------------------
+
+class TestControllerPolicy:
+    def test_never_promotes_below_threshold(self):
+        # Neutralize loop scoring (tested separately) so the policy
+        # under test is purely the call counter.
+        program = sum_to_n_program(3)
+        vm, controller = make_tiered_min(program, threshold=10)
+        controller.backedge_weight = 1 << 30
+        for _ in range(9):
+            vm.call("min_interp", _args(program, 0))
+        assert controller.stats.promotions == 0
+        vm.call("min_interp", _args(program, 0))
+        assert controller.stats.promotions == 1
+        assert controller.tier_counts()[0] == 0
+
+    def test_backedge_score_promotes_loopy_function(self):
+        """One call of a long loop crosses the threshold via the loop
+        counters, so the *second* call already runs specialized."""
+        program = sum_to_n_program(4000)  # ~5 backedge-weights of spins
+        vm, controller = make_tiered_min(
+            program, threshold=3, options=SpecializeOptions(backend="vm"))
+        vm.call("min_interp", _args(program, 0))
+        assert controller.stats.promotions == 0
+        vm.call("min_interp", _args(program, 0))
+        assert controller.stats.promotions == 1
+        profile = next(iter(controller.profiles.values()))
+        assert profile.backedges > 0 and profile.calls == 2
+
+    def test_staged_tier2_defers_backend_compile(self):
+        program = sum_to_n_program(50)
+        options = SpecializeOptions(backend="py")
+        vm, controller = make_tiered_min(
+            program, threshold=2, options=options, compile_threshold=3)
+        profile = next(iter(controller.profiles.values()))
+        results = []
+        for i in range(8):
+            results.append(vm.call("min_interp", _args(program, 0)))
+            if i < 1:
+                assert profile.tier == 0
+            elif i < 4:
+                assert profile.tier == 1  # promoted, backend deferred
+        assert profile.tier == 2
+        assert controller.stats.tier2_installs == 1
+        assert profile.installed_name in vm.compiled
+        assert len(set(results)) == 1
+
+    def test_staged_tier2_fallback_attempts_emission_once(self):
+        """An emitter fallback in staged mode leaves the function on
+        the tier-1 residual permanently — it must not re-attempt the
+        backend compile on every subsequent hot call."""
+        program = sum_to_n_program(30)
+        vm, controller = make_tiered_min(
+            program, threshold=2, options=SpecializeOptions(backend="py"),
+            compile_threshold=2)
+        attempts = []
+        real = controller.compiler.compile_backend
+        controller.compiler.compile_backend = \
+            lambda names: attempts.append(names) or {}  # simulate fallback
+        ref = VM(build_min_module(program))
+        for _ in range(10):
+            assert vm.call("min_interp", _args(program, 5)) == \
+                ref.call("min_interp", _args(program, 5))
+        profile = next(iter(controller.profiles.values()))
+        assert profile.tier == 1  # fallback: stays on the IR residual
+        assert len(attempts) == 1
+        assert controller.stats.tier2_installs == 0
+        controller.compiler.compile_backend = real
+
+    def test_demotes_exactly_once(self):
+        program = sum_to_n_program(25)
+        vm, controller = make_tiered_min(
+            program, threshold=2, speculate=True,
+            options=SpecializeOptions(backend="vm"))
+        ref = VM(build_min_module(program))
+        for value in (3, 3, 9, 3, 9, 9):
+            assert vm.call("min_interp", _args(program, value)) == \
+                ref.call("min_interp", _args(program, value))
+        assert controller.stats.speculative_promotions == 1
+        assert controller.stats.demotions == 1
+        # The respecialized plain residual carries no guards: further
+        # input changes cause no deopts.
+        assert controller.stats.deopts == 1
+
+    def test_lua_frame_speculation_deopts_on_deeper_call(self):
+        """A function promoted with a speculated frame pointer deopts
+        when later called from a different stack depth — mid-workload,
+        with identical output."""
+        source = "\n".join([
+            "function leaf(x)",
+            "  return x + 1",
+            "end",
+            "function mid(x)",
+            "  return leaf(x) * 10",
+            "end",
+            "local t = 0",
+            "for i = 1, 6 do",
+            "  t = t + leaf(i)",
+            "end",
+            "t = t + mid(3)",
+            "print(t)",
+        ])
+        ref = LuaRuntime(source)
+        ref.run_interpreted()
+        runtime = LuaRuntime(source,
+                             options=SpecializeOptions(backend="vm"))
+        runtime.run_tiered(threshold=4, speculate=True)
+        assert runtime.printed == ref.printed
+        stats = runtime.controller.stats
+        assert stats.speculative_promotions >= 1
+        assert stats.deopts >= 1
+        assert stats.demotions == 1
+
+    def test_aot_and_tiered_share_artifact_store(self, tmp_path):
+        """Dynamic promotion against a store warmed by pure AOT compiles
+        zero fresh functions — the flows share cache keys."""
+        program = sum_to_n_program(40)
+        cache_dir = str(tmp_path)
+        options = SpecializeOptions(backend="vm", cache_dir=cache_dir)
+        # Warm: pure AOT (promote_all) writes the artifacts.
+        vm_a, controller_a = make_tiered_min(program, options=options)
+        controller_a.promote_all()
+        assert controller_a.compiler.engine.stats.functions_specialized == 1
+        # Tiered run in a "fresh process": the promotion loads from disk.
+        vm_t, controller_t = make_tiered_min(program, threshold=1,
+                                             options=options)
+        vm_t.call("min_interp", _args(program, 0))
+        engine_stats = controller_t.compiler.engine.stats
+        assert controller_t.stats.promotions == 1
+        assert engine_stats.functions_specialized == 0
+        assert engine_stats.artifact_hits == 1
+
+    def test_promote_all_matches_dynamic_result(self):
+        program = sum_to_n_program(15)
+        vm_d, controller_d = make_tiered_min(
+            program, threshold=1, options=SpecializeOptions(backend="vm"))
+        dynamic = vm_d.call("min_interp", _args(program, 0))
+        vm_s, controller_s = make_tiered_min(
+            program, options=SpecializeOptions(backend="vm"))
+        controller_s.promote_all()
+        name = next(iter(controller_s.profiles.values())).installed_name
+        static = vm_s.call(name, _args(program, 0))
+        assert dynamic == static
+        assert vm_d.stats.fuel == vm_s.stats.fuel
+
+    def test_report_smoke(self):
+        program = sum_to_n_program(10)
+        vm, controller = make_tiered_min(program, threshold=1)
+        vm.call("min_interp", _args(program, 0))
+        text = controller.report()
+        assert "promotions=1" in text and "tier" in text

@@ -21,6 +21,7 @@ change totals and round counts), and identical cache/artifact keys.
 A single unsound skip anywhere shows up as a byte diff here.
 """
 
+import importlib
 import json
 import random
 
@@ -208,6 +209,79 @@ def test_richards_fixpoint_determinism():
     exh_vm = exh_rt.run()
     assert fast_rt.printed == exh_rt.printed == ["13120"]
     assert fast_vm.stats.fuel == exh_vm.stats.fuel
+
+
+# ---------------------------------------------------------------------------
+# Sole-contributor meet fast path: reusing the predecessor's out-state
+# must be *exact*, not merely equivalent.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(4))
+def test_single_pred_meet_byte_identity(seed, monkeypatch):
+    """Disabling the sole-contributor fast path (every meet rebuilt via
+    the full ``meet_states``) yields byte-identical residual IR,
+    artifact bytes, emitted source, and fuel — and the fast path must
+    actually engage when enabled."""
+    specialize_mod = importlib.import_module("repro.core.specialize")
+
+    rng = random.Random(0x51D + seed)
+    program = random_min_program(rng)
+    use_intrinsics = bool(seed % 2)
+    input_value = rng.randint(1, 99)
+
+    results = {}
+    for tag, enabled in (("fast", True), ("full", False)):
+        monkeypatch.setattr(specialize_mod, "SINGLE_PRED_FAST_MEET",
+                            enabled)
+        module = build_min_module(program)
+        func = specialize_min(module, program, use_intrinsics,
+                              options=FAST, name="spec")
+        stats = func._weval_stats  # noqa: SLF001
+        vm = VM(module)
+        result = vm.call("spec", [PROGRAM_BASE, len(program.words),
+                                  input_value])
+        results[tag] = (func, stats, result, vm.stats.fuel)
+
+    fast_func, fast_stats, fast_result, fast_fuel = results["fast"]
+    full_func, full_stats, full_result, full_fuel = results["full"]
+    assert fast_stats.meets_single_pred > 0, (
+        f"min seed {seed}: sole-contributor fast path did not engage")
+    assert full_stats.meets_single_pred == 0
+    tag = f"min seed {seed} single-pred"
+    assert print_function(fast_func, order="id") == \
+        print_function(full_func, order="id"), (
+            f"{tag}: residual IR diverged")
+    assert json.dumps(function_to_dict(fast_func)) == \
+        json.dumps(function_to_dict(full_func)), (
+            f"{tag}: serialized artifact bytes diverged")
+    assert _emitted_source(fast_func) == _emitted_source(full_func), (
+        f"{tag}: emitted backend source diverged")
+    assert (fast_result, fast_fuel) == (full_result, full_fuel), (
+        f"{tag}: execution diverged")
+
+
+def test_single_pred_meet_byte_identity_richards(monkeypatch):
+    """The macro workload: the fast-meet and full-meet engines agree on
+    every richards residual, byte for byte."""
+    specialize_mod = importlib.import_module("repro.core.specialize")
+
+    runs = {}
+    for tag, enabled in (("fast", True), ("full", False)):
+        monkeypatch.setattr(specialize_mod, "SINGLE_PRED_FAST_MEET",
+                            enabled)
+        rt = JSRuntime(WORKLOADS["richards"], "wevaled_state",
+                       options=FAST)
+        rt.aot_compile()
+        runs[tag] = (_residuals(rt), rt.compiler.total_stats)
+    fast_funcs, fast_stats = runs["fast"]
+    full_funcs, full_stats = runs["full"]
+    assert fast_stats.meets_single_pred > 0
+    assert full_stats.meets_single_pred == 0
+    assert sorted(fast_funcs) == sorted(full_funcs)
+    for name in fast_funcs:
+        assert print_function(fast_funcs[name], order="id") == \
+            print_function(full_funcs[name], order="id"), (
+                f"richards single-pred: residual {name} diverged")
 
 
 # ---------------------------------------------------------------------------
