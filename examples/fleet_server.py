@@ -1,0 +1,174 @@
+"""Fleet-scale serving with persisted heat: many workers, one store.
+
+Walkthrough — what this example demonstrates, end to end:
+
+1. **The fleet ("yesterday").**  N worker *processes* (forked, like a
+   preforking server) serve the same four-endpoint Min service — two hot
+   endpoints hammered by traffic, two cold admin endpoints hit once.
+   Every worker runs its own VM and
+   :class:`~repro.pipeline.tiering.TieringController`, but they share
+   one ``cache_dir``: the first worker to promote a hot endpoint pays
+   for the specialization and publishes the artifact through the
+   flock-disciplined :class:`~repro.pipeline.artifacts.ArtifactStore`;
+   its siblings promote the same endpoint as pure artifact loads.
+
+2. **Publishing heat.**  On shutdown each worker calls
+   ``controller.publish_heat(store)``: its per-endpoint call/backedge
+   counters — only the *delta* since the last publish — are merged into
+   ``<cache_dir>/profiles/heat.json`` under the same lock discipline,
+   so concurrent publishes accumulate instead of clobbering.
+
+3. **The fresh worker ("today").**  A new worker boots with zero local
+   profile, calls ``controller.adopt_heat(store)``, and inherits the
+   fleet's verdict: both hot endpoints are already over threshold, so
+   they are promoted *before the first request* — and because the
+   artifact store is warm, that promotion compiles **zero** functions
+   (``functions_specialized == 0``, two artifact hits).  The cold
+   endpoints stay on tier 0.  First request latency is steady-state
+   latency; no per-worker re-profiling, no re-compiling.
+
+Run:
+
+    PYTHONPATH=src python examples/fleet_server.py
+"""
+
+import multiprocessing
+import os
+import tempfile
+import time
+
+from repro.core.specialize import SpecializeOptions
+from repro.min.fleet import (
+    constant_program,
+    make_endpoints,
+    make_fleet_worker,
+    serve,
+    sum_squares_program,
+)
+from repro.min.harness import sum_to_n_program
+from repro.pipeline.profiles import ProfileStore
+
+N_WORKERS = 3
+# High enough that the cold endpoints stay cold fleet-wide even with
+# the controller's lagging backedge-attribution heuristic charging them
+# a stray hot-loop window or two.
+THRESHOLD = 8
+
+ENDPOINTS = make_endpoints([
+    ("checkout", sum_to_n_program(60)),       # hot
+    ("search", sum_squares_program(40)),      # hot
+    ("admin", constant_program(41)),          # cold
+    ("report", constant_program(7)),          # cold
+])
+BY_NAME = {endpoint.name: endpoint for endpoint in ENDPOINTS}
+
+# One worker's slice of yesterday's traffic: mixed hot/cold.
+TRAFFIC = (["checkout", "search"] * 8
+           + ["admin", "report"]
+           + ["checkout", "search"] * 4)
+
+
+def _options(cache_dir: str) -> SpecializeOptions:
+    return SpecializeOptions(backend="py", cache_dir=cache_dir)
+
+
+def fleet_worker(worker_id: int, cache_dir: str, barrier, results) -> None:
+    """One forked worker: serve a traffic slice, then publish heat."""
+    vm, controller = make_fleet_worker(ENDPOINTS, threshold=THRESHOLD,
+                                       options=_options(cache_dir))
+    barrier.wait()        # all workers serve concurrently
+    responses = {}
+    for name in TRAFFIC:
+        responses[name] = serve(vm, BY_NAME[name])
+    store = ProfileStore(cache_dir)
+    published = controller.publish_heat(store)
+    engine_stats = controller.compiler.engine.stats
+    results.put({
+        "worker": worker_id,
+        "published": published,
+        "promotions": controller.stats.promotions,
+        "compiled": engine_stats.functions_specialized,
+        "artifact_hits": engine_stats.artifact_hits,
+        "responses": responses,
+    })
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # ------------------------------------------------------------
+        # Phase 1: yesterday's fleet.
+        # ------------------------------------------------------------
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(N_WORKERS)
+        results = ctx.Queue()
+        workers = [ctx.Process(target=fleet_worker,
+                               args=(i, cache_dir, barrier, results))
+                   for i in range(N_WORKERS)]
+        print(f"[fleet] starting {N_WORKERS} workers over one store "
+              f"({cache_dir})")
+        for worker in workers:
+            worker.start()
+        reports = [results.get(timeout=120) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        reports.sort(key=lambda r: r["worker"])
+
+        expected = reports[0]["responses"]
+        total_compiled = 0
+        for report in reports:
+            assert report["published"], "heat publish must land"
+            assert report["responses"] == expected
+            total_compiled += report["compiled"]
+            print(f"[fleet] worker {report['worker']}: "
+                  f"{len(TRAFFIC)} requests, "
+                  f"{report['promotions']} promotions, "
+                  f"{report['compiled']} compiled fresh, "
+                  f"{report['artifact_hits']} artifact hits, "
+                  f"heat published")
+        # The fleet pays for each hot endpoint's specialization at most
+        # a handful of times (racing workers may both miss), never
+        # N_WORKERS * endpoints times.
+        print(f"[fleet] fleet-wide fresh compiles: {total_compiled} "
+              f"(2 hot endpoints, {N_WORKERS} workers)")
+
+        heat = ProfileStore(cache_dir).load()
+        print(f"[heat ] merged heat for {len(heat)} endpoints:")
+        for key, record in sorted(heat.items()):
+            print(f"[heat ]   {key}: calls={record['calls']} "
+                  f"backedges={record['backedges']}")
+
+        # ------------------------------------------------------------
+        # Phase 2: today's fresh worker adopts the fleet's heat.
+        # ------------------------------------------------------------
+        boot = time.perf_counter()
+        vm, controller = make_fleet_worker(ENDPOINTS, threshold=THRESHOLD,
+                                           options=_options(cache_dir))
+        adopted = controller.adopt_heat(ProfileStore(cache_dir))
+        boot_ms = (time.perf_counter() - boot) * 1000
+        engine_stats = controller.compiler.engine.stats
+        print(f"\n[today] fresh worker adopted {adopted} in "
+              f"{boot_ms:.1f}ms: {engine_stats.functions_specialized} "
+              f"compiled fresh, {engine_stats.artifact_hits} artifact "
+              f"hits")
+
+        # The fleet's whole point, asserted:
+        assert sorted(adopted) == ["min_checkout", "min_search"]
+        assert engine_stats.functions_specialized == 0
+        assert engine_stats.artifact_hits == 2
+
+        begin = time.perf_counter()
+        result = serve(vm, BY_NAME["checkout"])
+        micros = (time.perf_counter() - begin) * 1e6
+        assert result == expected["checkout"]
+        assert controller.stats.tier0_calls == 0
+        print(f"[today] first request checkout -> {result} "
+              f"({micros:.0f}us, tier 2, zero generic calls)")
+        print(f"[today] cold endpoints still tier 0: "
+              f"{controller.tier_counts()[0]} of {len(ENDPOINTS)}")
+        print("\n[state] " + "\n[state] ".join(
+            controller.report().splitlines()))
+
+
+if __name__ == "__main__":
+    main()

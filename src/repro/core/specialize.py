@@ -117,6 +117,13 @@ class SpecializeOptions:
     # *output*, so neither is part of any cache key.
     jobs: int = 1
     cache_dir: Optional[str] = None
+    # Worker-pool flavor for the engine's pure specialize stage:
+    # "thread" shares the module in-process; "process" ships the module
+    # (serialized, import signatures only) to a ProcessPoolExecutor and
+    # sidesteps the GIL.  Output is bit-identical either way — the
+    # determinism tier asserts it — so, like ``jobs``, this is NOT part
+    # of any cache key.
+    pool: str = "thread"
     max_revisits: int = 64             # per-key convergence safeguard
     max_value_specializations: int = 4096
     max_iterations: int = 2_000_000
@@ -140,6 +147,8 @@ class SpecializeOptions:
             raise ValueError(f"bad backend {self.backend!r}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.pool not in ("thread", "process"):
+            raise ValueError(f"bad pool {self.pool!r}")
         from repro.opt.pass_manager import PIPELINES
         if self.opt_config not in PIPELINES:
             raise ValueError(f"bad opt_config {self.opt_config!r}")

@@ -4,8 +4,9 @@ Min is a 64-bit unsigned integer machine with a program counter, 256
 indexed registers, and an accumulator.  This package contains its ISA and
 assembler, two mini-C interpreter variants (with and without weval's
 register intrinsics, mirroring the paper's Fig. 10 template trick), a
-pure-Python reference interpreter (the "native interpreter" analog), and
-the harness that reproduces Fig. 8.
+pure-Python reference interpreter (the "native interpreter" analog), the
+harness that reproduces Fig. 8, and the multi-endpoint fleet-serving
+harness (:mod:`repro.min.fleet`).
 """
 
 from repro.min.isa import Opcode, assemble, MinProgram
@@ -21,6 +22,12 @@ from repro.min.harness import (
     sum_to_n_program,
     run_fig8_configs,
 )
+from repro.min.fleet import (
+    Endpoint,
+    build_fleet_module,
+    make_endpoints,
+    make_fleet_worker,
+)
 
 __all__ = [
     "Opcode",
@@ -34,4 +41,8 @@ __all__ = [
     "PyMinInterpreter",
     "sum_to_n_program",
     "run_fig8_configs",
+    "Endpoint",
+    "build_fleet_module",
+    "make_endpoints",
+    "make_fleet_worker",
 ]

@@ -4,39 +4,60 @@ This package unifies the per-runtime AOT flows behind one subsystem,
 the paper's production story (S6.5) made concrete:
 
 * :class:`~repro.pipeline.engine.CompilationEngine` — batch
-  specialize → opt → verify → emit with a thread worker pool
-  (``jobs=``); pure stages run concurrently, all module mutation and
-  cache accounting is applied in request order, so outputs are
-  bit-identical at any worker count;
+  specialize → opt → verify → emit with a worker pool (``jobs=``;
+  ``pool="thread"`` shares the module in-process, ``pool="process"``
+  ships it to a ``ProcessPoolExecutor``); pure stages run concurrently,
+  all module mutation and cache accounting is applied in request order,
+  so outputs are bit-identical at any worker count and pool flavor;
 * :class:`~repro.pipeline.artifacts.ArtifactStore` — the persistent
   on-disk cache (``cache_dir=``) of residual IR and emitted backend
   source, keyed by the same fingerprints as the in-memory
   :class:`~repro.core.cache.SpecializationCache`;
 * :mod:`~repro.pipeline.serialize` — structural JSON round-tripping of
-  IR functions with a strict corruption-is-a-miss contract;
+  IR functions, specialization requests, and compile-side modules with
+  a strict corruption-is-a-miss contract;
 * :class:`~repro.pipeline.tiering.TieringController` — profile-guided
   dynamic tier-up at run time (tier 0 generic interpreter → tier 1
   residual IR → tier 2 compiled Python), with guarded speculation and
   deopt back to the generic interpreter.  Pure AOT is the special case
-  :meth:`~repro.pipeline.tiering.TieringController.promote_all`.
+  :meth:`~repro.pipeline.tiering.TieringController.promote_all`;
+* :class:`~repro.pipeline.profiles.ProfileStore` — the fleet's
+  persisted hot-set: per-function call/backedge heat merged across
+  worker processes in the shared ``cache_dir``, published by
+  :meth:`~repro.pipeline.tiering.TieringController.publish_heat` and
+  re-adopted by
+  :meth:`~repro.pipeline.tiering.TieringController.adopt_heat`, so a
+  fresh worker starts at the fleet's steady state.
 
 Every embedder reaches this layer through
 :class:`~repro.core.snapshot.SnapshotCompiler`, which delegates its
 ``process_requests()`` / ``compile_backend()`` to an engine; configure
-it with ``SpecializeOptions(jobs=..., cache_dir=...)``.
+it with ``SpecializeOptions(jobs=..., pool=..., cache_dir=...)``.
 """
 
 from repro.pipeline.artifacts import (
     ARTIFACT_VERSION,
     EMITTER_VERSION,
     ArtifactStore,
+    atomic_write_json,
+    locked_write_json,
     residual_fingerprint,
 )
 from repro.pipeline.engine import CompilationEngine, EngineResult
+from repro.pipeline.profiles import (
+    PROFILE_VERSION,
+    ProfileStore,
+    open_profile_store,
+    profile_key,
+)
 from repro.pipeline.serialize import (
     SerializationError,
     function_from_dict,
     function_to_dict,
+    module_from_dict,
+    module_to_dict,
+    request_from_dict,
+    request_to_dict,
 )
 from repro.pipeline.tiering import (
     DEFAULT_THRESHOLD,
@@ -49,14 +70,24 @@ __all__ = [
     "ARTIFACT_VERSION",
     "DEFAULT_THRESHOLD",
     "EMITTER_VERSION",
+    "PROFILE_VERSION",
     "ArtifactStore",
     "CompilationEngine",
     "EngineResult",
     "FunctionProfile",
+    "ProfileStore",
     "SerializationError",
     "TierEntry",
     "TieringController",
+    "atomic_write_json",
     "function_from_dict",
     "function_to_dict",
+    "locked_write_json",
+    "module_from_dict",
+    "module_to_dict",
+    "open_profile_store",
+    "profile_key",
+    "request_from_dict",
+    "request_to_dict",
     "residual_fingerprint",
 ]

@@ -115,6 +115,9 @@ class _StoreLock:
                 self._handle = open(self._path, "a+b")
                 fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
             except OSError:
+                # A read-only store (unopenable lock file) or an
+                # flock-less filesystem degrades to lock-free; reads
+                # still hit and the write path reports its own failure.
                 if self._handle is not None:
                     try:
                         self._handle.close()
@@ -124,16 +127,83 @@ class _StoreLock:
         return self
 
     def __exit__(self, *exc) -> None:
-        if self._handle is not None:
+        # The handle must close (and the lock release with it) no matter
+        # what the locked body or the explicit LOCK_UN did: an unlock
+        # error (EBADF after an interleaved close, ValueError on a
+        # closed file, fcntl monkeypatched away mid-run) must neither
+        # leak the fd nor mask the body's own exception.
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except (OSError, ValueError):
+            pass
+        finally:
             try:
-                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+                handle.close()
             except OSError:
                 pass
-            try:
-                self._handle.close()
-            except OSError:
-                pass
-            self._handle = None
+
+
+def atomic_write_json(path: str, data: dict,
+                      validate: Callable[[str], bool]) -> bool:
+    """Temp-file + ``os.replace`` publish of ``data`` at ``path``, with
+    a ``validate`` reread before success is reported — a write that
+    cannot be read back whole is a failed write, not a poisoned store.
+
+    Every failure path releases the temp fd and unlinks the temp file;
+    an unwritable directory or an unencodable payload returns ``False``,
+    never raises.  Callers that need cross-process exclusion wrap this
+    in a :class:`_StoreLock` (see :func:`locked_write_json`) — ``flock``
+    conflicts between two fds of one process, so the lock must be taken
+    exactly once per critical section, never nested.
+    """
+    directory = os.path.dirname(path)
+    try:
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    except OSError:
+        return False
+    try:
+        handle = os.fdopen(fd, "w", encoding="utf-8")
+    except OSError:
+        # fdopen failed: the raw fd is still ours to release.
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return False
+    try:
+        with handle:
+            json.dump(data, handle)
+        os.replace(tmp, path)
+    except (OSError, TypeError, ValueError):
+        # Write/replace failure or a payload json cannot express: the
+        # temp file must not linger in the shared directory.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return False
+    return validate(path)
+
+
+def locked_write_json(lock_root: str, path: str, data: dict,
+                      validate: Callable[[str], bool]) -> bool:
+    """:func:`atomic_write_json` under ``lock_root``'s advisory lock
+    (concurrent writers of one shared directory are serialized).
+
+    Shared by the artifact store and the persisted profile store
+    (:mod:`repro.pipeline.profiles`) so both follow one write
+    discipline.
+    """
+    with _StoreLock(lock_root):
+        return atomic_write_json(path, data, validate)
 
 
 class ArtifactStore:
@@ -168,31 +238,17 @@ class ArtifactStore:
                     stored_ok: Callable[[dict], bool]) -> bool:
         """Atomically publish ``data`` at ``path`` and prove it landed.
 
-        The temp-file + ``os.replace`` pair runs under the store's
-        advisory lock (concurrent writers of one ``cache_dir`` are
-        serialized), and the entry is re-read and checked with
-        ``stored_ok`` before success is reported — a write that cannot
-        be read back whole is a failed write, not a poisoned store.
+        Delegates to :func:`locked_write_json` (advisory lock + temp
+        file + ``os.replace``), validating the reread with ``stored_ok``
+        — a write that cannot be read back whole is a failed write, not
+        a poisoned store.
         """
-        directory = os.path.dirname(path)
-        with _StoreLock(self.root):
-            try:
-                fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            except OSError:
-                return False
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(data, handle)
-                os.replace(tmp, path)
-            except OSError:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                return False
-            reread, status = self._read_json(path)
+        def validate(written: str) -> bool:
+            reread, status = self._read_json(written)
             return status == HIT and reread is not None \
                 and stored_ok(reread)
+
+        return locked_write_json(self.root, path, data, validate)
 
     # ------------------------------------------------------------------
     # Residual IR artifacts.

@@ -24,19 +24,23 @@ and the compiled Python artifacts evaporated at process exit.  The
   file is outside the process's trust boundary; a verifier rejection is
   treated exactly like corruption).
 
-Worker-pool note: the pool uses threads, not processes — a module's
-host imports are arbitrary Python callables and cannot cross a process
-boundary.  Under CPython's GIL the win is stage *overlap* (disk loads,
-JSON parse, and the allocator-heavy transform interleave), and the
-engine is the single place a free-threaded or subinterpreter pool can
-later be swapped in.
+Worker-pool note: the default pool uses threads — under CPython's GIL
+the win is stage *overlap* (disk loads, JSON parse, and the
+allocator-heavy transform interleave).  ``SpecializeOptions(jobs=N,
+pool="process")`` moves the specialize stage to a
+``ProcessPoolExecutor`` instead: the module ships to each worker in its
+serialized compile-side form (host import callables cannot cross a
+process boundary, so imports travel signature-only) and residuals ship
+back through the same byte-identical JSON round trip the artifact store
+uses, so results are bit-identical to the thread pool at any worker
+count.  Either way the order-sensitive stage 3 stays in the parent.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.cache import (
@@ -58,6 +62,84 @@ from repro.pipeline.artifacts import (
     ArtifactStore,
     residual_fingerprint,
 )
+from repro.pipeline.serialize import (
+    SerializationError,
+    function_from_dict,
+    function_to_dict,
+    module_from_dict,
+    module_to_dict,
+    request_from_dict,
+    request_to_dict,
+)
+
+
+# ---------------------------------------------------------------------------
+# Process-pool workers (``SpecializeOptions(pool="process")``).
+#
+# The specialize stage is pure, so it can leave the process: the module
+# travels once per worker as its serialized compile-side form (functions,
+# import *signatures*, table, globals — host callables never cross), the
+# heap snapshot travels with it, and each task is one JSON-encoded
+# request plus its precomputed cache key.  Workers return the residual
+# in serialized form; the byte-identical Function round trip is what
+# makes ``pool="process"`` indistinguishable from ``pool="thread"``
+# (the determinism tier asserts artifact-level byte equality).  All
+# *writes* — artifact store, in-memory cache, module mutation — stay in
+# the parent's serial stage 3, so ordering is untouched.
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _process_worker_init(module_payload: dict, options, snapshot: bytes,
+                         store_root: Optional[str]) -> None:
+    """Per-worker setup: rebuild the compile-side module and open the
+    (read-only-use) artifact store once, not per task."""
+    store = None
+    if store_root:
+        try:
+            store = ArtifactStore(store_root)
+        except OSError:
+            store = None
+    _WORKER_STATE["module"] = module_from_dict(module_payload)
+    _WORKER_STATE["options"] = options
+    _WORKER_STATE["snapshot"] = snapshot
+    _WORKER_STATE["store"] = store
+
+
+def _process_specialize(item: tuple):
+    """One stage-1 task in a worker: artifact load / fresh specialize.
+
+    Mirrors ``CompilationEngine._make_specialize_task`` exactly; the
+    residual ships back serialized with its specialization stats.  A
+    residual the encoding cannot express returns the ``"raw"`` marker
+    and the parent recomputes that one plan locally.
+    """
+    request_data, key, name = item
+    module = _WORKER_STATE["module"]
+    options = _WORKER_STATE["options"]
+    snapshot = _WORKER_STATE["snapshot"]
+    store = _WORKER_STATE["store"]
+    begin = time.perf_counter()
+    artifact_status = MISS
+    func: Optional[Function] = None
+    if store is not None:
+        func, artifact_status = store.load_residual(
+            key, name, key[0], key[2])
+        if func is not None:
+            try:
+                verify_function(func, module)
+            except VerificationError:
+                func, artifact_status = None, INVALID
+    if func is None:
+        request = request_from_dict(request_data)
+        func = specialize(module, request, options, snapshot)
+    stats = getattr(func, "_weval_stats", None)
+    try:
+        payload = function_to_dict(func)
+    except SerializationError:
+        return "raw", None, artifact_status, time.perf_counter() - begin
+    return payload, stats, artifact_status, time.perf_counter() - begin
 
 
 @dataclasses.dataclass
@@ -120,6 +202,7 @@ class CompilationEngine:
         self.options = options or SpecializeOptions()
         self.cache = cache
         self.jobs = max(1, jobs if jobs is not None else self.options.jobs)
+        self.pool = self.options.pool
         root = cache_dir if cache_dir is not None else self.options.cache_dir
         self.store: Optional[ArtifactStore] = None
         if root:
@@ -192,8 +275,7 @@ class CompilationEngine:
         # every first-occurrence miss.
         misses = [plan for plan in plans
                   if plan.func is None and plan.dup_of is None]
-        outcomes = self._run_all(
-            [self._make_specialize_task(plan, snapshot) for plan in misses])
+        outcomes = self._specialize_misses(misses, snapshot)
         for plan, (func, artifact_status, seconds) in zip(misses, outcomes):
             plan.func = func
             plan.artifact_hit = artifact_status == HIT
@@ -259,6 +341,56 @@ class CompilationEngine:
             results.append(self._finalize(plan))
         stats.wall_seconds += time.perf_counter() - start
         return results
+
+    def _specialize_misses(self, misses: List[_Plan], snapshot: bytes
+                           ) -> List[Tuple[Function, str, float]]:
+        """Run stage 1 on the configured pool flavor.
+
+        The process pool needs every payload to serialize; a module or
+        request the encoding cannot express falls back to the thread
+        path wholesale (correctness first — both paths produce
+        bit-identical residuals).
+        """
+        if self.pool == "process" and self.jobs > 1 and len(misses) > 1:
+            outcomes = self._process_pool_specialize(misses, snapshot)
+            if outcomes is not None:
+                return outcomes
+        return self._run_all(
+            [self._make_specialize_task(plan, snapshot) for plan in misses])
+
+    def _process_pool_specialize(self, misses: List[_Plan],
+                                 snapshot: bytes
+                                 ) -> Optional[List[Tuple[Function, str,
+                                                          float]]]:
+        """Stage 1 on a :class:`ProcessPoolExecutor`; ``None`` means
+        "use the thread path" (unserializable payloads)."""
+        try:
+            module_payload = module_to_dict(self.module)
+            items = [(request_to_dict(plan.request), plan.key, plan.name)
+                     for plan in misses]
+        except SerializationError:
+            return None
+        store_root = self.store.root if self.store is not None else None
+        with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(misses)),
+                initializer=_process_worker_init,
+                initargs=(module_payload, self.options, snapshot,
+                          store_root)) as pool:
+            shipped = list(pool.map(_process_specialize, items))
+        outcomes = []
+        for plan, (payload, spec_stats, status, seconds) in zip(misses,
+                                                                shipped):
+            if payload == "raw":
+                # The worker specialized fine but could not serialize
+                # the residual back; recompute this one plan locally.
+                outcomes.append(
+                    self._make_specialize_task(plan, snapshot)())
+                continue
+            func = function_from_dict(payload, name=plan.name)
+            if spec_stats is not None:
+                func._weval_stats = spec_stats
+            outcomes.append((func, status, seconds))
+        return outcomes
 
     def _make_specialize_task(self, plan: _Plan, snapshot: bytes):
         def task() -> Tuple[Function, str, float]:

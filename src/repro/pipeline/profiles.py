@@ -1,0 +1,166 @@
+"""Persisted cross-process profiles: the fleet's shared hot-set.
+
+The paper's deployment is a *fleet* of wevaled interpreter instances
+serving one workload behind a load balancer.  PR 5's tiering controller
+made each instance discover its own hot set dynamically, but that
+discovery cost — threshold-many generic calls per hot function before
+the first promotion — was paid again by every worker and again on every
+restart, even though the artifact store already made the *compiles*
+free.  This module persists the missing half of the warm-start story:
+the profile itself.
+
+A :class:`ProfileStore` keeps one heat file inside the shared
+``cache_dir``::
+
+    <cache_dir>/profiles/heat.json
+    {"version": 1,
+     "heat": {"<generic>@<key:#x>": {"calls": N, "backedges": N}, ...}}
+
+Heat keys (:func:`profile_key`) combine the generic function name with
+the guest identity key of the :class:`~repro.pipeline.tiering.TierEntry`
+— a function-struct / proto / bytecode pointer that is deterministic
+across processes for the same guest source, because the heap image is
+built deterministically.  Workers **publish** their per-function
+call/backedge counters as *deltas* (so heat accumulates across the
+fleet instead of last-writer-wins), and a fresh worker **adopts** the
+merged heat before serving: functions whose persisted score already
+crosses the promotion threshold are compiled up front — hitting the
+shared artifact store, so adoption costs loads, not compiles — and the
+rest start with the fleet's counters instead of zero.
+
+Concurrency discipline matches :mod:`repro.pipeline.artifacts`: the
+read-modify-write merge runs under a :class:`_StoreLock` on the
+``profiles/`` directory (its *own* lock file — profile merges never
+contend with artifact writes), the publish itself is a temp-file +
+``os.replace`` with reread validation, and loads are lock-free and
+paranoid — a torn, corrupt, or version-skewed heat file reads as *no
+heat* (the worker re-profiles, exactly as before this module existed),
+never as an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.pipeline.artifacts import _StoreLock, atomic_write_json
+
+# Bump on any change to the heat-file schema or key format.
+PROFILE_VERSION = 1
+
+# One heat record: plain ints only, so records merge by addition.
+_FIELDS = ("calls", "backedges")
+
+Heat = Dict[str, Dict[str, int]]
+
+
+def profile_key(generic: str, key: int) -> str:
+    """Stable cross-process identity of one tierable function."""
+    return f"{generic}@{key:#x}"
+
+
+class ProfileStore:
+    """One heat file of merged fleet profiles, shared across processes."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.dir = os.path.join(root, "profiles")
+        self.path = os.path.join(self.dir, "heat.json")
+        os.makedirs(self.dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Loads (lock-free, paranoid).
+    # ------------------------------------------------------------------
+    def load(self) -> Heat:
+        """Read the merged heat map; any corruption reads as ``{}``."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return {}
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                ValueError):
+            return {}
+        return self._validate(data)
+
+    @staticmethod
+    def _validate(data) -> Heat:
+        """Extract the well-formed subset of a heat payload.
+
+        Validation is per-record: one mangled record (a concurrent
+        writer of a future schema, a hand edit) drops that record, not
+        the whole fleet's heat.  A version skew or a non-dict payload
+        drops everything — the schema owner is the version field.
+        """
+        if not isinstance(data, dict) or \
+                data.get("version") != PROFILE_VERSION:
+            return {}
+        raw = data.get("heat")
+        if not isinstance(raw, dict):
+            return {}
+        heat: Heat = {}
+        for key, record in raw.items():
+            if not isinstance(key, str) or not isinstance(record, dict):
+                continue
+            clean = {}
+            for field in _FIELDS:
+                value = record.get(field)
+                if not isinstance(value, int) or isinstance(value, bool) \
+                        or value < 0:
+                    clean = None
+                    break
+                clean[field] = value
+            if clean is not None:
+                heat[key] = clean
+        return heat
+
+    # ------------------------------------------------------------------
+    # Merges (read-modify-write under the profiles lock).
+    # ------------------------------------------------------------------
+    def merge(self, deltas: Heat) -> bool:
+        """Fold per-function counter *deltas* into the shared heat file.
+
+        Runs read + add + publish under one advisory lock so concurrent
+        workers' contributions accumulate instead of racing; the write
+        is validated by reread (the merged heat must contain at least
+        what this worker contributed).  Returns whether the merge
+        landed; a failed merge loses only this delta — callers simply
+        retain it and re-publish later.
+        """
+        deltas = {key: record for key, record in deltas.items()
+                  if any(record.get(field) for field in _FIELDS)}
+        if not deltas:
+            return True
+        with _StoreLock(self.dir):
+            merged = self.load()
+            for key, record in deltas.items():
+                into = merged.setdefault(
+                    key, {field: 0 for field in _FIELDS})
+                for field in _FIELDS:
+                    into[field] += max(0, int(record.get(field, 0)))
+
+            def stored_ok(path: str) -> bool:
+                reread = self.load()
+                return all(
+                    key in reread and all(
+                        reread[key][field] >= merged[key][field]
+                        for field in _FIELDS)
+                    for key in deltas)
+
+            return atomic_write_json(
+                self.path,
+                {"version": PROFILE_VERSION, "heat": merged},
+                stored_ok)
+
+
+def open_profile_store(cache_dir: Optional[str]) -> Optional[ProfileStore]:
+    """Profile store for a cache dir, or ``None`` when persistence is
+    off or the directory cannot be created (read-only image) — profile
+    persistence must never fail a serving process."""
+    if not cache_dir:
+        return None
+    try:
+        return ProfileStore(cache_dir)
+    except OSError:
+        return None

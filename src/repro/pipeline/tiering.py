@@ -59,6 +59,7 @@ from repro.core.snapshot import SnapshotCompiler
 from repro.core.specialize import SpecializeOptions
 from repro.core.stats import TieringStats
 from repro.ir.module import Module
+from repro.pipeline.profiles import ProfileStore, profile_key
 from repro.vm.machine import VM
 
 # Calls a function must accumulate before promotion.  Deliberately low:
@@ -102,12 +103,18 @@ class FunctionProfile:
 
     __slots__ = ("entry", "calls", "backedges", "tier", "installed_name",
                  "table_index", "deopts", "samples", "no_speculate",
-                 "calls_at_promotion", "tier2_attempted")
+                 "calls_at_promotion", "tier2_attempted",
+                 "published_calls", "published_backedges")
 
     def __init__(self, entry: TierEntry):
         self.entry = entry
         self.calls = 0
         self.backedges = 0
+        # High-water marks of counters already published to (or adopted
+        # from) a shared ProfileStore: publishes send only the delta
+        # beyond these, so fleet heat accumulates without double counts.
+        self.published_calls = 0
+        self.published_backedges = 0
         self.tier = 0
         self.installed_name: Optional[str] = None
         self.table_index = 0
@@ -206,16 +213,23 @@ class TieringController:
     # ------------------------------------------------------------------
     # The pure-AOT path: promote everything, up front, in one batch.
     # ------------------------------------------------------------------
-    def promote_all(self) -> List[str]:
+    def promote_all(self, entries: Optional[List[TierEntry]] = None
+                    ) -> List[str]:
         """Compile and install every registered function now (one engine
-        batch — parallel across ``jobs`` workers, artifact-cached)."""
+        batch — parallel across ``jobs`` workers, artifact-cached).
+
+        ``entries`` restricts the batch to a subset (the heat-adoption
+        path promotes only the fleet's hot set); the default promotes
+        everything, which is the pure-AOT flow.
+        """
         start = time.perf_counter()
-        for entry in self.entries:
+        entries = self.entries if entries is None else entries
+        for entry in entries:
             self.compiler.enqueue(entry.request, entry.result_addr)
         processed = self.compiler.process_requests()
         names = []
         installs = 0
-        for entry, item in zip(self.entries, processed):
+        for entry, item in zip(entries, processed):
             profile = self.profiles[(entry.generic, entry.key)]
             profile.installed_name = item.function_name
             profile.table_index = item.table_index
@@ -231,6 +245,69 @@ class TieringController:
         if self.vm is not None and self.compiler.backend_functions:
             self.vm.install_compiled(self.compiler.backend_functions)
         return names
+
+    # ------------------------------------------------------------------
+    # Fleet heat: persisted cross-process profiles.
+    # ------------------------------------------------------------------
+    def publish_heat(self, store: ProfileStore) -> bool:
+        """Merge this worker's profiling since the last publish into the
+        shared heat file (per-function call/backedge deltas).
+
+        Idempotent bookkeeping: the high-water marks only advance when
+        the merge lands, so a failed publish (read-only store, lost
+        validation) retains the delta for the next attempt.
+        """
+        deltas = {}
+        pending = []
+        for (generic, key), profile in self.profiles.items():
+            calls = profile.calls - profile.published_calls
+            backedges = profile.backedges - profile.published_backedges
+            if calls or backedges:
+                deltas[profile_key(generic, key)] = {
+                    "calls": calls, "backedges": backedges}
+                pending.append(profile)
+        if not deltas:
+            return True
+        if not store.merge(deltas):
+            return False
+        for profile in pending:
+            profile.published_calls = profile.calls
+            profile.published_backedges = profile.backedges
+        return True
+
+    def adopt_heat(self, store: ProfileStore) -> List[str]:
+        """Warm this worker from the fleet's persisted heat.
+
+        Every registered function's counters are seeded with the merged
+        fleet heat (marked as already published, so this worker never
+        re-contributes it), and functions whose persisted score already
+        crosses the promotion threshold are compiled **now** in one
+        batch — against a warm artifact store that batch is pure loads,
+        so a fresh worker reaches the fleet's steady state before its
+        first request instead of re-discovering the hot set through
+        threshold-many generic calls per function.
+
+        Returns the installed names of the adopted hot set.
+        """
+        heat = store.load()
+        if not heat:
+            return []
+        hot = []
+        for entry in self.entries:
+            record = heat.get(profile_key(entry.generic, entry.key))
+            if record is None:
+                continue
+            profile = self.profiles[(entry.generic, entry.key)]
+            profile.calls += record["calls"]
+            profile.backedges += record["backedges"]
+            profile.published_calls += record["calls"]
+            profile.published_backedges += record["backedges"]
+            if profile.tier == 0 and \
+                    profile.score(self.backedge_weight) >= self.threshold:
+                hot.append(entry)
+        if not hot:
+            return []
+        return self.promote_all(entries=hot)
 
     # ------------------------------------------------------------------
     # Tier-0 profiling hook (VM call boundary).
@@ -359,6 +436,14 @@ class TieringController:
     # ------------------------------------------------------------------
     def _on_deopt(self, name: str) -> None:
         self.stats.deopts += 1
+        # The VM has just rolled its counters back to the pre-call
+        # snapshot, which can sit *below* the controller's backedge
+        # high-water mark; without a resync the next call boundary would
+        # compute a negative delta and drain heat from whichever profile
+        # happened to be most recent.
+        if self.vm is not None and \
+                self.vm.stats.backedges < self._backedges_seen:
+            self._backedges_seen = self.vm.stats.backedges
         profile = self._speculative.pop(name, None)
         if profile is None:
             # Already demoted (an in-flight frame hit the same retired

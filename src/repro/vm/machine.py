@@ -51,7 +51,20 @@ class GuardFailed(Exception):
     to the call entry (the verifier guarantees nothing observable
     happened before a guard), and deoptimizes: the call re-runs under
     the function's registered generic fallback.
+
+    ``function`` names the specialized function whose guard failed.
+    The call-boundary handler matches it against its own callee so a
+    failure propagating out of a *nested* guarded call (one with no
+    registered fallback of its own) is re-raised instead of mistaken
+    for the outer function's guard — by the time a nested call runs,
+    the outer function's entry guards have long passed and its body may
+    have observable effects, so rolling the outer call back would be
+    unsound.
     """
+
+    def __init__(self, function: str, message: Optional[str] = None):
+        super().__init__(message if message is not None else function)
+        self.function = function
 
 
 @dataclasses.dataclass
@@ -210,7 +223,14 @@ class VM:
         saved = self.stats.snapshot()
         try:
             return self._dispatch(name, args)
-        except GuardFailed:
+        except GuardFailed as exc:
+            if exc.function != name:
+                # A nested guarded call failed and had no fallback of
+                # its own: not this boundary's deopt.  Handling it here
+                # would re-run *this* function's generic body after its
+                # specialized body already executed side effects up to
+                # the nested call — double execution, not a rollback.
+                raise
             self.stats.restore(saved)
             if self.deopt_hook is not None:
                 self.deopt_hook(name)
@@ -493,6 +513,7 @@ class VM:
                 elif op == "guard":
                     if env[instr.args[0]] != instr.imm:
                         raise GuardFailed(
+                            func.name,
                             f"{func.name}: guard expected {instr.imm}, "
                             f"got {env[instr.args[0]]}")
                 else:

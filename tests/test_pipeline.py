@@ -40,6 +40,11 @@ from repro.pipeline import (
     SerializationError,
     function_from_dict,
     function_to_dict,
+    locked_write_json,
+    module_from_dict,
+    module_to_dict,
+    request_from_dict,
+    request_to_dict,
 )
 
 INTERP = """
@@ -173,6 +178,106 @@ class TestSerialization:
         mutilate(payload)
         with pytest.raises(SerializationError):
             function_from_dict(payload)
+
+    def test_duplicate_block_id_rejected(self):
+        """Duplicate block ids must read as corruption, not silently
+        last-write-wins into a different program."""
+        module = build_module()
+        engine = CompilationEngine(module)
+        func = engine.compile_batch(make_requests()[:1])[0].function
+        payload = function_to_dict(func)
+        payload["blocks"].append(dict(payload["blocks"][0]))
+        with pytest.raises(SerializationError, match="duplicate block"):
+            function_from_dict(payload)
+
+
+class TestRequestSerialization:
+    def _request(self):
+        from repro.core import SpeculatedConst
+        return SpecializationRequest(
+            "interp",
+            [SpecializedMemory(BASE_A, len(CODE_A) * 8),
+             SpecializedConst(len(CODE_A)), Runtime(), SpeculatedConst(9)],
+            specialized_name="spec_rt",
+            extra_const_memory=[(0x40, 16)])
+
+    def test_round_trip_preserves_identity(self):
+        request = self._request()
+        clone = request_from_dict(
+            json.loads(json.dumps(request_to_dict(request))))
+        assert clone == request
+        assert clone.cache_key() == request.cache_key()
+        assert clone.name() == request.name()
+
+    def test_default_name_round_trips(self):
+        request = dataclasses.replace(self._request(),
+                                      specialized_name=None)
+        clone = request_from_dict(request_to_dict(request))
+        assert clone.specialized_name is None
+        assert clone.name() == request.name()
+
+    @pytest.mark.parametrize("mutilate", [
+        lambda d: d.pop("args"),
+        lambda d: d["args"][0].update(t="mystery"),
+        lambda d: d["args"][1].update(value="NaN-ish"),
+        lambda d: d.update(extra_const_memory=[["x"]]),
+    ])
+    def test_malformed_request_raises(self, mutilate):
+        payload = request_to_dict(self._request())
+        mutilate(payload)
+        with pytest.raises(SerializationError):
+            request_from_dict(payload)
+
+
+class TestModuleSerialization:
+    def _module(self):
+        from repro.core import register_weval_imports
+        module = build_module()
+        register_weval_imports(module)
+        module.add_global("g0", 7)
+        module.add_table_entry("interp")
+        return module
+
+    def test_round_trip_preserves_compile_surface(self):
+        module = self._module()
+        clone = module_from_dict(
+            json.loads(json.dumps(module_to_dict(module))))
+        assert set(clone.functions) == set(module.functions)
+        for name, func in module.functions.items():
+            assert print_function(clone.functions[name], order="id") == \
+                print_function(func, order="id")
+        assert list(clone.imports) == list(module.imports)
+        for name, host in module.imports.items():
+            assert clone.imports[name].sig == host.sig
+        assert clone.table == module.table
+        assert clone.globals == module.globals
+        assert clone.memory_size == module.memory_size
+
+    def test_duplicate_function_name_rejected(self):
+        payload = module_to_dict(self._module())
+        payload["functions"].append(payload["functions"][0])
+        with pytest.raises(SerializationError, match="duplicate"):
+            module_from_dict(payload)
+
+    def test_duplicate_import_name_rejected(self):
+        payload = module_to_dict(self._module())
+        payload["imports"].append(payload["imports"][0])
+        with pytest.raises(SerializationError, match="duplicate"):
+            module_from_dict(payload)
+
+    def test_unknown_table_entry_rejected(self):
+        payload = module_to_dict(self._module())
+        payload["table"].append("no_such_function")
+        with pytest.raises(SerializationError):
+            module_from_dict(payload)
+
+    def test_deserialized_imports_refuse_to_run(self):
+        clone = module_from_dict(module_to_dict(self._module()))
+        from repro.vm import VM
+        vm = VM(clone)
+        host = next(iter(clone.imports.values()))
+        with pytest.raises(RuntimeError, match="not available"):
+            host.fn(vm)
 
 
 # ---------------------------------------------------------------------------
@@ -391,6 +496,47 @@ class TestParallelDeterminism:
             contents[jobs] = files
         assert contents[1] == contents[4]
 
+    def test_process_pool_matches_thread_pool(self, tmp_path):
+        """``pool="process"`` must leave byte-identical artifacts and
+        produce identical outputs at any worker count (the fleet's
+        scale-out correctness contract)."""
+        contents = {}
+        outputs_by_config = {}
+        for pool, jobs in (("thread", 1), ("process", 2), ("process", 4)):
+            cache_dir = tmp_path / f"{pool}-{jobs}"
+            _, outputs = run_snapshot(
+                SpecializeOptions(jobs=jobs, pool=pool, backend="py",
+                                  cache_dir=str(cache_dir)))
+            check_outputs(outputs)
+            outputs_by_config[(pool, jobs)] = outputs
+            files = {}
+            for sub in ("spec", "py"):
+                subdir = cache_dir / sub
+                for entry in sorted(os.listdir(subdir)):
+                    files[f"{sub}/{entry}"] = (subdir / entry).read_bytes()
+            contents[(pool, jobs)] = files
+        assert contents[("thread", 1)] == contents[("process", 2)] \
+            == contents[("process", 4)]
+        assert outputs_by_config[("thread", 1)] \
+            == outputs_by_config[("process", 2)] \
+            == outputs_by_config[("process", 4)]
+
+    def test_process_pool_warm_starts_from_store(self, tmp_path):
+        """Process-pool workers read the shared store: a warm second run
+        specializes zero functions in any pool flavor."""
+        options = SpecializeOptions(jobs=2, pool="process", backend="py",
+                                    cache_dir=str(tmp_path))
+        cold, _ = run_snapshot(options)
+        assert cold.engine.stats.functions_specialized == 2
+        warm, outputs = run_snapshot(options)
+        check_outputs(outputs)
+        assert warm.engine.stats.functions_specialized == 0
+        assert warm.engine.stats.artifact_hits == 2
+
+    def test_bad_pool_option_rejected(self):
+        with pytest.raises(ValueError, match="bad pool"):
+            SpecializeOptions(pool="fibers")
+
     def test_duplicate_requests_share_one_compile(self):
         module = build_module()
         cache = SpecializationCache()
@@ -545,3 +691,162 @@ class TestCrossProcessStore:
         func = module.functions["interp"]
         ok = store.store_residual(("k",), func, "text", "gfp", "mfp")
         assert not ok
+
+
+def _hammer_store_nofcntl(cache_dir: str, barrier, rounds: int) -> None:
+    """Like :func:`_hammer_store` but with the non-POSIX lock-free
+    fallback forced on (``fcntl = None``), exercising the degraded
+    write path under real cross-process contention."""
+    from repro.pipeline import artifacts
+    artifacts.fcntl = None
+    _hammer_store(cache_dir, barrier, rounds)
+
+
+class TestCrossProcessStoreNoFcntl:
+    """The non-POSIX fallback (no advisory locks): writes stay atomic
+    (temp file + rename) and reread-validated, so concurrent writers
+    may waste work but can never leave torn state behind."""
+
+    def test_two_lock_free_writers_leave_valid_store(self, tmp_path,
+                                                     monkeypatch):
+        import multiprocessing
+
+        from repro.pipeline import artifacts
+        monkeypatch.setattr(artifacts, "fcntl", None)
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        workers = [
+            ctx.Process(target=_hammer_store_nofcntl,
+                        args=(str(tmp_path), barrier, 4))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        options = SpecializeOptions(cache_dir=str(tmp_path), backend="py")
+        engine = CompilationEngine(build_module(), options)
+        results = engine.compile_batch(make_requests())
+        assert engine.stats.functions_specialized == 0
+        assert engine.stats.artifact_invalid == 0
+        assert all(r.artifact_hit for r in results)
+
+    def test_store_lock_is_inert_without_fcntl(self, tmp_path,
+                                               monkeypatch):
+        from repro.pipeline import artifacts
+        monkeypatch.setattr(artifacts, "fcntl", None)
+        lock = artifacts._StoreLock(str(tmp_path))
+        with lock:
+            assert lock._handle is None
+        assert not os.path.exists(os.path.join(str(tmp_path), ".lock"))
+
+
+# ---------------------------------------------------------------------------
+# _StoreLock lifecycle and the atomic-write failure paths.
+# ---------------------------------------------------------------------------
+class TestStoreLockLifecycle:
+    def test_handle_closes_when_body_raises(self, tmp_path):
+        from repro.pipeline.artifacts import _StoreLock
+        lock = _StoreLock(str(tmp_path))
+        with pytest.raises(RuntimeError, match="body"):
+            with lock:
+                handle = lock._handle
+                assert handle is not None and not handle.closed
+                raise RuntimeError("body")
+        assert lock._handle is None
+        assert handle.closed
+
+    def test_handle_closes_even_if_unlock_fails(self, tmp_path):
+        """An unlock error (here: the locked body closed the handle, so
+        LOCK_UN raises on the dead file) must neither leak the handle
+        nor raise out of ``__exit__``."""
+        from repro.pipeline.artifacts import _StoreLock
+        lock = _StoreLock(str(tmp_path))
+        with lock:
+            handle = lock._handle
+            handle.close()  # fileno() in LOCK_UN now raises ValueError
+        assert lock._handle is None
+        assert handle.closed
+
+    def test_unopenable_lock_degrades_to_lock_free(self, tmp_path):
+        """A cache_dir whose lock path cannot be opened (here it is a
+        directory) degrades to lock-free operation: the locked body
+        still runs, nothing raises."""
+        from repro.pipeline.artifacts import _StoreLock
+        os.mkdir(tmp_path / ".lock")
+        ran = []
+        lock = _StoreLock(str(tmp_path))
+        with lock:
+            ran.append(lock._handle)
+        assert ran == [None]
+
+    def test_reentry_after_degrade_is_clean(self, tmp_path):
+        """A degraded acquisition leaves no state that poisons the next
+        one: remove the blocker and the lock works again."""
+        from repro.pipeline.artifacts import _StoreLock
+        os.mkdir(tmp_path / ".lock")
+        lock = _StoreLock(str(tmp_path))
+        with lock:
+            pass
+        os.rmdir(tmp_path / ".lock")
+        with lock:
+            assert lock._handle is not None
+        assert lock._handle is None
+
+
+class TestAtomicWriteFailurePaths:
+    def _target(self, tmp_path):
+        return str(tmp_path / "entry.json")
+
+    def test_unwritable_directory_returns_false(self, tmp_path):
+        ok = locked_write_json(
+            str(tmp_path), str(tmp_path / "missing" / "entry.json"),
+            {"k": 1}, lambda path: True)
+        assert not ok
+
+    def test_unencodable_payload_cleans_up_temp(self, tmp_path):
+        ok = locked_write_json(str(tmp_path), self._target(tmp_path),
+                               {"k": object()}, lambda path: True)
+        assert not ok
+        leftovers = [f for f in os.listdir(str(tmp_path))
+                     if f.endswith(".tmp")]
+        assert leftovers == []
+        assert not os.path.exists(self._target(tmp_path))
+
+    def test_fdopen_failure_releases_fd_and_temp(self, tmp_path,
+                                                 monkeypatch):
+        seen = []
+        real_fdopen = os.fdopen
+
+        def failing_fdopen(fd, *args, **kwargs):
+            seen.append(fd)
+            raise OSError("simulated fdopen failure")
+
+        monkeypatch.setattr(os, "fdopen", failing_fdopen)
+        ok = locked_write_json(str(tmp_path), self._target(tmp_path),
+                               {"k": 1}, lambda path: True)
+        monkeypatch.setattr(os, "fdopen", real_fdopen)
+        assert not ok
+        assert len(seen) == 1
+        # The raw fd was closed on the failure path.
+        with pytest.raises(OSError):
+            os.fstat(seen[0])
+        assert [f for f in os.listdir(str(tmp_path))
+                if f.endswith(".tmp")] == []
+
+    def test_validation_failure_reports_false(self, tmp_path):
+        ok = locked_write_json(str(tmp_path), self._target(tmp_path),
+                               {"k": 1}, lambda path: False)
+        assert not ok
+
+    def test_success_round_trip(self, tmp_path):
+        target = self._target(tmp_path)
+
+        def validate(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle) == {"k": 1}
+
+        assert locked_write_json(str(tmp_path), target, {"k": 1}, validate)
+        assert [f for f in os.listdir(str(tmp_path))
+                if f.endswith(".tmp")] == []

@@ -161,6 +161,149 @@ class TestDeopt:
 
 
 # ---------------------------------------------------------------------------
+# Nested deopt: a guard failure inside another guarded frame.
+# ---------------------------------------------------------------------------
+
+_COUNTER = 256  # heap cell outer bumps before calling inner (side effect)
+
+
+def _nested_inner(name, guarded):
+    """x -> x + 1, optionally behind ``guard x == 7``."""
+    func = Function(name, Signature((I64,), (I64,)))
+    entry = func.new_block()
+    func.entry = entry.id
+    x = func.new_value(I64)
+    entry.params = [(x, I64)]
+    func.value_types[x] = I64
+    if guarded:
+        entry.instrs.append(Instr("guard", None, (x,), 7, None))
+    one = func.new_value(I64)
+    entry.instrs.append(Instr("iconst", one, (), 1, I64))
+    result = func.new_value(I64)
+    entry.instrs.append(Instr("iadd", result, (x, one), None, I64))
+    entry.terminator = Ret((result,))
+    return func
+
+
+def _nested_outer(name, guarded):
+    """y -> inner_spec(y) + 10, bumping the _COUNTER cell first.
+
+    The counter store is the observable side effect that must NOT run
+    twice when the *inner* call's guard fails."""
+    func = Function(name, Signature((I64,), (I64,)))
+    entry = func.new_block()
+    func.entry = entry.id
+    y = func.new_value(I64)
+    entry.params = [(y, I64)]
+    func.value_types[y] = I64
+    if guarded:
+        entry.instrs.append(Instr("guard", None, (y,), 3, None))
+    addr = func.new_value(I64)
+    entry.instrs.append(Instr("iconst", addr, (), _COUNTER, I64))
+    cur = func.new_value(I64)
+    entry.instrs.append(Instr("load64", cur, (addr,), 0, I64))
+    one = func.new_value(I64)
+    entry.instrs.append(Instr("iconst", one, (), 1, I64))
+    bumped = func.new_value(I64)
+    entry.instrs.append(Instr("iadd", bumped, (cur, one), None, I64))
+    entry.instrs.append(Instr("store64", None, (addr, bumped), 0, None))
+    inner = func.new_value(I64)
+    entry.instrs.append(Instr("call", inner, (y,), "inner_spec", I64))
+    ten = func.new_value(I64)
+    entry.instrs.append(Instr("iconst", ten, (), 10, I64))
+    result = func.new_value(I64)
+    entry.instrs.append(Instr("iadd", result, (inner, ten), None, I64))
+    entry.terminator = Ret((result,))
+    return func
+
+
+def _nested_module():
+    from repro.ir.module import Module
+    module = Module(memory_size=4096)
+    module.add_function(_nested_inner("inner_gen", guarded=False))
+    module.add_function(_nested_inner("inner_spec", guarded=True))
+    module.add_function(_nested_outer("outer_gen", guarded=False))
+    module.add_function(_nested_outer("outer_spec", guarded=True))
+    return module
+
+
+class TestNestedDeopt:
+    """GuardFailed unwinding out of a guarded call *nested inside
+    another guarded frame* must deopt the inner boundary (or propagate
+    loudly), never roll back the outer frame — by the time the nested
+    call runs, the outer body's side effects are already observable."""
+
+    def _install_compiled(self, vm, module, names):
+        from repro.backend import compile_function
+        vm.install_compiled({
+            name: compile_function(module.functions[name], module).pyfunc
+            for name in names})
+
+    @pytest.mark.parametrize("backend", ["vm", "py"])
+    def test_inner_deopt_leaves_outer_frame_alone(self, backend):
+        """Both boundaries registered: the inner guard failure deopts at
+        the inner boundary; the outer specialized frame completes with
+        its side effect executed exactly once, and the result matches
+        the fully generic execution."""
+        module = _nested_module()
+        ref_vm = VM(_nested_module())
+        ref_vm.deopt_fallbacks["inner_spec"] = "inner_gen"
+        expected = ref_vm.call("outer_gen", [3])
+
+        vm = VM(module)
+        vm.deopt_fallbacks["outer_spec"] = "outer_gen"
+        vm.deopt_fallbacks["inner_spec"] = "inner_gen"
+        if backend == "py":
+            self._install_compiled(vm, module,
+                                   ["outer_spec", "inner_spec"])
+        deopts = []
+        vm.deopt_hook = deopts.append
+        assert vm.call("outer_spec", [3]) == expected
+        assert deopts == ["inner_spec"]  # inner boundary, exactly once
+        assert vm.load_u64(_COUNTER) == 1  # outer side effect not redone
+
+    @pytest.mark.parametrize("backend", ["vm", "py"])
+    def test_foreign_guard_failure_is_reraised(self, backend):
+        """Inner boundary unregistered: its failure must propagate out
+        of the outer guarded frame, not masquerade as the outer guard
+        failing (which would re-run the outer body's side effects)."""
+        module = _nested_module()
+        vm = VM(module)
+        vm.deopt_fallbacks["outer_spec"] = "outer_gen"
+        if backend == "py":
+            self._install_compiled(vm, module,
+                                   ["outer_spec", "inner_spec"])
+        deopts = []
+        vm.deopt_hook = deopts.append
+        with pytest.raises(GuardFailed) as excinfo:
+            vm.call("outer_spec", [3])
+        assert excinfo.value.function == "inner_spec"
+        assert deopts == []  # the outer boundary did not claim it
+        assert vm.load_u64(_COUNTER) == 1  # outer body ran exactly once
+
+    def test_counter_rollback_scoped_to_inner_call(self):
+        """Fuel/load/store rollback on a nested deopt covers only the
+        inner call: the run is counter-identical to one where the inner
+        function was never specialized."""
+        module = _nested_module()
+        ref_vm = VM(module)
+        ref_vm.deopt_fallbacks["outer_spec"] = "outer_gen"
+        # Reference: outer specialized, inner generic from the start.
+        ref_module = _nested_module()
+        ref_module.functions["inner_spec"] = \
+            _nested_inner("inner_spec", guarded=False)
+        ref = VM(ref_module)
+        expected = ref.call("outer_spec", [3])
+        vm = VM(module)
+        vm.deopt_fallbacks["outer_spec"] = "outer_gen"
+        vm.deopt_fallbacks["inner_spec"] = "inner_gen"
+        assert vm.call("outer_spec", [3]) == expected
+        # Identical up to the inner guard's own (rolled back) fuel.
+        assert vm.stats.loads == ref.stats.loads
+        assert vm.stats.stores == ref.stats.stores
+
+
+# ---------------------------------------------------------------------------
 # Controller policy.
 # ---------------------------------------------------------------------------
 
