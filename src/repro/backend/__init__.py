@@ -16,21 +16,27 @@ express fall back to the IR VM per function.
 from repro.backend.emitter import (
     BackendError,
     CompiledFunction,
+    EMIT_MODES,
     PyEmitter,
+    StructuredEmitter,
     UnsupportedConstruct,
     compile_function,
     compile_functions,
     compile_python_source,
+    emit_function_source,
 )
 from repro.backend.runtime import BACKEND_GLOBALS
 
 __all__ = [
     "BackendError",
     "CompiledFunction",
+    "EMIT_MODES",
     "PyEmitter",
+    "StructuredEmitter",
     "UnsupportedConstruct",
     "compile_function",
     "compile_functions",
     "compile_python_source",
+    "emit_function_source",
     "BACKEND_GLOBALS",
 ]

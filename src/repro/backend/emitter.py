@@ -21,17 +21,35 @@ observable semantics:
   can call each other freely (the VM consults its ``compiled`` table on
   every call).
 
-Control flow: blocks are renumbered in reverse-postorder, scheduled
-into fall-through *chains*, and dispatched inside a ``while True`` loop
-through a binary decision tree over the block index ``_b`` (depth
-``log2(n)``), with block-parameter passing as parallel tuple
-assignment.  A chain is a run of blocks linked by unconditional jumps
-(RPO-forward, so loop backedges still dispatch); the linked blocks are
-laid out consecutively and the jump between them costs one ``_b <= k``
-compare instead of a full dispatch round trip — entering a chain
-mid-way (from some other predecessor) still works, because every block
-keeps its dispatch index and the per-member guards skip the members
-before it.  Anything the emitter cannot express raises
+Two emission modes share the per-instruction lowering:
+
+* **dispatch** (:class:`PyEmitter`) — blocks are renumbered in
+  reverse-postorder, scheduled into fall-through *chains*, and
+  dispatched inside a ``while True`` loop through a binary decision
+  tree over the block index ``_b`` (depth ``log2(n)``), with
+  block-parameter passing as parallel tuple assignment.  A chain is a
+  run of blocks linked by unconditional jumps (RPO-forward, so loop
+  backedges still dispatch); the linked blocks are laid out
+  consecutively and the jump between them costs one ``_b <= k``
+  compare instead of a full dispatch round trip.
+
+* **structured** (:class:`StructuredEmitter`, the default) — a
+  relooper-style reconstruction: strongly-connected components of the
+  CFG become native ``while True:`` loops (backedges are ``continue``),
+  join points become single-shot ``while True:`` *scopes* whose
+  ``break`` lands exactly where the join's code starts, and multi-level
+  exits unwind through a ``_st`` state variable checked once per scope
+  boundary.  Fuel and counter accounting is batched in Python locals
+  (``_fu``/``_ld``/``_sd``/``_cl``) committed to ``vm.stats`` in a
+  function-level ``finally`` and flushed before every guest call, so
+  every observable total (call boundaries, the per-block fuel-limit
+  check, final stats) is bit-identical to the VM's per-instruction
+  accounting.  Irreducible SCCs (multi-entry cycles) fall back
+  *per-region* to a local dispatch tree over ``_b``; a region that
+  would nest past CPython's indentation limit falls back to the
+  dispatch emitter for the whole function.
+
+Anything the emitter cannot express raises
 :class:`UnsupportedConstruct`; callers fall back to the VM per function.
 """
 
@@ -61,6 +79,15 @@ class BackendError(Exception):
 class UnsupportedConstruct(BackendError):
     """This function uses a construct the emitter cannot compile; the
     caller should run it on the IR VM instead."""
+
+
+class _StructureTooDeep(BackendError):
+    """Structured emission would exceed CPython's indentation limit;
+    the caller falls back to dispatch-mode emission for this function
+    (internal — never escapes :func:`compile_function`)."""
+
+
+EMIT_MODES = ("structured", "dispatch")
 
 
 MASK_HEX = "0xFFFFFFFFFFFFFFFF"
@@ -118,6 +145,13 @@ class CompiledFunction:
     # jumps became plain fall-through.
     dispatch_blocks: int = 0
     fallthrough_links: int = 0
+    # Which emitter actually produced ``source`` ("structured" or
+    # "dispatch" — the latter either by request or as the too-deep
+    # fallback), and how much of the function the structured emitter
+    # had to leave to per-region dispatch (irreducible SCCs).
+    emit_mode: str = "dispatch"
+    dispatch_regions: int = 0
+    dispatch_region_blocks: int = 0
 
 
 class PyEmitter:
@@ -562,6 +596,595 @@ class PyEmitter:
             f"{self.func.name}: unsupported opcode {op!r}")
 
 
+# ---------------------------------------------------------------------------
+# Structured (relooper-style) emission.
+# ---------------------------------------------------------------------------
+
+class _BlockUnit:
+    """One straight-line block at its region level."""
+
+    kind = "block"
+
+    def __init__(self, bid: int):
+        self.bid = bid
+        self.label = bid
+        self.labels = (bid,)
+        self.members = frozenset((bid,))
+
+
+class _LoopUnit:
+    """A single-entry SCC: a native loop.  ``sub`` is the region tree of
+    the loop body with the backedges to ``header`` cut."""
+
+    kind = "loop"
+
+    def __init__(self, header: int, sub: List[object],
+                 members: frozenset):
+        self.header = header
+        self.sub = sub
+        self.label = header
+        self.labels = (header,)
+        self.members = members
+
+
+class _DispatchUnit:
+    """A multi-entry (irreducible) SCC: emitted flat as a region-local
+    dispatch tree over ``_b``.  ``fall_entry`` is set when this region
+    contains its level's entry block (control falls in without a branch
+    having initialized ``_b``)."""
+
+    kind = "dispatch"
+
+    def __init__(self, entries: List[int], members_sorted: List[int],
+                 fall_entry: Optional[int]):
+        self.entries = entries
+        self.members_list = members_sorted
+        self.label = entries[0]
+        self.labels = tuple(entries)
+        self.members = frozenset(members_sorted)
+        self.fall_entry = fall_entry
+        self.idx = {bid: i for i, bid in enumerate(members_sorted)}
+        # Arriving branches assign ``_b`` through the unit's merge scope.
+        self.entry_idx = {lab: self.idx[lab] for lab in entries}
+
+
+class _Scope:
+    """One open ``while True:`` on the emission stack.
+
+    * ``merge`` — a single-shot scope whose ``break`` lands at the start
+      of the scoped unit's code (``labels`` are that unit's entry
+      labels; ``token`` is the canonical ``_st`` arrival value).
+    * ``loop`` — a real loop; branching to ``token`` (the header) is
+      ``continue``.
+    * ``dispatch`` — an irreducible region's dispatch loop; ``labels``
+      are all region members and ``idx`` maps them to ``_b`` values.
+    """
+
+    __slots__ = ("kind", "labels", "token", "idx", "st_mark")
+
+    def __init__(self, kind: str, labels, token: int,
+                 idx: Optional[Dict[int, int]] = None):
+        self.kind = kind
+        self.labels = frozenset(labels)
+        self.token = token
+        self.idx = idx
+        self.st_mark = 0
+
+
+def _tarjan_sccs(succs: Dict[int, List[int]], entry: int
+                 ) -> List[List[int]]:
+    """Iterative Tarjan over ``succs`` from ``entry``; SCCs are returned
+    in reverse topological order of the condensation."""
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    onstack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 0
+    work: List[List[int]] = [[entry, 0]]
+    while work:
+        frame = work[-1]
+        v, child = frame
+        if child == 0:
+            index[v] = low[v] = counter
+            counter += 1
+            stack.append(v)
+            onstack.add(v)
+        targets = succs[v]
+        descended = False
+        while child < len(targets):
+            w = targets[child]
+            child += 1
+            if w not in index:
+                frame[1] = child
+                work.append([w, 0])
+                descended = True
+                break
+            if w in onstack:
+                low[v] = min(low[v], index[w])
+        if descended:
+            continue
+        work.pop()
+        if work:
+            parent = work[-1][0]
+            low[parent] = min(low[parent], low[v])
+        if low[v] == index[v]:
+            scc = []
+            while True:
+                w = stack.pop()
+                onstack.discard(w)
+                scc.append(w)
+                if w == v:
+                    break
+            sccs.append(scc)
+    return sccs
+
+
+# Indentation budget: CPython's parser rejects nesting around 100
+# levels; leave generous headroom for the skeleton and peepholes.
+_MAX_DEPTH = 88
+
+
+class StructuredEmitter(PyEmitter):
+    """Relooper-style structured emission (see the module docstring).
+
+    ``batch_fuel=False`` keeps the structured control flow but charges
+    ``vm.stats`` directly per segment like the dispatch emitter — an
+    ablation knob for benchmarking how much of the win is structure vs
+    counter batching; artifacts never cache unbatched output.
+    """
+
+    def __init__(self, func: Function, module: Optional[Module] = None,
+                 batch_fuel: bool = True):
+        super().__init__(func, module)
+        self.batch_fuel = batch_fuel
+        self.dispatch_regions = 0
+        self.dispatch_region_blocks = 0
+
+    # ------------------------------------------------------------------
+    # Region tree construction.
+    # ------------------------------------------------------------------
+    def _region_units(self, nodes: frozenset, entry: int,
+                      cut: frozenset) -> List[object]:
+        """Decompose ``nodes`` (minus ``cut`` edges) into a topologically
+        ordered list of units: blocks, single-entry loops (recursively
+        decomposed with their backedges cut), and irreducible
+        multi-entry regions left flat for per-region dispatch."""
+        succs = {
+            b: [t for t in dict.fromkeys(self._succ_raw[b])
+                if t in nodes and (b, t) not in cut]
+            for b in nodes
+        }
+        preds: Dict[int, List[int]] = {b: [] for b in nodes}
+        for b, targets in succs.items():
+            for t in targets:
+                preds[t].append(b)
+        units: List[object] = []
+        for scc in reversed(_tarjan_sccs(succs, entry)):
+            members = frozenset(scc)
+            if len(scc) == 1 and scc[0] not in succs[scc[0]]:
+                units.append(_BlockUnit(scc[0]))
+                continue
+            entries = sorted(
+                (m for m in members
+                 if m == entry or any(p not in members for p in preds[m])),
+                key=self._rpo_pos.get)
+            if len(entries) == 1:
+                header = entries[0]
+                sub_cut = cut | {
+                    (b, header) for b in members
+                    if header in self._succ_raw[b]}
+                sub = self._region_units(members, header, sub_cut)
+                units.append(_LoopUnit(header, sub, members))
+            else:
+                units.append(_DispatchUnit(
+                    entries, sorted(members, key=self._rpo_pos.get),
+                    entry if entry in members else None))
+        return units
+
+    # ------------------------------------------------------------------
+    # Line assembly helpers.
+    # ------------------------------------------------------------------
+    def _line(self, text: str) -> None:
+        if self._depth > _MAX_DEPTH:
+            raise _StructureTooDeep(
+                f"{self.func.name}: structured nesting exceeds "
+                f"{_MAX_DEPTH} levels")
+        self._lines.append(_INDENT * self._depth + text)
+
+    def _push_scope(self, scope: _Scope) -> None:
+        scope.st_mark = self._st_sets
+        self._scopes.append(scope)
+        self._line("while True:")
+        self._depth += 1
+
+    def _close_scope(self) -> None:
+        """End the innermost scope's ``while`` and emit its landing:
+        arrival routing for the ``_st`` unwinding protocol.  Elided
+        entirely when no ``_st`` was set inside the scope (only plain
+        one-level breaks arrived, which simply fall through)."""
+        scope = self._scopes.pop()
+        self._depth -= 1
+        if self._st_sets == scope.st_mark:
+            return
+        outer = self._scopes[-1] if self._scopes else None
+        route: List[Tuple[str, str]] = []
+        if outer is not None and outer.kind == "loop":
+            route.append((f"_st == {outer.token}", "_st = -1; continue"))
+        elif outer is not None and outer.kind == "dispatch":
+            # Clearing the token falls out of the region tree arm to the
+            # dispatch loop's end, re-dispatching on the already-set _b.
+            route.append((f"_st == {outer.token}", "_st = -1"))
+        if scope.kind == "merge":
+            self._line("if _st != -1:")
+            self._depth += 1
+            self._line(f"if _st == {scope.token}: _st = -1")
+            for cond, action in route:
+                self._line(f"elif {cond}: {action}")
+            if outer is not None:
+                self._line("else: break")
+            self._depth -= 1
+        else:
+            if route:
+                cond, action = route[0]
+                self._line(f"if {cond}: {action}")
+                if outer is not None:
+                    self._line("else: break")
+            elif outer is not None:
+                self._line("break")
+
+    # ------------------------------------------------------------------
+    # Transfers (branch edges) under the scope stack.
+    # ------------------------------------------------------------------
+    def _transfer(self, call: BlockCall) -> None:
+        target = self.func.blocks[call.block]
+        pairs = [(param, arg)
+                 for (param, _), arg in zip(target.params, call.args)
+                 if param != arg]
+        if pairs:
+            lhs = ", ".join(f"v{param}" for param, _ in pairs)
+            rhs = ", ".join(f"v{arg}" for _, arg in pairs)
+            self._line(f"{lhs} = {rhs}")
+        label = call.block
+        inline = self._inline_map.pop(label, None)
+        if inline is not None:
+            self._emit_unit(inline)
+            return
+        for levels_up, scope in enumerate(reversed(self._scopes)):
+            if label not in scope.labels:
+                continue
+            if scope.idx is not None:
+                self._line(f"_b = {scope.idx[label]}")
+            if levels_up == 0:
+                if scope.kind == "loop":
+                    self._line("continue")
+                elif scope.kind == "merge":
+                    self._line("break")
+                else:
+                    # Region-internal edge: fall out of the tree arm to
+                    # the dispatch loop's end, which re-dispatches.
+                    self._line(f"# -> block{label}")
+            else:
+                self._st_sets += 1
+                self._line(f"_st = {scope.token}")
+                self._line("break")
+            return
+        raise BackendError(
+            f"{self.func.name}: unresolved branch to block{label}")
+
+    # ------------------------------------------------------------------
+    # Unit sequences (one region level).
+    # ------------------------------------------------------------------
+    def _emit_seq(self, units: List[object]) -> None:
+        label_of: Dict[int, object] = {}
+        owner: Dict[int, object] = {}
+        for u in units:
+            for lab in u.labels:
+                label_of[lab] = u
+            for b in u.members:
+                owner[b] = u
+        # Branch edges into each unit's labels, with multiplicity, from
+        # anywhere in this level's subgraph outside the target unit
+        # (intra-unit edges are loop backedges / region-internal).
+        in_edges: Dict[int, List[int]] = {lab: [] for lab in label_of}
+        for u in units:
+            for b in u.members:
+                for t in self._succ_raw[b]:
+                    tu = label_of.get(t)
+                    if tu is None or tu is u:
+                        continue
+                    in_edges[t].append(b)
+        # A non-entry unit with exactly one incoming branch is emitted
+        # inline at that branch site (classic relooper "simple" shape);
+        # the rest stay in sequence behind merge scopes.
+        scoped = [units[0]]
+        for u in units[1:]:
+            if (u.kind != "dispatch"
+                    and len(in_edges[u.label]) == 1):
+                self._inline_map[u.label] = u
+            else:
+                scoped.append(u)
+        unit_pos = {id(u): i for i, u in enumerate(scoped)}
+
+        def host_pos(block: int) -> int:
+            u = owner[block]
+            while id(u) not in unit_pos:
+                # Inlined units live at their single branch site's host.
+                u = owner[in_edges[u.label][0]]
+            return unit_pos[id(u)]
+
+        # Merge-scope intervals: scope i spans [start_i, i), opening
+        # before the earliest unit that branches to unit i and closing
+        # right where unit i's code begins.  Partial overlaps are fixed
+        # by extending starts outward until the intervals nest.
+        starts: Dict[int, int] = {}
+        for i in range(1, len(scoped)):
+            u = scoped[i]
+            starts[i] = min(host_pos(src)
+                            for lab in u.labels for src in in_edges[lab])
+        for j in sorted(starts):
+            changed = True
+            while changed:
+                changed = False
+                for k in range(1, j):
+                    if starts[k] < starts[j] < k:
+                        starts[j] = starts[k]
+                        changed = True
+        opens: Dict[int, List[int]] = {}
+        for i, start in starts.items():
+            opens.setdefault(start, []).append(i)
+        for group in opens.values():
+            group.sort(reverse=True)  # longest-lived scope outermost
+        for i, u in enumerate(scoped):
+            if i >= 1:
+                self._close_scope()
+            for j in opens.get(i, ()):
+                target = scoped[j]
+                self._push_scope(_Scope(
+                    "merge", target.labels, target.label,
+                    getattr(target, "entry_idx", None)))
+            self._emit_unit(u, is_level_entry=(i == 0))
+
+    def _emit_unit(self, u: object, is_level_entry: bool = False) -> None:
+        if u.kind == "block":
+            self._line(f"# block{u.bid}")
+            self._emit_structured_block(self.func.blocks[u.bid])
+        elif u.kind == "loop":
+            self._push_scope(_Scope("loop", u.labels, u.header))
+            self._emit_seq(u.sub)
+            self._close_scope()
+        else:
+            self._emit_dispatch_region(u, is_level_entry)
+
+    # ------------------------------------------------------------------
+    # Irreducible regions: per-region dispatch fallback.
+    # ------------------------------------------------------------------
+    def _emit_dispatch_region(self, u: _DispatchUnit,
+                              is_level_entry: bool) -> None:
+        self.dispatch_regions += 1
+        self.dispatch_region_blocks += len(u.members_list)
+        idx = u.idx
+        # Entering branches assign _b before unwinding here; only a
+        # fall-in at the region's own level entry needs initialization.
+        if is_level_entry:
+            if u.fall_entry is None:
+                raise BackendError(
+                    f"{self.func.name}: irreducible region entered by "
+                    f"fall-through without an entry block")
+            self._line(f"_b = {idx[u.fall_entry]}")
+        token = -(2 + self.dispatch_regions)
+        self._push_scope(_Scope("dispatch", u.members, token, idx))
+        self._emit_region_tree(u.members_list, idx)
+        self._close_scope()
+
+    def _emit_region_tree(self, members: List[int],
+                          idx: Dict[int, int]) -> None:
+        if len(members) == 1:
+            bid = members[0]
+            self._line(f"# block{bid} [_b={idx[bid]}]")
+            self._emit_structured_block(self.func.blocks[bid])
+            return
+        mid = len(members) // 2
+        self._line(f"if _b < {idx[members[mid]]}:")
+        self._depth += 1
+        self._emit_region_tree(members[:mid], idx)
+        self._depth -= 1
+        self._line("else:")
+        self._depth += 1
+        self._emit_region_tree(members[mid:], idx)
+        self._depth -= 1
+
+    # ------------------------------------------------------------------
+    # Blocks and terminators under batched counters.
+    # ------------------------------------------------------------------
+    def _fuel_add(self, amount: int) -> str:
+        if self.batch_fuel:
+            return f"_fu += {amount}"
+        return f"S.fuel += {amount}"
+
+    def _flush_lines(self, pending: int) -> List[str]:
+        """Commit batched counters before a guest call so the callee
+        (and any fuel-limit check it runs) sees the VM's exact totals;
+        ``pending`` is the fuel for the current segment, through the
+        call instruction itself."""
+        if not self.batch_fuel:
+            return [f"S.fuel += {pending}"]
+        lines = [f"S.fuel += _fu + {pending}; _fu = 0" if pending
+                 else "S.fuel += _fu; _fu = 0"]
+        for attr, local in self._counter_locals:
+            lines.append(f"S.{attr} += {local}; {local} = 0")
+        return lines
+
+    def _emit_structured_block(self, block: Block) -> None:
+        counters = {"loads": 0, "stores": 0, "calls": 0}
+        body: List[str] = []
+        segment: List[str] = []
+        pending = 0
+        for instr in block.instrs:
+            segment.extend(self._emit_instr(instr, counters))
+            pending += 1
+            if instr.op in ("call", "call_indirect"):
+                body.extend(self._flush_lines(pending))
+                body.extend(segment)
+                segment = []
+                pending = 0
+        if pending:
+            body.append(self._fuel_add(pending))
+        body.extend(segment)
+        head: List[str] = []
+        for attr, local in (("loads", "_ld"), ("stores", "_sd"),
+                            ("calls", "_cl")):
+            if counters[attr]:
+                if self.batch_fuel:
+                    head.append(f"{local} += {counters[attr]}")
+                else:
+                    head.append(f"S.{attr} += {counters[attr]}")
+        for raw in head:
+            self._line(raw)
+        for raw in body:
+            self._line(raw)
+        # Same boundary the VM checks at: after the block's instructions,
+        # before charging the terminator.
+        if self.batch_fuel:
+            self._line('if _L is not None and S.fuel + _fu > _L: '
+                       'raise OutOfFuel("fuel limit %d exceeded" % _L)')
+        else:
+            self._line('if _L is not None and S.fuel > _L: '
+                       'raise OutOfFuel("fuel limit %d exceeded" % _L)')
+        self._line(self._fuel_add(1))
+        term = block.terminator
+        if isinstance(term, Jump):
+            self._transfer(term.target)
+        elif isinstance(term, BrIf):
+            self._line(f"if v{term.cond}:")
+            self._depth += 1
+            self._transfer(term.if_true)
+            self._depth -= 1
+            self._line("else:")
+            self._depth += 1
+            self._transfer(term.if_false)
+            self._depth -= 1
+        elif isinstance(term, BrTable):
+            if not term.cases:
+                self._transfer(term.default)
+                return
+            self._line(f"_i = v{term.index}")
+            for pos, call in enumerate(term.cases):
+                self._line(f"{'if' if pos == 0 else 'elif'} _i == {pos}:")
+                self._depth += 1
+                self._transfer(call)
+                self._depth -= 1
+            self._line("else:")
+            self._depth += 1
+            self._transfer(term.default)
+            self._depth -= 1
+        elif isinstance(term, Ret):
+            if term.args:
+                self._line(f"return v{term.args[0]}")
+            else:
+                self._line("return None")
+        elif isinstance(term, Trap):
+            self._line(f"raise VMTrap({term.message!r})")
+        else:
+            raise UnsupportedConstruct(
+                f"{self.func.name}: block{block.id} has no terminator")
+
+    # ------------------------------------------------------------------
+    # Source assembly.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _peephole(lines: List[str]) -> List[str]:
+        """Merge adjacent ``_fu += a`` statements in the same suite —
+        a terminator charge followed by an inlined successor's first
+        segment charge, with no observable point between them."""
+        import re
+        pat = re.compile(r"^(\s*)_fu \+= (\d+)$")
+        out: List[str] = []
+        for line in lines:
+            m = pat.match(line)
+            if m and out:
+                prev = pat.match(out[-1])
+                if prev and prev.group(1) == m.group(1):
+                    total = int(prev.group(2)) + int(m.group(2))
+                    out[-1] = f"{m.group(1)}_fu += {total}"
+                    continue
+            out.append(line)
+        return out
+
+    def emit_source(self) -> str:
+        func = self.func
+        rpo = self._block_order()
+        self._rpo_pos = {bid: i for i, bid in enumerate(rpo)}
+        self._succ_raw = {
+            bid: [c.block for c in
+                  func.blocks[bid].terminator.targets()]
+            for bid in rpo}
+        units = self._region_units(frozenset(rpo), func.entry,
+                                   frozenset())
+        # Counter locals that exist at all, known before the first
+        # flush site is emitted.
+        used_counters: Set[str] = set()
+        for bid in rpo:
+            for instr in func.blocks[bid].instrs:
+                op = instr.op
+                if op in ("load64", "loadf64") or op in _SIZED_LOADS:
+                    used_counters.add("loads")
+                elif op in ("store64", "storef64") or op in _SIZED_STORES:
+                    used_counters.add("stores")
+                elif op == "call":
+                    used_counters.add("calls")
+        self._counter_locals = [
+            (attr, local)
+            for attr, local in (("loads", "_ld"), ("stores", "_sd"),
+                                ("calls", "_cl"))
+            if attr in used_counters]
+
+        self._lines = []
+        self._depth = 2 if self.batch_fuel else 1
+        self._scopes: List[_Scope] = []
+        self._inline_map: Dict[int, object] = {}
+        self._st_sets = 0
+        self.dispatch_regions = 0
+        self.dispatch_region_blocks = 0
+        self._emit_seq(units)
+        assert not self._scopes and not self._inline_map
+        body = self._peephole(self._lines) if self.batch_fuel \
+            else self._lines
+
+        lines: List[str] = []
+        lines.append(f"# {func.name}{func.sig} — compiled from residual "
+                     f"IR by repro.backend.StructuredEmitter")
+        lines.append("def _compiled(vm, *_args):")
+        entry = func.entry_block()
+        nparams = len(entry.params)
+        lines.append(f"{_INDENT}if len(_args) != {nparams}:")
+        lines.append(
+            f'{_INDENT * 2}raise VMTrap("{func.name}: expected {nparams} '
+            f'args, got %d" % len(_args))')
+        if nparams:
+            names = ", ".join(f"v{v}" for v, _ in entry.params)
+            trailing = "," if nparams == 1 else ""
+            lines.append(f"{_INDENT}{names}{trailing} = _args")
+        for binding in self._preamble():
+            lines.append(_INDENT + binding)
+        if self.batch_fuel:
+            lines.append(f"{_INDENT}_fu = 0")
+            for _, local in self._counter_locals:
+                lines.append(f"{_INDENT}{local} = 0")
+        if self._st_sets:
+            lines.append(f"{_INDENT}_st = -1")
+        if self.batch_fuel:
+            lines.append(f"{_INDENT}try:")
+            lines.extend(body)
+            lines.append(f"{_INDENT}finally:")
+            lines.append(f"{_INDENT * 2}S.fuel += _fu")
+            for attr, local in self._counter_locals:
+                lines.append(f"{_INDENT * 2}S.{attr} += {local}")
+        else:
+            lines.extend(body)
+        return "\n".join(lines) + "\n"
+
+
 def compile_python_source(name: str, source: str) -> Callable:
     """``compile()``/``exec()`` emitted backend source into a callable.
 
@@ -582,23 +1205,58 @@ def compile_python_source(name: str, source: str) -> Callable:
     return pyfunc
 
 
+def emit_function_source(func: Function,
+                         module: Optional[Module] = None,
+                         mode: str = "structured",
+                         batch_fuel: bool = True) -> Tuple[str, str, object]:
+    """Emit Python source for ``func`` in the requested mode.
+
+    Returns ``(source, mode_used, emitter)``.  Structured emission that
+    would nest past CPython's indentation limit falls back to the
+    dispatch emitter for the whole function (``mode_used`` reports what
+    actually happened — the fallback is deterministic, so cached
+    sources stay stable).
+    """
+    if mode not in EMIT_MODES:
+        raise BackendError(f"unknown emit mode {mode!r}")
+    if mode == "structured":
+        emitter = StructuredEmitter(func, module, batch_fuel=batch_fuel)
+        try:
+            return emitter.emit_source(), "structured", emitter
+        except _StructureTooDeep:
+            pass
+    emitter = PyEmitter(func, module)
+    return emitter.emit_source(), "dispatch", emitter
+
+
 def compile_function(func: Function,
-                     module: Optional[Module] = None) -> CompiledFunction:
+                     module: Optional[Module] = None,
+                     mode: str = "structured",
+                     batch_fuel: bool = True) -> CompiledFunction:
     """Lower one verified IR function to a Python callable.
 
     Raises :class:`UnsupportedConstruct` when the function cannot be
     compiled; callers should fall back to the IR VM for that function.
     """
-    emitter = PyEmitter(func, module)
-    source = emitter.emit_source()
-    return CompiledFunction(func.name, source,
-                            compile_python_source(func.name, source),
-                            dispatch_blocks=emitter.dispatch_blocks,
-                            fallthrough_links=emitter.fallthrough_links)
+    source, mode_used, emitter = emit_function_source(
+        func, module, mode, batch_fuel)
+    return CompiledFunction(
+        func.name, source,
+        compile_python_source(func.name, source),
+        dispatch_blocks=getattr(emitter, "dispatch_blocks", 0),
+        fallthrough_links=getattr(emitter, "fallthrough_links", 0),
+        emit_mode=mode_used,
+        dispatch_regions=getattr(emitter, "dispatch_regions", 0)
+        if mode_used == "structured" else 0,
+        dispatch_region_blocks=getattr(emitter, "dispatch_region_blocks",
+                                       0)
+        if mode_used == "structured" else 0)
 
 
 def compile_functions(module: Module,
-                      names: Optional[List[str]] = None
+                      names: Optional[List[str]] = None,
+                      mode: str = "structured",
+                      batch_fuel: bool = True
                       ) -> Tuple[Dict[str, Callable],
                                  List[Tuple[str, str]]]:
     """Compile a set of module functions, falling back per function.
@@ -615,7 +1273,8 @@ def compile_functions(module: Module,
             fallbacks.append((name, "not an IR function"))
             continue
         try:
-            compiled[name] = compile_function(func, module).pyfunc
+            compiled[name] = compile_function(
+                func, module, mode=mode, batch_fuel=batch_fuel).pyfunc
         except UnsupportedConstruct as exc:
             fallbacks.append((name, str(exc)))
     return compiled, fallbacks

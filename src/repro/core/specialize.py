@@ -111,6 +111,14 @@ class SpecializeOptions:
     # automatic per-function fallback to the VM.  Defaults to the
     # REPRO_BACKEND environment variable (or "vm").
     backend: str = dataclasses.field(default_factory=_default_backend)
+    # Code-shape mode for the py backend: "structured" reconstructs
+    # loops/joins as native ``while``/``if`` nests (relooper-style) with
+    # batched fuel accounting; "dispatch" is the flat block-dispatch
+    # tree.  Both are trap/print/fuel-identical; structured regions the
+    # emitter cannot reduce fall back to dispatch per function.  The
+    # residual IR is unaffected, so this is not part of the specializer
+    # cache key — but it IS part of the emitted-artifact key.
+    emit_mode: str = "structured"
     # Compilation-engine knobs (repro.pipeline): worker count for batch
     # compilation and the root of the persistent on-disk artifact store
     # (None disables persistence).  Neither affects specialization
@@ -145,6 +153,8 @@ class SpecializeOptions:
             raise ValueError(f"bad ssa_mode {self.ssa_mode!r}")
         if self.backend not in ("vm", "py"):
             raise ValueError(f"bad backend {self.backend!r}")
+        if self.emit_mode not in ("structured", "dispatch"):
+            raise ValueError(f"bad emit_mode {self.emit_mode!r}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if self.pool not in ("thread", "process"):

@@ -29,7 +29,13 @@ from repro.ir.instructions import (
 from repro.ir.function import Block, Function, Signature
 from repro.ir.module import Module, HostFunc
 from repro.ir.builder import FunctionBuilder
-from repro.ir.cfg import successors, predecessors, reverse_postorder, postorder
+from repro.ir.cfg import (
+    successors,
+    predecessors,
+    reverse_postorder,
+    postorder,
+    retreating_edges,
+)
 from repro.ir.dominance import DominatorTree
 from repro.ir.printer import print_function, print_module
 from repro.ir.verifier import verify_function, verify_module, VerificationError
@@ -62,6 +68,7 @@ __all__ = [
     "predecessors",
     "reverse_postorder",
     "postorder",
+    "retreating_edges",
     "DominatorTree",
     "print_function",
     "print_module",

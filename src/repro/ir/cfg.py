@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.ir.function import Function
 
@@ -71,3 +71,21 @@ def postorder(func: Function) -> List[int]:
 def reverse_postorder(func: Function) -> List[int]:
     """Reverse post-order: a topological order ignoring back edges."""
     return list(reversed(postorder(func)))
+
+
+def retreating_edges(func: Function) -> FrozenSet[Tuple[int, int]]:
+    """Edges ``(src, dst)`` that go against reverse post-order.
+
+    For reducible CFGs these are exactly the natural-loop backedges; for
+    irreducible CFGs they additionally include one retreating edge per
+    rogue cycle, which is the right notion of "loop heat" for tier-0
+    profiling.  Block *ids* play no role — a forward jump to a block
+    with a lower id is not a retreating edge.
+    """
+    position = {bid: i for i, bid in enumerate(reverse_postorder(func))}
+    edges: Set[Tuple[int, int]] = set()
+    for bid, pos in position.items():
+        for succ in successors(func, bid):
+            if position.get(succ, len(position)) <= pos:
+                edges.add((bid, succ))
+    return frozenset(edges)

@@ -24,9 +24,12 @@ from repro.min.harness import (
 )
 from repro.min.fleet import (
     Endpoint,
+    add_endpoint,
     build_fleet_module,
+    endpoint_at,
     make_endpoints,
     make_fleet_worker,
+    remove_endpoint,
 )
 
 __all__ = [
@@ -42,7 +45,10 @@ __all__ = [
     "sum_to_n_program",
     "run_fig8_configs",
     "Endpoint",
+    "add_endpoint",
     "build_fleet_module",
+    "endpoint_at",
     "make_endpoints",
     "make_fleet_worker",
+    "remove_endpoint",
 ]

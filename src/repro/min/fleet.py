@@ -19,6 +19,7 @@ one artifact store and heat file) and ``benchmarks/bench_fleet.py``
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.request import (
@@ -53,6 +54,16 @@ class Endpoint:
     base: int
     slot: int
 
+    @property
+    def token(self) -> str:
+        """Stable content identity of this endpoint: a hash of the name
+        and the program words.  Heap bases get *reused* across endpoint
+        churn (drop an endpoint, register another at the same base), so
+        anything persisted across that churn — fleet heat, above all —
+        must key on the program's content, never on its address."""
+        payload = repr((self.name, tuple(self.program.words)))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
     def args(self, value: int = 0) -> List[int]:
         """Generic-call arguments for one request to this endpoint."""
         return [self.base, len(self.program.words), value]
@@ -66,23 +77,27 @@ class Endpoint:
 
     def tier_entry(self) -> TierEntry:
         return TierEntry(generic="min_interp", key=self.base,
-                         request=self.request(), result_addr=self.slot)
+                         request=self.request(), result_addr=self.slot,
+                         heat_key=f"min_interp@{self.token}")
+
+
+def endpoint_at(index: int, name: str, program: MinProgram) -> Endpoint:
+    """One endpoint at layout slot ``index`` — also the churn path: a
+    new tenant at a base whose previous occupant was removed."""
+    if program.size_bytes() > ENDPOINT_STRIDE:
+        raise ValueError(f"endpoint {name!r} exceeds the "
+                         f"{ENDPOINT_STRIDE}-byte program stride")
+    return Endpoint(name=name, program=program,
+                    base=ENDPOINT_HEAP_BASE + index * ENDPOINT_STRIDE,
+                    slot=ENDPOINT_SLOT_BASE + index * 8)
 
 
 def make_endpoints(programs: Sequence[Tuple[str, MinProgram]]
                    ) -> List[Endpoint]:
     """Lay out named programs as endpoints (order fixes the bases, and
     therefore the cache keys — every worker must use the same order)."""
-    endpoints = []
-    for i, (name, program) in enumerate(programs):
-        if program.size_bytes() > ENDPOINT_STRIDE:
-            raise ValueError(f"endpoint {name!r} exceeds the "
-                             f"{ENDPOINT_STRIDE}-byte program stride")
-        endpoints.append(Endpoint(
-            name=name, program=program,
-            base=ENDPOINT_HEAP_BASE + i * ENDPOINT_STRIDE,
-            slot=ENDPOINT_SLOT_BASE + i * 8))
-    return endpoints
+    return [endpoint_at(i, name, program)
+            for i, (name, program) in enumerate(programs)]
 
 
 def build_fleet_module(endpoints: Sequence[Endpoint],
@@ -117,6 +132,38 @@ def serve(vm: VM, endpoint: Endpoint, value: int = 0) -> int:
     """One request: dispatch through the generic entry; the tier hook
     redirects to the endpoint's residual once promoted."""
     return vm.call("min_interp", endpoint.args(value))
+
+
+# ---------------------------------------------------------------------------
+# Endpoint churn on a live worker.
+# ---------------------------------------------------------------------------
+
+def add_endpoint(vm: VM, controller: TieringController,
+                 endpoint: Endpoint) -> None:
+    """Register an endpoint with a live worker.
+
+    Scrubs the full program stride (a previous tenant's trailing words
+    must not survive under the new program), loads the program into the
+    live heap — the snapshot compiler specializes against live memory,
+    so the memory fingerprint, and with it every cache key, tracks the
+    *current* tenant — and declares the endpoint to the controller."""
+    for offset in range(0, ENDPOINT_STRIDE, 8):
+        vm.store_u64(endpoint.base + offset, 0)
+    for i, word in enumerate(endpoint.program.words):
+        vm.store_u64(endpoint.base + i * 8, word)
+    controller.register(endpoint.tier_entry())
+
+
+def remove_endpoint(vm: VM, controller: TieringController,
+                    endpoint: Endpoint) -> None:
+    """Drop an endpoint from a live worker.
+
+    Retires its tier state (the controller zeroes the dispatch slot and
+    forgets the profile, so no call with this base can ever be routed
+    to the retired residual again) and scrubs its program words."""
+    controller.unregister(endpoint.tier_entry())
+    for offset in range(0, ENDPOINT_STRIDE, 8):
+        vm.store_u64(endpoint.base + offset, 0)
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@ snapshot.  This module is the persistent half of that story: it stores
 Key anatomy (one file per entry, file name = sha256 of the key):
 
     spec/<sha256((generic_fp, request_key, memory_fp, options_key))>.json
-    py/<sha256((residual_fp, EMITTER_VERSION))>.json
+    py/<sha256((residual_fp, EMITTER_VERSION, emit_mode))>.json
 
 Invalidation is entirely by construction: change the interpreter body,
 the bytecode bytes, the opt pipeline, or the backend, and the key
@@ -78,7 +78,7 @@ ARTIFACT_VERSION = 2  # 2: canonically renumbered residual IR
 # Bump on any change to the Python backend's emitted-code shape (the
 # ``py/`` entries cache emitter *output*, so the emitter itself is part
 # of their identity).
-EMITTER_VERSION = 2  # 2: fall-through block scheduling
+EMITTER_VERSION = 3  # 3: structured (relooper) emission mode
 
 HIT = "hit"
 MISS = "miss"
@@ -310,12 +310,12 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Emitted backend source artifacts.
     # ------------------------------------------------------------------
-    def py_path(self, residual_fp: str) -> str:
+    def py_path(self, residual_fp: str, mode: str = "structured") -> str:
         return os.path.join(self.py_dir,
-                            _digest((residual_fp, EMITTER_VERSION))
+                            _digest((residual_fp, EMITTER_VERSION, mode))
                             + ".json")
 
-    def load_py_source(self, residual_fp: str
+    def load_py_source(self, residual_fp: str, mode: str = "structured"
                        ) -> Tuple[Optional[Tuple[Optional[str],
                                                  Optional[str]]], str]:
         """Return ``((source, fallback_reason), status)``.
@@ -324,7 +324,7 @@ class ArtifactStore:
         fallback marker means the emitter already determined this
         residual cannot be compiled, so warm runs skip the re-attempt.
         """
-        data, status = self._read_json(self.py_path(residual_fp))
+        data, status = self._read_json(self.py_path(residual_fp, mode))
         if data is None:
             return None, status
         source = data.get("source")
@@ -336,8 +336,9 @@ class ArtifactStore:
         return (source, fallback), HIT
 
     def store_py_source(self, residual_fp: str, source: Optional[str],
-                        fallback: Optional[str] = None) -> bool:
-        return self._write_json(self.py_path(residual_fp), {
+                        fallback: Optional[str] = None,
+                        mode: str = "structured") -> bool:
+        return self._write_json(self.py_path(residual_fp, mode), {
             "version": ARTIFACT_VERSION,
             "source": source,
             "fallback": fallback,

@@ -427,20 +427,22 @@ class CompilationEngine:
 
         Returns ``(source, fallback_reason, store_status)``.
         """
-        from repro.backend import PyEmitter, UnsupportedConstruct
+        from repro.backend import UnsupportedConstruct, emit_function_source
+        mode = self.options.emit_mode
         fp = None
         if self.store is not None:
             fp = residual_fingerprint(print_function(func, order="id"))
-            cached, status = self.store.load_py_source(fp)
+            cached, status = self.store.load_py_source(fp, mode)
             if cached is not None:
                 return cached[0], cached[1], status
         try:
-            source, fallback = (
-                PyEmitter(func, self.module).emit_source(), None)
+            source, _mode_used, _emitter = emit_function_source(
+                func, self.module, mode=mode)
+            fallback = None
         except UnsupportedConstruct as exc:
             source, fallback = None, str(exc)
         if self.store is not None:
-            self.store.store_py_source(fp, source, fallback)
+            self.store.store_py_source(fp, source, fallback, mode)
         return source, fallback, MISS
 
     def _finalize(self, plan: _Plan) -> EngineResult:

@@ -96,6 +96,14 @@ class TierEntry:
     result_addr: int
     key_index: int = 0
     speculate_args: Tuple[int, ...] = ()
+    # Stable cross-process identity for persisted heat.  ``key`` is a
+    # raw guest pointer, and pointers get *reused*: drop an endpoint and
+    # register a different program at the same base and the default
+    # ``profile_key(generic, key)`` would adopt the dead program's heat
+    # into the new one.  Embedders whose keys can be reused set this to
+    # a content-derived token (e.g. a hash of the guest program) so heat
+    # follows the program, not the address.
+    heat_key: Optional[str] = None
 
 
 class FunctionProfile:
@@ -200,6 +208,29 @@ class TieringController:
         if self.vm is not None:
             self.vm.tier_generics = frozenset(self._key_index)
 
+    def unregister(self, entry: TierEntry) -> None:
+        """Retire one registered function (endpoint churn).
+
+        Drops its profile and entry — so the tier hook can never again
+        redirect a call with this key to the retired residual, and
+        ``promote_all`` / ``adopt_heat`` batches no longer include it —
+        and zeroes its guest dispatch slot so heap-level dispatch falls
+        back to the generic path.  The residual function itself stays in
+        the module (installed names are never reused; a later tenant's
+        residual gets a fresh unique name), so in-flight frames are
+        unaffected.
+        """
+        profile = self.profiles.pop((entry.generic, entry.key), None)
+        self.entries = [e for e in self.entries
+                        if (e.generic, e.key) != (entry.generic, entry.key)]
+        if profile is not None:
+            if self._last_profile is profile:
+                self._last_profile = None
+            if profile.installed_name is not None:
+                self._speculative.pop(profile.installed_name, None)
+        if self.vm is not None:
+            self.vm.store_u64(entry.result_addr, 0)
+
     def attach(self, vm: VM) -> VM:
         """Bind the controller to a live VM and enable profiling."""
         self.vm = vm
@@ -263,8 +294,9 @@ class TieringController:
             calls = profile.calls - profile.published_calls
             backedges = profile.backedges - profile.published_backedges
             if calls or backedges:
-                deltas[profile_key(generic, key)] = {
-                    "calls": calls, "backedges": backedges}
+                heat_key = (profile.entry.heat_key
+                            or profile_key(generic, key))
+                deltas[heat_key] = {"calls": calls, "backedges": backedges}
                 pending.append(profile)
         if not deltas:
             return True
@@ -294,7 +326,8 @@ class TieringController:
             return []
         hot = []
         for entry in self.entries:
-            record = heat.get(profile_key(entry.generic, entry.key))
+            record = heat.get(entry.heat_key
+                              or profile_key(entry.generic, entry.key))
             if record is None:
                 continue
             profile = self.profiles[(entry.generic, entry.key)]

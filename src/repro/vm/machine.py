@@ -128,6 +128,10 @@ class VM:
         # Backward-jump profiling (tier 0 loop counters); off by default
         # so the interpreter hot loop is untouched outside tiered mode.
         self.count_backedges = False
+        # Per-function retreating-edge sets for backedge profiling, keyed
+        # by name and validated against the function object so a name
+        # rebound to a new body is never served stale loop structure.
+        self._backedge_cache: Dict[str, tuple] = {}
         self._call_depth = 0
         self._max_call_depth = 1000
         # Guest calls map to Python recursion (a handful of Python frames
@@ -263,6 +267,21 @@ class VM:
         finally:
             self._call_depth -= 1
 
+    def _loop_backedges(self, func: Function):
+        """Retreating-edge set for ``func``, cached for the VM's lifetime.
+
+        Keyed by function name with an identity check on the cached
+        function object: module function tables only ever *add* names,
+        but if a name were rebound the stale analysis must not survive.
+        """
+        cached = self._backedge_cache.get(func.name)
+        if cached is not None and cached[0] is func:
+            return cached[1]
+        from repro.ir.cfg import retreating_edges
+        edges = retreating_edges(func)
+        self._backedge_cache[func.name] = (func, edges)
+        return edges
+
     def _eval(self, func: Function, args: List[object]) -> object:
         entry = func.entry_block()
         if len(args) != len(entry.params):
@@ -278,6 +297,7 @@ class VM:
         block = entry
         memory = self.memory
         count_backedges = self.count_backedges
+        backedges = self._loop_backedges(func) if count_backedges else None
 
         while True:
             for instr in block.instrs:
@@ -544,9 +564,10 @@ class VM:
             else:
                 raise VMTrap(f"block{block.id} not terminated")
 
-            if count_backedges and call.block <= block.id:
-                # Tier-0 loop profiling: a non-forward jump approximates
-                # a loop backedge (block ids grow in creation order).
+            if count_backedges and (block.id, call.block) in backedges:
+                # Tier-0 loop profiling: retreating edges in reverse
+                # post-order are the real loop backedges, independent of
+                # how block ids happen to be numbered.
                 stats.backedges += 1
             target = blocks[call.block]
             if call.args:

@@ -318,7 +318,95 @@ def test_unsupported_opcode_falls_back():
 def test_backend_option_validation_and_env(monkeypatch):
     with pytest.raises(ValueError, match="bad backend"):
         SpecializeOptions(backend="jit")
+    with pytest.raises(ValueError, match="bad emit_mode"):
+        SpecializeOptions(emit_mode="relooper")
     monkeypatch.setenv("REPRO_BACKEND", "py")
     assert SpecializeOptions().backend == "py"
     monkeypatch.delenv("REPRO_BACKEND")
     assert SpecializeOptions().backend == "vm"
+
+
+# ---------------------------------------------------------------------------
+# Float-literal bit exactness.
+#
+# ``fconst`` immediates travel through emitted *source text*, so the
+# literal the emitter prints must reconstruct the exact IEEE-754 bit
+# pattern the VM holds as a live float — including the sign of -0.0,
+# both infinities, and every NaN payload.  ``bits_ftoi`` exposes the
+# bits as an i64 on both tiers, making the comparison exact.
+# ---------------------------------------------------------------------------
+
+_FLOAT_BIT_PATTERNS = (
+    0x0000000000000000,  # +0.0
+    0x8000000000000000,  # -0.0 (repr must keep the sign)
+    0x0000000000000001,  # smallest subnormal
+    0x8000000000000001,  # -smallest subnormal
+    0x000FFFFFFFFFFFFF,  # largest subnormal
+    0x0010000000000000,  # smallest normal
+    0x7FEFFFFFFFFFFFFF,  # largest finite
+    0xFFEFFFFFFFFFFFFF,  # -largest finite
+    0x7FF0000000000000,  # +inf
+    0xFFF0000000000000,  # -inf
+    0x7FF8000000000000,  # canonical quiet NaN
+    0xFFF8000000000000,  # negative quiet NaN
+    0x7FF8DEADBEEFCAFE,  # quiet NaN with payload
+    0xFFFFFFFFFFFFFFFF,  # NaN, all payload bits set
+    0x3FF0000000000000,  # 1.0
+    0x3FB999999999999A,  # 0.1 (shortest-repr round-trip)
+)
+
+
+def _bits_to_float(bits: int) -> float:
+    import struct
+    return struct.unpack("<d", bits.to_bytes(8, "little"))[0]
+
+
+def _fconst_bits_module(bits: int) -> Module:
+    """A function returning ``bits_ftoi(fconst)`` for the given pattern."""
+    from repro.ir import FunctionBuilder
+    fb = FunctionBuilder("fbits", Signature((), (I64,)))
+    v = fb.fconst(_bits_to_float(bits))
+    fb.ret(fb.emit("bits_ftoi", (v,)))
+    module = Module(memory_size=64)
+    module.add_function(fb.finish())
+    return module
+
+
+def _fconst_roundtrip(bits: int):
+    module = _fconst_bits_module(bits)
+    vm_got = VM(module).call("fbits", [])
+    for mode in ("structured", "dispatch"):
+        compiled = compile_function(module.functions["fbits"], module,
+                                    mode=mode)
+        vm = VM(module)
+        vm.install_compiled({"fbits": compiled.pyfunc})
+        py_got = vm.call("fbits", [])
+        assert py_got == vm_got == bits, (
+            f"fconst bits {bits:#018x} ({mode}): vm={vm_got:#018x} "
+            f"py={py_got:#018x}")
+
+
+@pytest.mark.parametrize("bits", _FLOAT_BIT_PATTERNS,
+                         ids=lambda b: f"{b:#018x}")
+def test_fconst_bit_patterns_roundtrip(bits):
+    _fconst_roundtrip(bits)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fconst_random_bit_patterns_roundtrip(seed):
+    rng = random.Random(0xF10A7 + seed)
+    for _ in range(64):
+        _fconst_roundtrip(rng.getrandbits(64))
+
+
+def test_float_literal_source_forms():
+    """The emitter uses plain literals for finite values (including
+    -0.0, whose repr keeps the sign) and the bit-pattern helper only
+    for non-finite ones."""
+    from repro.backend.emitter import _float_literal
+    literal, needs = _float_literal(-0.0)
+    assert literal == "-0.0" and not needs
+    for bits in (0x7FF0000000000000, 0xFFF0000000000000,
+                 0x7FF8DEADBEEFCAFE):
+        literal, needs = _float_literal(_bits_to_float(bits))
+        assert needs and literal == f"_bits_itof({bits:#x})"

@@ -6,11 +6,21 @@ MiniLua, MiniJS) are each run three ways — under the generic interpreter
 on the VM, as the specialized (first Futamura projection) residual
 function interpreted by the IR VM, and as the same residual compiled to
 native Python by the tier-2 backend (:mod:`repro.backend`) — and must
-produce identical results, prints, and traps.  Every comparison is made
-at two optimization levels: ``-O0`` (raw specializer output, no mid-end)
-and the full default pipeline, so a miscompiling pass shows up as a
-divergence between levels, a specializer bug shows up at both, and a
-backend bug shows up as a VM-vs-py divergence at either level.
+produce identical results, prints, and traps.  The backend comparison
+runs in **both emit modes** (the structured/relooper emitter and the
+flat dispatch-tree emitter), so the corpus is a three-way differential:
+VM vs structured vs dispatch, with deterministic fuel compared wherever
+the flow exposes it.  Every comparison is made at two optimization
+levels: ``-O0`` (raw specializer output, no mid-end) and the full
+default pipeline, so a miscompiling pass shows up as a divergence
+between levels, a specializer bug shows up at both, and a backend bug
+shows up as a VM-vs-py divergence at either level.
+
+The **irreducible tier** builds seeded multi-entry cycles directly in
+IR (no frontend emits them): the structured emitter must carve them
+into per-region dispatch fallbacks (``dispatch_regions >= 1``) and
+still agree with the VM and the dispatch emitter on results, traps,
+``OutOfFuel``, and exact fuel.
 
 The **tiered tier** runs the same seeded programs under profile-guided
 dynamic tier-up (:mod:`repro.pipeline.tiering`) at the two degenerate
@@ -28,11 +38,12 @@ include integer division and remainder whose divisors may reach zero,
 exercising trap equivalence.
 """
 
+import dataclasses
 import random
 
 import pytest
 
-from repro.backend import compile_function
+from repro.backend import EMIT_MODES, compile_function
 from repro.core.specialize import SpecializeOptions
 from repro.jsvm import JSRuntime
 from repro.luavm.runtime import LuaRuntime
@@ -121,7 +132,8 @@ def test_min_differential(seed):
         spec_module = build_min_module(program)
         func = specialize_min(spec_module, program, use_intrinsics,
                               options=options, name=f"spec_{level}")
-        compiled = compile_function(func, spec_module)
+        compiled = {mode: compile_function(func, spec_module, mode=mode)
+                    for mode in EMIT_MODES}
         for value in inputs:
             vm = VM(spec_module)
             got = vm.call(
@@ -129,18 +141,22 @@ def test_min_differential(seed):
             assert got == expected[value], (
                 f"seed {seed} level {level} input {value}: "
                 f"specialized {got} != interpreted {expected[value]}")
-            # Tier-2 backend: same residual compiled to Python must
-            # agree on the result *and* on deterministic fuel.
-            vm_py = VM(spec_module)
-            vm_py.install_compiled({func.name: compiled.pyfunc})
-            got_py = vm_py.call(
-                func.name, [PROGRAM_BASE, len(program.words), value])
-            assert got_py == expected[value], (
-                f"seed {seed} level {level} input {value}: "
-                f"py-compiled {got_py} != interpreted {expected[value]}")
-            assert vm_py.stats.fuel == vm.stats.fuel, (
-                f"seed {seed} level {level} input {value}: backend fuel "
-                f"{vm_py.stats.fuel} != VM fuel {vm.stats.fuel}")
+            # Tier-2 backend, both emit modes: the same residual
+            # compiled to Python must agree on the result *and* on
+            # deterministic fuel (VM ≡ structured ≡ dispatch).
+            for mode in EMIT_MODES:
+                vm_py = VM(spec_module)
+                vm_py.install_compiled({func.name: compiled[mode].pyfunc})
+                got_py = vm_py.call(
+                    func.name, [PROGRAM_BASE, len(program.words), value])
+                assert got_py == expected[value], (
+                    f"seed {seed} level {level} input {value} "
+                    f"mode {mode}: py-compiled {got_py} != "
+                    f"interpreted {expected[value]}")
+                assert vm_py.stats.fuel == vm.stats.fuel, (
+                    f"seed {seed} level {level} input {value} "
+                    f"mode {mode}: backend fuel {vm_py.stats.fuel} != "
+                    f"VM fuel {vm.stats.fuel}")
 
 
 @pytest.mark.parametrize("seed", range(N_MIN))
@@ -317,10 +333,13 @@ def test_lua_differential(seed):
         assert got == expected, (
             f"seed {seed} level {level}:\n{source}\n"
             f"interp={expected!r} aot={got!r}")
-        got_py = _run_lua(source, aot=True, options=options, backend="py")
-        assert got_py == expected, (
-            f"seed {seed} level {level} backend=py:\n{source}\n"
-            f"interp={expected!r} aot={got_py!r}")
+        for mode in EMIT_MODES:
+            mode_options = dataclasses.replace(options, emit_mode=mode)
+            got_py = _run_lua(source, aot=True, options=mode_options,
+                              backend="py")
+            assert got_py == expected, (
+                f"seed {seed} level {level} backend=py mode {mode}:\n"
+                f"{source}\ninterp={expected!r} aot={got_py!r}")
 
 
 def _run_lua_mode(source: str, mode: str, threshold: float = None):
@@ -420,17 +439,21 @@ def test_js_differential(seed):
         assert runtime.printed == reference.printed, (
             f"seed {seed} config {config} level {level}:\n{source}\n"
             f"interp={reference.printed!r} aot={runtime.printed!r}")
-        # Tier-2 backend over the same snapshot: identical prints and
-        # identical deterministic fuel.
-        runtime.printed.clear()
-        vm_py = runtime.run(backend="py")
-        assert runtime.printed == reference.printed, (
-            f"seed {seed} config {config} level {level} backend=py:\n"
-            f"{source}\n"
-            f"interp={reference.printed!r} py={runtime.printed!r}")
-        assert vm_py.stats.fuel == vm.stats.fuel, (
-            f"seed {seed} config {config} level {level}: backend fuel "
-            f"{vm_py.stats.fuel} != VM fuel {vm.stats.fuel}")
+        # Tier-2 backend over the same snapshot, both emit modes:
+        # identical prints and identical deterministic fuel.
+        for mode in EMIT_MODES:
+            mode_runtime = JSRuntime(
+                source, config,
+                options=dataclasses.replace(options, emit_mode=mode))
+            vm_py = mode_runtime.run(backend="py")
+            assert mode_runtime.printed == reference.printed, (
+                f"seed {seed} config {config} level {level} backend=py "
+                f"mode {mode}:\n{source}\n"
+                f"interp={reference.printed!r} py={mode_runtime.printed!r}")
+            assert vm_py.stats.fuel == vm.stats.fuel, (
+                f"seed {seed} config {config} level {level} mode {mode}: "
+                f"backend fuel {vm_py.stats.fuel} != VM fuel "
+                f"{vm.stats.fuel}")
 
 
 @pytest.mark.parametrize("seed", range(N_JS))
@@ -466,3 +489,112 @@ def test_js_tiered(seed):
     assert vm_one.stats.fuel == vm_aot.stats.fuel, (
         f"seed {seed} config {config}: tiered-1 fuel "
         f"{vm_one.stats.fuel} != AOT {vm_aot.stats.fuel}")
+
+
+# ---------------------------------------------------------------------------
+# Irreducible CFGs: the structured emitter's dispatch-region fallback.
+# ---------------------------------------------------------------------------
+
+N_IRREDUCIBLE = 6
+
+
+def _irreducible_module(seed: int):
+    """A seeded function whose core is a two-entry cycle B <-> C — the
+    canonical irreducible shape (no frontend in this repo emits one, so
+    the fallback is exercised by building the IR directly).
+
+    ``f(n, sel)``: entry branches on ``sel`` *into the middle* of the
+    cycle; each cycle block folds a seeded constant into the
+    accumulator and decrements the trip counter; both blocks exit to a
+    shared return once the counter hits zero.  Total trips = ``n``
+    regardless of the entry arm, so the result depends on seed, ``n``,
+    and ``sel`` (which arm runs first).
+    """
+    from repro.ir import FunctionBuilder, I64, Module, Signature
+    rng = random.Random(0x1BBED + seed)
+    fb = FunctionBuilder(f"irr{seed}", Signature((I64, I64), (I64,)))
+    n = fb.entry.params[0][0]
+    sel = fb.entry.params[1][0]
+    b = fb.new_block([I64, I64])
+    c = fb.new_block([I64, I64])
+    exit_b = fb.new_block([I64])
+    zero = fb.iconst(0)
+    start = fb.iconst(rng.randint(0, 1 << 12))
+    fb.br_if(sel, b, c, [n, start], [n, start])
+
+    fb.switch_to(b)
+    i_b, acc_b = b.param_values()
+    kb = fb.iconst(rng.randint(1, 1 << 10))
+    acc_b2 = fb.iadd(acc_b, kb)
+    if rng.random() < 0.5:
+        acc_b2 = fb.emit("imul", (acc_b2, fb.iconst(rng.randint(2, 5))))
+    i_b2 = fb.isub(i_b, fb.iconst(1))
+    more_b = fb.emit("ine", (i_b2, zero))
+    fb.br_if(more_b, c, exit_b, [i_b2, acc_b2], [acc_b2])
+
+    fb.switch_to(c)
+    i_c, acc_c = c.param_values()
+    kc = fb.iconst(rng.randint(1, 1 << 10))
+    acc_c2 = fb.emit("ixor", (acc_c, kc))
+    i_c2 = fb.isub(i_c, fb.iconst(1))
+    more_c = fb.emit("ine", (i_c2, zero))
+    fb.br_if(more_c, b, exit_b, [i_c2, acc_c2], [acc_c2])
+
+    fb.switch_to(exit_b)
+    fb.ret(exit_b.param_values()[0])
+    func = fb.finish()
+    module = Module(memory_size=64)
+    module.add_function(func)
+    return module, func
+
+
+def _run_irr(module, name, compiled_fn, args, fuel_limit):
+    from repro.vm import OutOfFuel
+    vm = VM(module, fuel_limit=fuel_limit)
+    if compiled_fn is not None:
+        vm.install_compiled({name: compiled_fn})
+    try:
+        return ("ok", vm.call(name, list(args)), vm.stats.fuel)
+    except VMTrap as trap:
+        return ("trap", str(trap), None)
+    except OutOfFuel:
+        return ("out-of-fuel", None, None)
+
+
+@pytest.mark.parametrize("seed", range(N_IRREDUCIBLE))
+def test_irreducible_three_way(seed):
+    module, func = _irreducible_module(seed)
+    compiled = {mode: compile_function(func, module, mode=mode)
+                for mode in EMIT_MODES}
+    # The structured emitter must keep its structured skeleton but carve
+    # the multi-entry cycle into a dispatch region — not silently fall
+    # back to the flat emitter for the whole function.
+    assert compiled["structured"].emit_mode == "structured"
+    assert compiled["structured"].dispatch_regions >= 1, (
+        f"seed {seed}: irreducible cycle did not produce a dispatch "
+        f"region")
+    assert compiled["structured"].dispatch_region_blocks >= 2
+    assert compiled["dispatch"].emit_mode == "dispatch"
+
+    for n in (1, 2, 3, 17):
+        for sel in (0, 1):
+            reference = _run_irr(module, func.name, None, (n, sel), None)
+            assert reference[0] == "ok"
+            for mode in EMIT_MODES:
+                got = _run_irr(module, func.name, compiled[mode].pyfunc,
+                               (n, sel), None)
+                assert got == reference, (
+                    f"seed {seed} n={n} sel={sel} mode {mode}: "
+                    f"{got!r} != VM {reference!r}")
+    # OutOfFuel agreement at every limit up to a full run: the fuel
+    # batching in structured mode must still trap at the exact VM
+    # block boundary.
+    full = _run_irr(module, func.name, None, (3, 1), None)[2]
+    for limit in range(1, full + 1):
+        reference = _run_irr(module, func.name, None, (3, 1), limit)
+        for mode in EMIT_MODES:
+            got = _run_irr(module, func.name, compiled[mode].pyfunc,
+                           (3, 1), limit)
+            assert got == reference, (
+                f"seed {seed} limit {limit} mode {mode}: {got!r} != "
+                f"VM {reference!r}")

@@ -12,6 +12,7 @@ from repro.ir import (
     VerificationError,
     predecessors,
     print_function,
+    retreating_edges,
     reverse_postorder,
     successors,
     verify_function,
@@ -84,6 +85,12 @@ class TestCfg:
         rpo = reverse_postorder(func)
         assert rpo[0] == func.entry
         assert len(rpo) == 4
+
+    def test_retreating_edges_finds_the_backedge(self):
+        func = make_loop_function()
+        header = successors(func, func.entry)[0]
+        body = successors(func, header)[0]
+        assert retreating_edges(func) == frozenset({(body, header)})
 
 
 class TestDominance:

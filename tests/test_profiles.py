@@ -305,3 +305,53 @@ class TestHeatPublishAdopt:
                                       cache_dir=str(tmp_path)))
         assert controller.adopt_heat(store) == []
         assert controller.stats.promotions == 0
+
+
+# ---------------------------------------------------------------------------
+# Endpoint churn vs persisted heat: heat keys follow program content.
+# ---------------------------------------------------------------------------
+class TestChurnHeatKeys:
+    def _fleet_worker(self, endpoint, cache_dir, threshold=3):
+        from repro.min.fleet import make_fleet_worker
+        options = SpecializeOptions(backend="vm", cache_dir=cache_dir)
+        return make_fleet_worker([endpoint], threshold=threshold,
+                                 options=options)
+
+    def test_new_tenant_at_reused_base_adopts_no_stale_heat(
+            self, tmp_path):
+        """Heat published for program A at a base must not warm a
+        *different* program B later registered at the same base — fleet
+        heat keys on the endpoint's content token, not its address."""
+        from repro.min.fleet import endpoint_at, serve, sum_squares_program
+        store = ProfileStore(str(tmp_path))
+        old = endpoint_at(0, "svc", sum_to_n_program(40))
+        vm_a, controller_a = self._fleet_worker(old, str(tmp_path))
+        for _ in range(5):
+            serve(vm_a, old)
+        assert controller_a.stats.promotions == 1
+        assert controller_a.publish_heat(store)
+        assert old.tier_entry().heat_key in store.load()
+
+        new = endpoint_at(0, "svc", sum_squares_program(12))
+        vm_b, controller_b = self._fleet_worker(new, str(tmp_path))
+        assert controller_b.adopt_heat(store) == []
+        assert controller_b.stats.promotions == 0
+        profile = controller_b.profiles[("min_interp", new.base)]
+        assert profile.calls == 0 and profile.backedges == 0
+
+    def test_same_program_adopts_heat_across_restart(self, tmp_path):
+        """The content token is the *stable* half of the key: a fresh
+        worker serving the same program does inherit the fleet's heat."""
+        from repro.min.fleet import endpoint_at, serve
+        store = ProfileStore(str(tmp_path))
+        endpoint = endpoint_at(0, "svc", sum_to_n_program(40))
+        vm_a, controller_a = self._fleet_worker(endpoint, str(tmp_path))
+        for _ in range(5):
+            serve(vm_a, endpoint)
+        assert controller_a.publish_heat(store)
+
+        vm_b, controller_b = self._fleet_worker(endpoint, str(tmp_path))
+        adopted = controller_b.adopt_heat(store)
+        assert len(adopted) == 1
+        assert serve(vm_b, endpoint) == serve(vm_a, endpoint)
+        assert controller_b.stats.tier0_calls == 0

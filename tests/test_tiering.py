@@ -456,3 +456,76 @@ class TestControllerPolicy:
         vm.call("min_interp", _args(program, 0))
         text = controller.report()
         assert "promotions=1" in text and "tier" in text
+
+
+class TestEndpointChurn:
+    """Endpoint bases are reused across register/unregister churn; a
+    new tenant at an old base must never be routed to the previous
+    tenant's residual or inherit its profile."""
+
+    def test_churn_loop_never_serves_stale_results(self):
+        from repro.min.fleet import (
+            add_endpoint,
+            constant_program,
+            endpoint_at,
+            make_fleet_worker,
+            remove_endpoint,
+            serve,
+            sum_squares_program,
+        )
+        vm, controller = make_fleet_worker(
+            [], threshold=2,
+            options=SpecializeOptions(backend="py"))
+        from repro.min.harness import PyMinInterpreter
+        tenants = [
+            ("sum", sum_to_n_program(5)),
+            ("squares", sum_squares_program(7)),
+            ("admin", constant_program(3)),
+            ("sum", sum_to_n_program(9)),
+        ]
+        expected = [PyMinInterpreter(p).run(0) for _, p in tenants]
+        # Distinct per round, so a stale redirect cannot pass by luck.
+        assert len(set(expected)) == len(expected)
+        for round_i, (name, program) in enumerate(tenants):
+            endpoint = endpoint_at(0, name, program)
+            add_endpoint(vm, controller, endpoint)
+            promotions_before = controller.stats.promotions
+            # First call runs generic (ground truth), later calls cross
+            # the threshold and run the freshly promoted residual.
+            for _ in range(4):
+                assert serve(vm, endpoint) == expected[round_i]
+            assert controller.stats.promotions == promotions_before + 1
+            remove_endpoint(vm, controller, endpoint)
+            assert ("min_interp", endpoint.base) not in controller.profiles
+            assert controller.entries == []
+            assert vm.load_u64(endpoint.slot) == 0
+
+    def test_unregister_stops_redirecting_immediately(self):
+        from repro.min.fleet import (
+            add_endpoint,
+            endpoint_at,
+            make_fleet_worker,
+            remove_endpoint,
+            serve,
+        )
+        vm, controller = make_fleet_worker(
+            [], threshold=1, options=SpecializeOptions(backend="vm"))
+        old = endpoint_at(0, "old", sum_to_n_program(6))
+        add_endpoint(vm, controller, old)
+        assert serve(vm, old) == 21  # promotes at the first call
+        assert vm.load_u64(old.slot) != 0
+        remove_endpoint(vm, controller, old)
+        new = endpoint_at(0, "new", sum_to_n_program(8))
+        add_endpoint(vm, controller, new)
+        # Same base, different program: must run the new program, not
+        # the old residual (36, never 21).
+        assert serve(vm, new) == 36
+
+    def test_endpoint_tokens_follow_content_not_address(self):
+        from repro.min.fleet import endpoint_at
+        a = endpoint_at(0, "svc", sum_to_n_program(6))
+        b = endpoint_at(0, "svc", sum_to_n_program(8))
+        c = endpoint_at(3, "svc", sum_to_n_program(6))
+        assert a.token != b.token          # same base, different program
+        assert a.token == c.token          # same program, different base
+        assert a.tier_entry().heat_key == c.tier_entry().heat_key

@@ -202,6 +202,63 @@ class TestFuelAndStats:
         assert stats.loads == 1
 
 
+class TestBackedgeProfiling:
+    """Tier-0 loop profiling must track real retreating edges, not the
+    accident of block-id numbering."""
+
+    @staticmethod
+    def _run_counting(func, args):
+        module = Module(memory_size=4096)
+        module.add_function(func)
+        vm = VM(module)
+        vm.count_backedges = True
+        result = vm.call(func.name, args)
+        return result, vm.stats.backedges
+
+    def test_forward_jump_to_lower_id_is_not_a_backedge(self):
+        # join is created before detour, so the forward edge
+        # detour -> join lands on a *lower* block id.  The old
+        # `target <= source` heuristic counted it as loop heat.
+        fb = FunctionBuilder("shuffled", Signature((I64,), (I64,)))
+        join = fb.new_block([I64])
+        detour = fb.new_block()
+        n = fb.entry.params[0][0]
+        fb.jump(detour)
+        fb.switch_to(detour)
+        v = fb.iadd(n, fb.iconst(1))
+        fb.jump(join, [v])
+        fb.switch_to(join)
+        fb.ret(join.param_values()[0])
+        result, backedges = self._run_counting(fb.finish(), [41])
+        assert result == 42
+        assert backedges == 0
+
+    def test_loop_with_high_id_header_still_counts(self):
+        # The header is created last (highest id), so the real backedge
+        # body -> header jumps to a *higher* id — invisible to the old
+        # heuristic, exactly one count per iteration for the new one.
+        fb = FunctionBuilder("loop_hi", Signature((I64,), (I64,)))
+        exit_b = fb.new_block([I64])
+        body = fb.new_block()
+        header = fb.new_block([I64, I64])
+        n = fb.entry.params[0][0]
+        zero = fb.iconst(0)
+        fb.jump(header, [zero, zero])
+        fb.switch_to(header)
+        i, acc = header.param_values()
+        cond = fb.ilt_u(i, n)
+        fb.br_if(cond, body, exit_b, [], [acc])
+        fb.switch_to(body)
+        acc2 = fb.iadd(acc, i)
+        i2 = fb.iadd(i, fb.iconst(1))
+        fb.jump(header, [i2, acc2])
+        fb.switch_to(exit_b)
+        fb.ret(exit_b.param_values()[0])
+        result, backedges = self._run_counting(fb.finish(), [10])
+        assert result == sum(range(10))
+        assert backedges == 10
+
+
 class TestIntrinsicPolyfills:
     def test_context_intrinsics_are_noops_dynamically(self):
         src = """
