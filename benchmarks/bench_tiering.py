@@ -36,7 +36,7 @@ promotions vs 24 AOT compiles; mixed workload promotes 2 hot functions
 import time
 
 from conftest import write_result
-from repro.bench import format_table
+from repro.bench import format_table, guard_kind_counts
 from repro.core.specialize import SpecializeOptions
 from repro.jsvm import JSRuntime
 from repro.jsvm.runtime import SPEC_FIELD_WORD
@@ -225,6 +225,14 @@ def test_tiering_richards_service(benchmark, request):
          f"ratio {tiered_steady / aot_steady:.2f}"],
         ["tiers settled", f"{counts[0]}/t0 {counts[1]}/t1 {counts[2]}/t2",
          f"promote time {stats.promote_seconds * 1000:.0f}ms"],
+        ["guards in residuals (tiered)",
+         "{entry} entry / {site} site / {resuming} resuming".format(
+             **guard_kind_counts(tiered.rt.module.functions.values())),
+         "this strategy speculates nothing"],
+        ["deopt reasons (tiered)",
+         f"entry={stats.deopts} site_miss={stats.site_misses} "
+         f"site_demotion={stats.site_demotions}",
+         f"demotions={stats.demotions}"],
     ]
     report = ("Runtime tiering — richards served as schedule(1) "
               "requests\n" +

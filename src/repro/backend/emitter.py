@@ -589,6 +589,18 @@ class PyEmitter:
             # The VM catches GuardFailed at this function's call boundary
             # and rolls the counters back, so the segment fuel already
             # charged for this block is unwound with the deopt.
+            if isinstance(instr.imm, tuple):
+                site, values = instr.imm[0], instr.imm[1]
+                if len(instr.imm) == 3:
+                    # Resuming polymorphic guard: a miss records the site
+                    # and control continues into the materialized slow
+                    # path, so no state is abandoned.
+                    return [f"if v{args[0]} not in {values!r}: "
+                            f"vm.notify_site_miss({self.func.name!r}, "
+                            f"{site})"]
+                return [f"if v{args[0]} not in {values!r}: "
+                        f"raise GuardFailed({self.func.name!r}, None, "
+                        f"{site})"]
             return [f"if v{args[0]} != {int(instr.imm)}: "
                     f"raise GuardFailed({self.func.name!r})"]
 

@@ -8,6 +8,7 @@ from repro.bench.harness import (
     format_pipeline_stats,
     format_table,
     geomean,
+    guard_kind_counts,
     profiling_enabled,
     residual_shape,
     run_backend_comparison,
@@ -27,6 +28,7 @@ __all__ = [
     "run_engine_cache_report",
     "format_table",
     "format_pipeline_stats",
+    "guard_kind_counts",
     "profiling_enabled",
     "residual_shape",
     "run_profiled",

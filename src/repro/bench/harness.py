@@ -12,6 +12,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.stats import PipelineStats
 from repro.ir.function import Function
+from repro.ir.instructions import guard_is_resuming, guard_site
 from repro.jsvm import JSRuntime
 from repro.jsvm.workloads import WORKLOADS
 
@@ -297,6 +298,27 @@ def residual_shape(func: Function) -> Tuple[int, int, int]:
     return (func.num_instrs(), func.num_blocks(), func.total_block_params())
 
 
+def guard_kind_counts(functions: Iterable[Function]) -> Dict[str, int]:
+    """Count guard instructions by immediate form across ``functions``:
+    ``entry`` (legacy monomorphic unwinding guards at function entry),
+    ``site`` (polymorphic unwinding site guards), and ``resuming``
+    (notify-and-fall-through site guards) — the observability axis for
+    the speculative-inlining reports."""
+    counts = {"entry": 0, "site": 0, "resuming": 0}
+    for func in functions:
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                if instr.op != "guard":
+                    continue
+                if guard_is_resuming(instr.imm):
+                    counts["resuming"] += 1
+                elif guard_site(instr.imm) is not None:
+                    counts["site"] += 1
+                else:
+                    counts["entry"] += 1
+    return counts
+
+
 def format_pipeline_stats(stats: PipelineStats) -> str:
     """Render mid-end pipeline stats as a paper-style table: one row per
     pass plus a summary row, for the transform-speed reports.
@@ -324,6 +346,9 @@ def format_pipeline_stats(stats: PipelineStats) -> str:
               f"{stats.instrs_before}->{stats.instrs_after} instrs, "
               f"{stats.seconds:.3f}s pipeline "
               f"({stats.workcheck_seconds:.3f}s in work detectors)")
+    table += (f"\ninline: attempted={stats.inline_attempted} "
+              f"committed={stats.inline_committed} "
+              f"rejected_size={stats.inline_rejected_size}")
     if stats.fixpoint_cap_hits:
         table += (f"\nWARNING: fixpoint round cap hit on "
                   f"{stats.fixpoint_cap_hits} function(s)")

@@ -69,6 +69,13 @@ class SpecializationRequest:
     # SpecializedMemory parameters (e.g. tables the bytecode points into).
     extra_const_memory: List[Tuple[int, int]] = dataclasses.field(
         default_factory=list)
+    # Speculative inlining plan: ((site_id, ((table_index, callee_fp),
+    # ...)), ...).  Each entry asks the specializer to splice the named
+    # table entries' bodies into the residual at that call_indirect site,
+    # behind a polymorphic guard on the callee index.  The callee
+    # fingerprints pin the exact bodies the plan was built against, so
+    # cached artifacts cannot be replayed against a different module.
+    inline_plan: Tuple = ()
 
     def name(self) -> str:
         if self.specialized_name:
@@ -83,7 +90,10 @@ class SpecializationRequest:
                 parts.append(f"g{arg.value}")
             else:
                 parts.append("r")
-        return f"{self.generic}.spec.{'_'.join(parts)}"
+        base = f"{self.generic}.spec.{'_'.join(parts)}"
+        if self.inline_plan:
+            base += f".inl{len(self.inline_plan)}"
+        return base
 
     def cache_key(self) -> tuple:
         """A hashable key identifying this request's argument data (used
@@ -92,4 +102,5 @@ class SpecializationRequest:
         frozen_args = tuple(
             (type(a).__name__,) + tuple(dataclasses.asdict(a).items())
             for a in self.args)
-        return (self.generic, frozen_args, tuple(self.extra_const_memory))
+        return (self.generic, frozen_args, tuple(self.extra_const_memory),
+                self.inline_plan)

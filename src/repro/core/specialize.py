@@ -1068,6 +1068,36 @@ def specialize(module: Module, request: SpecializationRequest,
     workflow.
     """
     options = options or SpecializeOptions()
+    plan = getattr(request, "inline_plan", ())
+    if plan:
+        # Speculative inlining: specialize the plan-stripped request
+        # first (the deterministic base residual the site ids were
+        # enumerated against), splice the plan's callees behind
+        # polymorphic guards, then re-run the mid-end — the win is that
+        # optimization now crosses the former call boundary.
+        import dataclasses as _dc
+        from repro.ir.renumber import canonicalize_function
+        from repro.opt.inline import InlineError, apply_inline_plan
+        base_request = _dc.replace(request, inline_plan=())
+        func = specialize(module, base_request, options, memory)
+        spec_stats = func._weval_stats  # noqa: SLF001
+        try:
+            apply_inline_plan(func, module, plan, stats=spec_stats.opt)
+        except InlineError as exc:
+            raise SpecializeError(str(exc)) from exc
+        func.name = request.name()
+        if options.optimize:
+            from repro.opt.pipeline import optimize_function
+            optimize_function(func, max_rounds=options.opt_max_rounds,
+                              config=options.opt_config, module=module,
+                              stats=spec_stats.opt,
+                              verify=options.verify_opt or None,
+                              exhaustive=options.debug_exhaustive)
+        canonicalize_function(func)
+        if stats is not None:
+            stats.merge(spec_stats)
+        func._weval_stats = spec_stats  # noqa: SLF001
+        return func
     spec = _Specializer(module, request, options, memory)
     func = spec.run()
     if options.optimize:

@@ -53,6 +53,10 @@ class PipelineStats:
     blocks_before: int = 0
     blocks_after: int = 0
     seconds: float = 0.0
+    # Speculative inlining decisions (repro.opt.inline).
+    inline_attempted: int = 0        # plan sites considered
+    inline_committed: int = 0        # sites actually spliced
+    inline_rejected_size: int = 0    # targets over the hard size cap
     per_pass: Dict[str, PassStats] = dataclasses.field(default_factory=dict)
 
     def pass_stats(self, name: str) -> PassStats:
@@ -93,6 +97,7 @@ class EngineStats:
     backend_emitted: int = 0         # fresh PyEmitter runs
     backend_source_hits: int = 0     # emitted source loaded from disk
     backend_fallbacks: int = 0
+    inline_requests: int = 0         # requests carrying an inline plan
     specialize_seconds: float = 0.0  # summed across workers (CPU-ish)
     emit_seconds: float = 0.0        # summed across workers
     wall_seconds: float = 0.0        # batch wall clock
@@ -127,6 +132,11 @@ class TieringStats:
     deopts: int = 0
     demotions: int = 0
     promote_seconds: float = 0.0     # wall clock spent inside promotions
+    # Speculative inlining (PR 8): per-call-site speculation lifecycle.
+    inline_sites_planned: int = 0    # sites placed into an inline plan
+    inline_candidates_rejected: int = 0  # hot sites rejected (size/poly)
+    site_misses: int = 0             # resuming-guard misses observed
+    site_demotions: int = 0          # sites retired after a miss/deopt
 
     def merge(self, other: "TieringStats") -> None:
         for field in dataclasses.fields(self):

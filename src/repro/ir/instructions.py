@@ -146,13 +146,28 @@ _OP_LIST = [
     # Globals (all i64).  imm = global name.
     OpInfo("global_get", (), I64, pure=False),
     OpInfo("global_set", (I64,), None, pure=False),
-    # Speculation guard.  imm = the expected i64 constant.  Falls through
-    # when the operand equals the immediate; otherwise control is
-    # transferred back to the function's registered generic fallback
-    # (deoptimization).  Only the specializer emits guards — one per
-    # SpeculatedConst argument, at function entry — and the verifier
-    # enforces that every guard precedes any side-effecting instruction,
-    # so an abandoned speculative prefix is observationally free.
+    # Speculation guard.  Three immediate forms:
+    #
+    # * ``int`` — the expected i64 constant (entry speculation).  Falls
+    #   through when the operand equals the immediate; otherwise the
+    #   activation is abandoned (GuardFailed) and the call deoptimizes
+    #   to the function's registered generic fallback.
+    # * ``(site, (v1, ..., vk))`` — a polymorphic *site* guard: falls
+    #   through when the operand is a member of the value set, abandons
+    #   the activation (GuardFailed with that ``site``) otherwise.
+    # * ``(site, (v1, ..., vk), "resume")`` — a *resuming* site guard
+    #   (materialized deopt state): on a miss it only notifies the VM's
+    #   site-miss hook and falls through, so execution continues in
+    #   place on an already-correct fallback path.
+    #
+    # Unwinding guards (the first two forms) re-run the generic function
+    # on failure, which is only sound while nothing observable has
+    # happened yet: the verifier enforces that no store/call/global_set
+    # can execute on *any* path from function entry to such a guard
+    # (pure ops and loads may precede them; their counter effects are
+    # rolled back on deopt).  Resuming guards carry no such obligation —
+    # control proceeds either way — so the inliner uses them at sites
+    # whose prefix already has effects (see repro.opt.inline).
     OpInfo("guard", (I64,), None, pure=False),
 ]
 
@@ -172,6 +187,25 @@ COMPARISON_OPS = {
     "igt_s", "igt_u", "ige_s", "ige_u",
     "feq", "fne", "flt", "fle", "fgt", "fge",
 }
+
+
+# --- guard immediate helpers (shared by verifier, VM, emitter) -------------
+
+def guard_site(imm) -> Optional[int]:
+    """The deopt-attribution site id of a guard immediate (``None`` for
+    the legacy entry-speculation ``int`` form)."""
+    return imm[0] if isinstance(imm, tuple) else None
+
+
+def guard_values(imm) -> tuple:
+    """The admissible value set of a guard immediate."""
+    return imm[1] if isinstance(imm, tuple) else (imm,)
+
+
+def guard_is_resuming(imm) -> bool:
+    """Whether a guard immediate is the resuming (notify-and-fall-through)
+    form rather than an unwinding (GuardFailed) form."""
+    return isinstance(imm, tuple) and len(imm) == 3 and imm[2] == "resume"
 
 
 @dataclasses.dataclass

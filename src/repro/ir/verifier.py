@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from repro.ir.cfg import reachable_blocks
+from repro.ir.cfg import predecessors, reachable_blocks
 from repro.ir.dominance import DominatorTree
 from repro.ir.function import Function
 from repro.ir.instructions import (
@@ -20,6 +20,7 @@ from repro.ir.instructions import (
     Jump,
     Ret,
     Trap,
+    guard_is_resuming,
     terminator_values,
 )
 from repro.ir.module import Module
@@ -86,30 +87,32 @@ def verify_function(func: Function, module: Module = None) -> None:
                 def_index[instr.result] = i
 
     # Structural and type checks per block.
+    clean_in = _effect_free_dataflow(func, reachable)
     for bid in reachable:
         block = func.blocks[bid]
         _check(block.terminator is not None,
                f"{func.name}: block{bid} lacks a terminator")
-        seen_effect = False
+        clean = clean_in[bid]
         for i, instr in enumerate(block.instrs):
             _verify_instr(func, module, bid, i, instr, def_block)
-            if instr.op == "guard":
-                # Deopt safety: a failed guard abandons the activation
-                # and re-runs the generic function, which is only sound
-                # while nothing observable has happened yet.  Guards are
-                # therefore confined to the entry block, ahead of every
-                # store/call (pure ops and loads may precede them; their
-                # counter effects are rolled back on deopt).
-                _check(bid == func.entry,
-                       f"{func.name}/block{bid}[{i}]: guard outside the "
-                       f"entry block")
-                _check(not seen_effect,
-                       f"{func.name}/block{bid}[{i}]: guard after a "
-                       f"side-effecting instruction")
+            if instr.op == "guard" and not guard_is_resuming(instr.imm):
+                # Deopt safety: a failed unwinding guard abandons the
+                # activation and re-runs the generic function, which is
+                # only sound while nothing observable has happened yet.
+                # The rule is path-based — no store/call/global_set may
+                # execute on *any* path from function entry to the guard
+                # (pure ops and loads may precede it; their counter
+                # effects are rolled back on deopt).  Resuming guards
+                # (``(site, values, "resume")``) are exempt: on a miss
+                # control continues in place, so the prefix is never
+                # abandoned.
+                _check(clean,
+                       f"{func.name}/block{bid}[{i}]: unwinding guard "
+                       f"reachable after a side-effecting instruction")
             info = OPCODES.get(instr.op)
             if info is not None and (info.is_store or info.is_call
                                      or instr.op == "global_set"):
-                seen_effect = True
+                clean = False
         _verify_terminator(func, bid, block.terminator, def_block)
 
     # Dominance checks.
@@ -123,6 +126,66 @@ def verify_function(func: Function, module: Module = None) -> None:
         for value in terminator_values(block.terminator):
             _verify_dominance(func, domtree, def_block, def_index,
                               bid, len(block.instrs), value)
+
+
+def _effect_free_dataflow(func: Function, reachable) -> Dict[int, bool]:
+    """``clean_in[b]``: no store/call/global_set can have executed on any
+    entry→``b`` path.  Forward AND-dataflow from an optimistic start, so
+    the fixpoint is exact on loops (an effect anywhere on a cycle makes
+    every block the cycle reaches dirty)."""
+    has_effect: Dict[int, bool] = {}
+    for bid in reachable:
+        effect = False
+        for instr in func.blocks[bid].instrs:
+            info = OPCODES.get(instr.op)
+            if info is not None and (info.is_store or info.is_call
+                                     or instr.op == "global_set"):
+                effect = True
+                break
+        has_effect[bid] = effect
+    preds = predecessors(func)
+    clean_in = {bid: True for bid in reachable}
+    changed = True
+    while changed:
+        changed = False
+        for bid in reachable:
+            if bid == func.entry:
+                continue
+            value = all(clean_in[p] and not has_effect[p]
+                        for p in preds.get(bid, ()) if p in clean_in)
+            if value != clean_in[bid]:
+                clean_in[bid] = value
+                changed = True
+    return clean_in
+
+
+def _verify_guard_imm(name: str, imm) -> None:
+    """Validate a guard immediate: legacy ``int``, polymorphic
+    ``(site, values)``, or resuming ``(site, values, "resume")``."""
+    if isinstance(imm, int) and not isinstance(imm, bool):
+        _check(0 <= imm < (1 << 64),
+               f"{name}: guard imm must be an unsigned i64 constant")
+        return
+    _check(isinstance(imm, tuple) and len(imm) in (2, 3),
+           f"{name}: guard imm must be an unsigned i64 constant or a "
+           f"(site, values[, \"resume\"]) tuple")
+    site, values = imm[0], imm[1]
+    _check(isinstance(site, int) and not isinstance(site, bool)
+           and site >= 0,
+           f"{name}: guard site must be a non-negative int")
+    _check(isinstance(values, tuple) and len(values) >= 1,
+           f"{name}: guard value set must be a non-empty tuple")
+    previous = -1
+    for value in values:
+        _check(isinstance(value, int) and not isinstance(value, bool)
+               and 0 <= value < (1 << 64),
+               f"{name}: guard value set entries must be unsigned i64")
+        _check(value > previous,
+               f"{name}: guard value set must be strictly increasing")
+        previous = value
+    if len(imm) == 3:
+        _check(imm[2] == "resume",
+               f"{name}: third guard imm element must be \"resume\"")
 
 
 def _verify_instr(func: Function, module, bid: int, index: int,
@@ -158,8 +221,7 @@ def _verify_instr(func: Function, module, bid: int, index: int,
             _check(instr.imm in module.globals,
                    f"{name}: unknown global {instr.imm}")
     if instr.op == "guard":
-        _check(isinstance(instr.imm, int) and 0 <= instr.imm < (1 << 64),
-               f"{name}: guard imm must be an unsigned i64 constant")
+        _verify_guard_imm(name, instr.imm)
         _check(instr.result is None, f"{name}: guard has no result")
     # Fixed-arity ops.
     _check(len(instr.args) == len(info.arg_types),

@@ -380,6 +380,7 @@ class JSRuntime:
                 request=self._js_request(func, js_generic),
                 result_addr=struct_ptr + SPEC_FIELD_WORD * 8,
                 speculate_args=(1,),
+                inline_gate=self._inline_gate,
             ))
         # One entry per IC-corpus stub (the paper's 2320-stub corpus).
         for (kind, shape_id, name_id), stub in sorted(self.corpus.items()):
@@ -389,8 +390,28 @@ class JSRuntime:
                 request=self._ic_request(kind, shape_id, name_id, stub,
                                          ic_generic),
                 result_addr=stub.addr + 24,
+                inline_gate=self._inline_gate,
             ))
         return entries
+
+    def _inline_gate(self, name: str) -> bool:
+        """Embedder policy for speculative inlining: JS function
+        residuals (``js$...``) are always admissible; IC stub residuals
+        (``ic$kind$shape$name``) only while their shape/property pair is
+        still live in the runtime's :class:`ShapeTable` — splicing a
+        stub for a retired shape would bake dead layout knowledge into
+        a caller that outlives it."""
+        base = name.split(".", 1)[0]
+        if not base.startswith("ic$"):
+            return True
+        parts = base.split("$")
+        if len(parts) != 4:
+            return False
+        try:
+            shape_id, name_id = int(parts[2]), int(parts[3])
+        except ValueError:
+            return False
+        return self.shapes.lookup(shape_id, name_id) is not None
 
     def _make_controller(self, options=None, **kwargs):
         from repro.pipeline.tiering import TieringController
@@ -454,7 +475,10 @@ class JSRuntime:
                    backend: Optional[str] = None,
                    jobs: Optional[int] = None,
                    cache_dir: Optional[str] = None,
-                   compile_threshold: int = 0) -> VM:
+                   compile_threshold: int = 0,
+                   inline: bool = False,
+                   inline_min_site_calls: Optional[int] = None,
+                   inline_max_targets: Optional[int] = None) -> VM:
         """Execute main under profile-guided dynamic tier-up.
 
         Execution starts immediately on the generic interpreter (no AOT
@@ -463,16 +487,23 @@ class JSRuntime:
         reproduces the AOT execution bit for bit; ``float("inf")``
         never promotes and matches ``interp_ic``).  ``speculate=True``
         arms guarded frame-pointer speculation with deopt back to the
-        generic interpreter.  The controller is left on
-        ``self.controller`` for inspection.
+        generic interpreter.  ``inline=True`` (requires a staged tier-2
+        window, ``compile_threshold > 0`` with the ``py`` backend) arms
+        speculative call-chain inlining with polymorphic site guards.
+        The controller is left on ``self.controller`` for inspection.
         """
         options = self.options
         if backend is not None:
             options = dataclasses.replace(options, backend=backend)
+        kwargs = {}
+        if inline_min_site_calls is not None:
+            kwargs["inline_min_site_calls"] = inline_min_site_calls
+        if inline_max_targets is not None:
+            kwargs["inline_max_targets"] = inline_max_targets
         controller = self._make_controller(
             options, threshold=threshold,
             speculate=speculate, jobs=jobs, cache_dir=cache_dir,
-            compile_threshold=compile_threshold)
+            compile_threshold=compile_threshold, inline=inline, **kwargs)
         vm = controller.attach(VM(self.module))
         self.controller = controller
         vm.stats.fuel += CODE_LOAD_FUEL_PER_WORD * sum(

@@ -248,6 +248,8 @@ class CompilationEngine:
                          else self.module.memory_init)
         stats = self.stats
         stats.requests += len(requests)
+        stats.inline_requests += sum(
+            1 for r in requests if getattr(r, "inline_plan", ()))
         stats.jobs = max(stats.jobs, self.jobs)
         want_py = self.options.backend == "py"
 

@@ -108,11 +108,19 @@ def _term_from_dict(data):
 
 
 def _imm_to_json(imm):
-    """Immediates are ints, floats, strings, ``None`` — or a
-    :class:`Signature` (``call_indirect``), encoded tagged."""
+    """Immediates are ints, floats, strings, ``None`` — or one of the
+    tagged forms: a :class:`Signature` (``call_indirect``) or a
+    polymorphic guard tuple (``guard``)."""
     if isinstance(imm, Signature):
         return {"sig": [[t.value for t in imm.params],
                         [t.value for t in imm.results]]}
+    if isinstance(imm, tuple):
+        # Polymorphic guard imm: (site, values) or (site, values,
+        # "resume"); JSON has no tuples, so tag it to reconstruct the
+        # exact shape (the verifier insists on tuples).
+        if len(imm) not in (2, 3):
+            raise SerializationError(f"unencodable immediate {imm!r}")
+        return {"guard": [imm[0], list(imm[1]), len(imm) == 3]}
     if imm is None or isinstance(imm, (int, float, str)):
         return imm
     raise SerializationError(f"unencodable immediate {imm!r}")
@@ -120,6 +128,13 @@ def _imm_to_json(imm):
 
 def _imm_from_json(data):
     if isinstance(data, dict):
+        if "guard" in data:
+            try:
+                site, values, resume = data["guard"]
+                imm = (int(site), tuple(int(v) for v in values))
+                return imm + ("resume",) if resume else imm
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SerializationError(f"bad immediate {data!r}") from exc
         try:
             params, results = data["sig"]
             return Signature(tuple(_ty_from(t) for t in params),
@@ -241,6 +256,9 @@ def request_to_dict(request) -> dict:
         "specialized_name": request.specialized_name,
         "extra_const_memory": [[int(a), int(l)]
                                for a, l in request.extra_const_memory],
+        "inline_plan": [[int(site), [[int(idx), str(fp)]
+                                     for idx, fp in targets]]
+                        for site, targets in request.inline_plan],
     }
 
 
@@ -273,7 +291,11 @@ def request_from_dict(data: dict):
             str(data["generic"]), args,
             specialized_name=None if name is None else str(name),
             extra_const_memory=[(int(a), int(l))
-                                for a, l in data["extra_const_memory"]])
+                                for a, l in data["extra_const_memory"]],
+            inline_plan=tuple(
+                (int(site), tuple((int(idx), str(fp))
+                                  for idx, fp in targets))
+                for site, targets in data.get("inline_plan", [])))
     except SerializationError:
         raise
     except (KeyError, TypeError, ValueError) as exc:

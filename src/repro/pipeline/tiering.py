@@ -42,6 +42,22 @@ pins guards ahead of every side effect), re-runs the generic function,
 and notifies the controller, which *demotes exactly once*: the
 speculative residual is retired and the function is respecialized
 without the failed speculation, so steady state never ping-pongs.
+
+**Speculative inlining (PR 8).**  With ``inline=True`` (staged tier 2
+only) the controller additionally profiles ``call_indirect`` *sites*
+inside promoted residuals during the tier-1 window: the VM's site hook
+records a per-site histogram of callee table indices.  When the
+function earns its backend compile, hot nearly-monomorphic sites become
+an **inline plan** — ``(site, ((table_index, callee_fingerprint),
+...))`` entries carried on the
+:class:`~repro.core.request.SpecializationRequest` (and so in the cache
+and artifact keys) — and the respecialized residual splices the callee
+bodies at those sites behind polymorphic guards
+(:mod:`repro.opt.inline`).  A guard miss demotes **per site**, exactly
+once: the site id travels on the resuming guard's VM notification (or
+on :class:`~repro.vm.machine.GuardFailed` for unwinding guards), and
+the controller respecializes with that one site removed from the plan
+while every other speculation survives.
 """
 
 from __future__ import annotations
@@ -50,6 +66,7 @@ import dataclasses
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.cache import function_fingerprint
 from repro.core.request import (
     Runtime,
     SpecializationRequest,
@@ -71,6 +88,13 @@ DEFAULT_THRESHOLD = 8
 # function that is entered rarely but spins long loops still promotes
 # (at its next call boundary).
 BACKEDGE_WEIGHT = 512
+
+# Inlining defaults: a site must have been observed this many times in
+# the tier-1 window, with at most this many distinct callees, and each
+# callee residual at most this many instructions.
+INLINE_MIN_SITE_CALLS = 4
+INLINE_MAX_TARGETS = 2
+INLINE_MAX_INSTRS = 400
 
 _UNSTABLE = object()
 
@@ -104,6 +128,12 @@ class TierEntry:
     # a content-derived token (e.g. a hash of the guest program) so heat
     # follows the program, not the address.
     heat_key: Optional[str] = None
+    # Embedder policy hook for speculative inlining: given a candidate
+    # callee's installed function name, return whether its body may be
+    # spliced into this function's residual (e.g. the JS runtime admits
+    # IC stubs only while their shape is still live in the shape table).
+    # ``None`` admits every structurally eligible callee.
+    inline_gate: Optional[object] = None
 
 
 class FunctionProfile:
@@ -112,7 +142,9 @@ class FunctionProfile:
     __slots__ = ("entry", "calls", "backedges", "tier", "installed_name",
                  "table_index", "deopts", "samples", "no_speculate",
                  "calls_at_promotion", "tier2_attempted",
-                 "published_calls", "published_backedges")
+                 "published_calls", "published_backedges",
+                 "site_callees", "no_inline_sites", "inline_plan",
+                 "active_request")
 
     def __init__(self, entry: TierEntry):
         self.entry = entry
@@ -136,6 +168,16 @@ class FunctionProfile:
         self.samples: Dict[int, object] = {}
         self.no_speculate = False
         self.calls_at_promotion = 0
+        # Per-call-site callee histograms from the tier-1 window:
+        # site id -> {table index -> count}.
+        self.site_callees: Dict[int, Dict[int, int]] = {}
+        # Sites whose speculation failed once — never replanned.
+        self.no_inline_sites: set = set()
+        # The inline plan the installed residual was built with.
+        self.inline_plan: tuple = ()
+        # The request actually used at promotion (speculation applied);
+        # inline (re)specializations derive from it.
+        self.active_request: Optional[SpecializationRequest] = None
 
     def score(self, backedge_weight: int) -> int:
         return self.calls + self.backedges // backedge_weight
@@ -167,7 +209,11 @@ class TieringController:
                  threshold: float = DEFAULT_THRESHOLD,
                  speculate: bool = False,
                  backedge_weight: int = BACKEDGE_WEIGHT,
-                 compile_threshold: int = 0):
+                 compile_threshold: int = 0,
+                 inline: bool = False,
+                 inline_max_targets: int = INLINE_MAX_TARGETS,
+                 inline_min_site_calls: int = INLINE_MIN_SITE_CALLS,
+                 inline_max_instrs: int = INLINE_MAX_INSTRS):
         self.module = module
         self.options = options or SpecializeOptions()
         self.threshold = (DEFAULT_THRESHOLD if threshold is None
@@ -178,6 +224,17 @@ class TieringController:
         self.want_py = self.options.backend == "py"
         staged = self.want_py and compile_threshold > 0
         self._staged_tier2 = staged
+        self.inline = inline
+        self.inline_max_targets = max(1, inline_max_targets)
+        self.inline_min_site_calls = max(1, inline_min_site_calls)
+        self.inline_max_instrs = inline_max_instrs
+        if inline and not staged:
+            # Site histograms only exist while a promoted residual runs
+            # on the VM with its dispatch slot unpatched — that *is* the
+            # staged tier-1 window.
+            raise ValueError(
+                "inline=True requires a staged tier-2 window "
+                "(backend='py' and compile_threshold > 0)")
         # In staged mode the engine specializes to residual IR only; the
         # backend emit for a function is paid when *it* reaches tier 2.
         compiler_options = (dataclasses.replace(self.options, backend="vm")
@@ -192,6 +249,11 @@ class TieringController:
         self._speculative: Dict[str, FunctionProfile] = {}
         self._last_profile: Optional[FunctionProfile] = None
         self._backedges_seen = 0
+        # Installed residual name -> owning profile (all installs, old
+        # names kept for in-flight frames); and the subset of names
+        # currently in their site-profiling window.
+        self._site_owner: Dict[str, FunctionProfile] = {}
+        self._site_profiled: set = set()
 
     # ------------------------------------------------------------------
     # Setup.
@@ -239,6 +301,10 @@ class TieringController:
         vm.tier_generics = frozenset(self._key_index)
         vm.deopt_hook = self._on_deopt
         vm.count_backedges = True
+        if self.inline:
+            vm.site_profile_hook = self._on_site
+            vm.site_miss_hook = self._on_site_miss
+            vm.site_profile_functions = frozenset(self._site_profiled)
         return vm
 
     # ------------------------------------------------------------------
@@ -424,6 +490,7 @@ class TieringController:
         profile.table_index = item.table_index
         profile.calls_at_promotion = profile.calls
         profile.tier2_attempted = False
+        profile.active_request = request
         vm = self.vm
         if speculative:
             # A failed guard must land in the *runnable* generic body.
@@ -436,6 +503,12 @@ class TieringController:
             # compiler just wrote.
             vm.store_u64(entry.result_addr, 0)
             profile.tier = 1
+            if self.inline:
+                # The tier-1 window doubles as the site-profiling
+                # window for this residual.
+                self._site_owner[name] = profile
+                self._site_profiled.add(name)
+                vm.site_profile_functions = frozenset(self._site_profiled)
         elif self.want_py:
             pyfunc = self.compiler.backend_functions.get(name)
             if pyfunc is not None:
@@ -454,8 +527,12 @@ class TieringController:
         """Compile an already-promoted residual to tier 2 and patch the
         guest dispatch slot (staged mode only).  One attempt per
         promotion: an emitter fallback leaves the function on the tier-1
-        residual for good."""
+        residual for good.  With inlining on, this is also the moment
+        the site histograms gathered in the tier-1 window become an
+        inline plan and the residual is respecialized with it."""
         profile.tier2_attempted = True
+        if self.inline:
+            self._install_inline(profile)
         name = profile.installed_name
         compiled = self.compiler.compile_backend([name])
         if name in compiled:
@@ -463,20 +540,173 @@ class TieringController:
             profile.tier = 2
             self.stats.tier2_installs += 1
         self.vm.store_u64(profile.entry.result_addr, profile.table_index)
+        if self.inline:
+            self._site_profiled.discard(name)
+            self.vm.site_profile_functions = frozenset(self._site_profiled)
+
+    # ------------------------------------------------------------------
+    # Speculative inlining (plan building and per-site demotion).
+    # ------------------------------------------------------------------
+    def _inlinable_target(self, entry: TierEntry, profile: FunctionProfile,
+                          index: int) -> Optional[Tuple[int, str]]:
+        """Vet one observed callee table index; ``None`` rejects the
+        whole site (the guard must cover every hot callee, or it would
+        just miss its way to a demotion)."""
+        if not (0 < index < len(self.module.table)):
+            return None
+        name = self.module.table[index]
+        if name is None:
+            return None
+        callee = self.module.functions.get(name)
+        if callee is None or callee.entry is None:
+            return None
+        if index == profile.table_index:
+            return None  # self-recursion only grows the body
+        if self.inline_max_instrs is not None and \
+                callee.num_instrs() > self.inline_max_instrs:
+            return None
+        if entry.inline_gate is not None and not entry.inline_gate(name):
+            return None
+        return index, function_fingerprint(callee)
+
+    def _build_plan(self, profile: FunctionProfile) -> tuple:
+        """Turn the tier-1 window's site histograms into an inline plan
+        (deterministically ordered by site id)."""
+        entry = profile.entry
+        plan = []
+        for site in sorted(profile.site_callees):
+            if site in profile.no_inline_sites:
+                continue
+            hist = profile.site_callees[site]
+            if sum(hist.values()) < self.inline_min_site_calls:
+                continue
+            if len(hist) > self.inline_max_targets:
+                self.stats.inline_candidates_rejected += 1
+                continue
+            targets = []
+            for index in sorted(hist):
+                target = self._inlinable_target(entry, profile, index)
+                if target is None:
+                    targets = None
+                    break
+                targets.append(target)
+            if not targets:
+                self.stats.inline_candidates_rejected += 1
+                continue
+            plan.append((site, tuple(targets)))
+        return tuple(plan)
+
+    def _install_inline(self, profile: FunctionProfile) -> None:
+        """Respecialize ``profile``'s function with an inline plan built
+        from its site histograms (no-op when no site qualifies)."""
+        plan = self._build_plan(profile)
+        if not plan:
+            return
+        self._respecialize_with_plan(profile, plan)
+        self.stats.inline_sites_planned += len(plan)
+
+    def _respecialize_with_plan(self, profile: FunctionProfile,
+                                plan: tuple) -> None:
+        """Compile and install the residual for ``active_request`` +
+        ``plan`` (which may be empty: that is exactly the base
+        residual's request, so the engine cache serves it)."""
+        entry = profile.entry
+        request = profile.active_request or entry.request
+        if plan:
+            request = dataclasses.replace(request, inline_plan=plan)
+        self.compiler.enqueue(request, entry.result_addr)
+        item = self.compiler.process_requests()[-1]
+        old_name = profile.installed_name
+        name = item.function_name
+        profile.installed_name = name
+        profile.table_index = item.table_index
+        profile.inline_plan = plan
+        self._site_owner[name] = profile
+        if old_name is not None and old_name in self._speculative:
+            # The entry speculation travels with the function, not with
+            # one residual: keep demote-once working under the new name.
+            self._speculative[name] = self._speculative.pop(old_name)
+        if self._needs_fallback(name):
+            self.vm.deopt_fallbacks[name] = entry.generic
+
+    def _needs_fallback(self, name: str) -> bool:
+        """True when the installed residual contains an *unwinding*
+        guard (legacy int imm or ``(site, values)``) — only those raise
+        :class:`GuardFailed` and need a registered generic fallback."""
+        func = self.module.functions.get(name)
+        if func is None:
+            return False
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                if instr.op == "guard" and (
+                        not isinstance(instr.imm, tuple)
+                        or len(instr.imm) == 2):
+                    return True
+        return False
+
+    def _on_site(self, name: str, site: int, index: int) -> None:
+        """VM site-profiling hook: one ``call_indirect`` dispatch inside
+        a residual in its tier-1 window."""
+        profile = self._site_owner.get(name)
+        if profile is None:
+            return
+        hist = profile.site_callees.setdefault(site, {})
+        hist[index] = hist.get(index, 0) + 1
+
+    def _on_site_miss(self, name: str, site: int) -> None:
+        """VM notification from a *resuming* inline guard: the callee at
+        ``site`` was not in the speculated set.  Execution continued on
+        the materialized slow path, so only the plan needs repair."""
+        self.stats.site_misses += 1
+        profile = self._site_owner.get(name)
+        if profile is None:
+            return
+        self._demote_site(profile, site)
+
+    def _demote_site(self, profile: FunctionProfile, site: int) -> None:
+        """Retire one speculation site, exactly once: respecialize with
+        the remaining plan; every other inlined site survives."""
+        if site in profile.no_inline_sites:
+            return  # in-flight frames of the retired residual
+        start = time.perf_counter()
+        profile.no_inline_sites.add(site)
+        self.stats.site_demotions += 1
+        plan = tuple(e for e in profile.inline_plan if e[0] != site)
+        self._respecialize_with_plan(profile, plan)
+        name = profile.installed_name
+        if profile.tier == 2:
+            compiled = self.compiler.compile_backend([name])
+            if name in compiled:
+                self.vm.install_compiled({name: compiled[name]})
+                self.stats.tier2_installs += 1
+            else:
+                profile.tier = 1
+        self.vm.store_u64(profile.entry.result_addr, profile.table_index)
+        self.stats.promote_seconds += time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Deopt (guard failure at a call boundary).
     # ------------------------------------------------------------------
-    def _on_deopt(self, name: str) -> None:
+    def _on_deopt(self, name: str, site: Optional[int] = None) -> None:
         self.stats.deopts += 1
         # The VM has just rolled its counters back to the pre-call
         # snapshot, which can sit *below* the controller's backedge
         # high-water mark; without a resync the next call boundary would
         # compute a negative delta and drain heat from whichever profile
-        # happened to be most recent.
+        # happened to be most recent.  This covers the mid-function
+        # unwind path too: a polymorphic guard deep in the body abandons
+        # backedges its own loops already counted.
         if self.vm is not None and \
                 self.vm.stats.backedges < self._backedges_seen:
             self._backedges_seen = self.vm.stats.backedges
+        if site is not None:
+            # Per-site attribution: an unwinding polymorphic guard
+            # failed.  Demote that one site, never the whole function
+            # (and never an unrelated guard in the same function).
+            profile = self._site_owner.get(name)
+            if profile is not None:
+                self._demote_site(profile, site)
+            return
         profile = self._speculative.pop(name, None)
         if profile is None:
             # Already demoted (an in-flight frame hit the same retired
@@ -517,4 +747,10 @@ class TieringController:
             f"(speculative={stats.speculative_promotions}) "
             f"deopts={stats.deopts} demotions={stats.demotions} "
             f"promote={stats.promote_seconds * 1000:.1f}ms")
+        if self.inline:
+            lines.append(
+                f"inline: sites={stats.inline_sites_planned} "
+                f"rejected={stats.inline_candidates_rejected} "
+                f"misses={stats.site_misses} "
+                f"site_demotions={stats.site_demotions}")
         return "\n".join(lines)

@@ -60,11 +60,18 @@ class GuardFailed(Exception):
     the outer function's entry guards have long passed and its body may
     have observable effects, so rolling the outer call back would be
     unsound.
+
+    ``site`` attributes the failure to one speculation site (a
+    polymorphic inline guard's site id); ``None`` means a function-level
+    entry guard.  The tiering controller uses it to demote exactly the
+    failed speculation, never an unrelated guard in the same function.
     """
 
-    def __init__(self, function: str, message: Optional[str] = None):
+    def __init__(self, function: str, message: Optional[str] = None,
+                 site: Optional[int] = None):
         super().__init__(message if message is not None else function)
         self.function = function
+        self.site = site
 
 
 @dataclasses.dataclass
@@ -125,6 +132,19 @@ class VM:
         self.tier_generics: frozenset = frozenset()
         self.deopt_fallbacks: Dict[str, str] = {}
         self.deopt_hook = None
+        # Per-call-site profiling and resuming-guard notification
+        # (speculative inlining).  ``site_profile_hook(name, site,
+        # index)`` observes the callee table index of each call_indirect
+        # executed in a function named in ``site_profile_functions``;
+        # ``site_miss_hook(name, site)`` is notified when a resuming
+        # site guard misses (execution continues on the fallback path).
+        self.site_profile_hook = None
+        self.site_profile_functions: frozenset = frozenset()
+        self.site_miss_hook = None
+        # name -> (function object, {id(instr): site id}) — call sites
+        # enumerated once per profiled residual, identity-validated like
+        # the backedge cache below.
+        self._site_id_cache: Dict[str, tuple] = {}
         # Backward-jump profiling (tier 0 loop counters); off by default
         # so the interpreter hot loop is untouched outside tiered mode.
         self.count_backedges = False
@@ -219,10 +239,12 @@ class VM:
     def _call_guarded(self, name: str, args) -> object:
         """Call a speculatively specialized function with deopt support.
 
-        A :class:`GuardFailed` from the callee's entry guards rolls the
-        execution counters back to the call boundary and re-runs the
+        A :class:`GuardFailed` from the callee's unwinding guards rolls
+        the execution counters back to the call boundary and re-runs the
         registered generic fallback with the same arguments, so the call
-        is observably identical to one that was never specialized.
+        is observably identical to one that was never specialized.  The
+        verifier's path rule (no observable effect between entry and any
+        unwinding guard) makes this sound even for mid-function guards.
         """
         saved = self.stats.snapshot()
         try:
@@ -237,7 +259,7 @@ class VM:
                 raise
             self.stats.restore(saved)
             if self.deopt_hook is not None:
-                self.deopt_hook(name)
+                self.deopt_hook(name, exc.site)
             fallback = self.deopt_fallbacks[name]
             func = self.module.functions.get(fallback)
             if func is None:
@@ -281,6 +303,27 @@ class VM:
         edges = retreating_edges(func)
         self._backedge_cache[func.name] = (func, edges)
         return edges
+
+    def notify_site_miss(self, name: str, site: int) -> None:
+        """A resuming site guard missed in ``name``; execution continues
+        on its fallback path.  Called by both the IR interpretation of
+        resuming guards and compiled tier-2 code."""
+        if self.site_miss_hook is not None:
+            self.site_miss_hook(name, site)
+
+    def _call_sites(self, func: Function) -> Dict[int, int]:
+        """``id(instr) -> site id`` for ``func``'s call_indirect sites,
+        numbered in block-id order (the canonical residual order the
+        inliner uses), cached with the same identity discipline as the
+        backedge cache."""
+        cached = self._site_id_cache.get(func.name)
+        if cached is not None and cached[0] is func:
+            return cached[1]
+        from repro.opt.inline import enumerate_call_sites
+        sites = {id(instr): site
+                 for site, _bid, _idx, instr in enumerate_call_sites(func)}
+        self._site_id_cache[func.name] = (func, sites)
+        return sites
 
     def _eval(self, func: Function, args: List[object]) -> object:
         entry = func.entry_block()
@@ -520,6 +563,11 @@ class VM:
                         env[instr.result] = result
                 elif op == "call_indirect":
                     index = env[instr.args[0]]
+                    if self.site_profile_hook is not None and \
+                            func.name in self.site_profile_functions:
+                        self.site_profile_hook(
+                            func.name,
+                            self._call_sites(func)[id(instr)], index)
                     result = self.call_table(
                         index, [env[a] for a in instr.args[1:]])
                     if instr.result is not None:
@@ -531,10 +579,24 @@ class VM:
                     self.globals[instr.imm] = env[instr.args[0]]
                 # --- speculation -----------------------------------------
                 elif op == "guard":
-                    if env[instr.args[0]] != instr.imm:
+                    imm = instr.imm
+                    if isinstance(imm, tuple):
+                        if env[instr.args[0]] not in imm[1]:
+                            if len(imm) == 3:
+                                # Resuming guard: record the miss and fall
+                                # through to the materialized slow path.
+                                self.notify_site_miss(func.name, imm[0])
+                            else:
+                                raise GuardFailed(
+                                    func.name,
+                                    f"{func.name}: guard at site {imm[0]} "
+                                    f"expected one of {imm[1]}, "
+                                    f"got {env[instr.args[0]]}",
+                                    site=imm[0])
+                    elif env[instr.args[0]] != imm:
                         raise GuardFailed(
                             func.name,
-                            f"{func.name}: guard expected {instr.imm}, "
+                            f"{func.name}: guard expected {imm}, "
                             f"got {env[instr.args[0]]}")
                 else:
                     raise VMTrap(f"unimplemented opcode {op}")

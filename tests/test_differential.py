@@ -32,6 +32,14 @@ executes.  The Min tier additionally arms guarded value speculation
 with an input that changes mid-workload, exercising the guard-failure
 deopt path (identical results, exactly one demotion).
 
+The **inlined tier** drives seeded hot call chains through a
+first-class dispatcher under speculative inlining
+(:mod:`repro.opt.inline`): inlining-off must stay bit-identical to the
+existing staged tiered flow, inlining-on must preserve prints exactly
+(some seeds switch callees mid-run, so the polymorphic site guard's
+miss/demote path is exercised), and both emit modes must agree on fuel
+within each configuration.
+
 The generators are structured (bounded counted loops, forward skips,
 guarded conditionals) so every program terminates; MiniLua programs
 include integer division and remainder whose divisors may reach zero,
@@ -489,6 +497,86 @@ def test_js_tiered(seed):
     assert vm_one.stats.fuel == vm_aot.stats.fuel, (
         f"seed {seed} config {config}: tiered-1 fuel "
         f"{vm_one.stats.fuel} != AOT {vm_aot.stats.fuel}")
+
+
+# ---------------------------------------------------------------------------
+# Inlined tier: hot MiniJS call chains under speculative inlining.
+# ---------------------------------------------------------------------------
+
+N_INLINE = 4
+
+
+def random_js_callchain(rng: random.Random) -> str:
+    """A seeded MiniJS program whose heat is a call chain through a
+    first-class dispatcher: warm-up loops tier the leaf callees, then a
+    hot loop drives them through ``apply`` so the dispatch site is
+    nearly monomorphic — and, on odd seeds, switches callee mid-run to
+    exercise the polymorphic guard's miss path."""
+    leaves = []
+    for n in range(3):
+        body = _js_expr(rng, ["x"], 2)
+        leaves.append(f"function f{n}(x) {{ return {body}; }}")
+    first, second = rng.sample(range(3), 2)
+    lines = leaves + [
+        "function apply(f, x) { return f(x); }",
+        "var w = 0;",
+        "var k = 0;",
+        f"while (k < 8) {{ w = w + f{first}(k) + f{second}(k); "
+        "k = k + 1; }",
+        "var t = w;",
+        "var i = 0;",
+        f"while (i < {rng.randint(20, 30)}) "
+        f"{{ t = t + apply(f{first}, i); i = i + 1; }}",
+    ]
+    if rng.random() < 0.5:  # phase change: the guard must miss
+        lines.extend([
+            "var j = 0;",
+            f"while (j < {rng.randint(15, 25)}) "
+            f"{{ t = t + apply(f{second}, j); j = j + 1; }}",
+        ])
+    lines.append("print(t);")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("seed", range(N_INLINE))
+def test_js_inlined_differential(seed):
+    """Three-way differential on hot call chains: the interpreter, the
+    staged tiered flow with inlining off, and with inlining on must
+    print identically; within each config the two emit modes must agree
+    on deterministic fuel.  Inlining-off stays bit-identical (fuel
+    included) across this sweep; inlining-on may change fuel (it
+    executes different residual code) but never output."""
+    rng = random.Random(0x111E + seed)
+    source = random_js_callchain(rng)
+    reference = JSRuntime(source, "interp_ic")
+    reference.run()
+
+    fuel = {}
+    for inline in (False, True):
+        for mode in EMIT_MODES:
+            options = SpecializeOptions(backend="py", emit_mode=mode)
+            runtime = JSRuntime(source, "wevaled", options=options)
+            kwargs = dict(threshold=2, compile_threshold=3)
+            if inline:
+                kwargs.update(inline=True, inline_min_site_calls=2)
+            vm = runtime.run_tiered(**kwargs)
+            assert runtime.printed == reference.printed, (
+                f"seed {seed} inline={inline} mode {mode}:\n{source}\n"
+                f"interp={reference.printed!r} got={runtime.printed!r}")
+            fuel[(inline, mode)] = vm.stats.fuel
+            stats = runtime.controller.stats
+            if not inline:
+                assert stats.inline_sites_planned == 0
+            else:
+                # Demotion, when exercised, retires per site and at
+                # most once per site (one dispatch site here).
+                assert stats.site_demotions <= 1
+                assert stats.demotions == 0
+    for inline in (False, True):
+        modes_fuel = {fuel[(inline, mode)] for mode in EMIT_MODES}
+        assert len(modes_fuel) == 1, (
+            f"seed {seed} inline={inline}: emit modes disagree on fuel "
+            f"{modes_fuel}")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,442 @@
+"""Unit tests for speculative call-site inlining (PR 8).
+
+Covers the :mod:`repro.opt.inline` pass on hand-built modules (splice
+shape, both miss-block forms, polymorphic dispatch chains, hard-error
+plan validation), the VM/backend agreement on inlined residuals
+(results, deopt rollback, site-miss notification, and exhaustive
+fuel-limit sweeps across both emit modes), serialization round-trips
+for the new guard imm forms and request inline plans, and the
+controller's per-*site* demotion policy end-to-end on a MiniJS
+phase-change workload.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.backend import EMIT_MODES, compile_function
+from repro.core.cache import function_fingerprint
+from repro.core.request import Runtime, SpecializationRequest
+from repro.core.specialize import SpecializeOptions
+from repro.core.stats import PipelineStats
+from repro.ir import FunctionBuilder, I64, Module, Signature
+from repro.ir.verifier import verify_function
+from repro.jsvm import JSRuntime
+from repro.opt.inline import (
+    INLINE_HARD_CAP,
+    InlineError,
+    apply_inline_plan,
+    enumerate_call_sites,
+)
+from repro.pipeline.serialize import (
+    function_from_dict,
+    function_to_dict,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.vm import VM
+from repro.vm.machine import GuardFailed, OutOfFuel
+
+SIG1 = Signature((I64,), (I64,))
+SCRATCH = 256  # heap cell the effectful caller bumps before its call
+
+
+def _leaf(name: str, op: str, k: int):
+    """x -> x <op> k, the inlinable callee shape."""
+    fb = FunctionBuilder(name, SIG1)
+    x = fb.entry.params[0][0]
+    fb.ret(fb.binop(op, x, fb.iconst(k)))
+    return fb.finish()
+
+
+def _caller(name: str, effectful: bool, loop_trips: int):
+    """``f(sel, x)``: optionally spin a pure counted loop (backedges
+    before the site), optionally bump a heap cell (a side effect before
+    the site), then ``r = table[sel](x)`` in a non-entry block followed
+    by a suffix (``return r + 7``) that keeps using the call's result —
+    the join-block splice must preserve that dataflow.
+    """
+    fb = FunctionBuilder(name, Signature((I64, I64), (I64,)))
+    sel = fb.entry.params[0][0]
+    x = fb.entry.params[1][0]
+    body = fb.new_block()
+    if loop_trips:
+        loop = fb.new_block([I64])
+        fb.jump(loop, [fb.iconst(loop_trips)])
+        fb.switch_to(loop)
+        i = loop.params[0][0]
+        i2 = fb.isub(i, fb.iconst(1))
+        fb.br_if(fb.ine(i2, fb.iconst(0)), loop, body, [i2], [])
+    else:
+        fb.jump(body)
+    fb.switch_to(body)
+    if effectful:
+        addr = fb.iconst(SCRATCH)
+        fb.store64(addr, fb.iadd(fb.load64(addr), fb.iconst(1)))
+    r = fb.call_indirect(SIG1, sel, [x])
+    fb.ret(fb.iadd(r, fb.iconst(7)))
+    return fb.finish()
+
+
+def _make_module(effectful: bool = False, loop_trips: int = 0):
+    """Module with three tabled leaves and a guarded caller pair; the
+    un-spliced ``caller_gen`` doubles as the deopt fallback."""
+    module = Module(memory_size=4096)
+    for func in (_leaf("add1", "iadd", 1), _leaf("dbl", "imul", 2),
+                 _leaf("flip", "ixor", 255)):
+        module.add_function(func)
+    index = {name: module.add_table_entry(name)
+             for name in ("add1", "dbl", "flip")}
+    module.add_function(_caller("caller", effectful, loop_trips))
+    module.add_function(_caller("caller_gen", effectful, loop_trips))
+    return module, index
+
+
+def _plan(module, index, *names, site: int = 0):
+    return ((site, tuple((index[n],
+                          function_fingerprint(module.functions[n]))
+                         for n in names)),)
+
+
+def _spliced(targets=("add1",), effectful=False, loop_trips=0,
+             stats=None):
+    module, index = _make_module(effectful, loop_trips)
+    plan = _plan(module, index, *targets)
+    apply_inline_plan(module.functions["caller"], module, plan,
+                      stats=stats)
+    verify_function(module.functions["caller"], module)
+    return module, index
+
+
+def _guards(func):
+    return [instr for block in func.blocks.values()
+            for instr in block.instrs if instr.op == "guard"]
+
+
+# ---------------------------------------------------------------------------
+# Splice shape and plan validation.
+# ---------------------------------------------------------------------------
+
+class TestSplice:
+    def test_clean_site_gets_unwinding_guard(self):
+        stats = PipelineStats()
+        module, index = _spliced(stats=stats)
+        guards = _guards(module.functions["caller"])
+        assert len(guards) == 1
+        assert guards[0].imm == (0, (index["add1"],))  # no "resume"
+        assert stats.inline_attempted == 1
+        assert stats.inline_committed == 1
+
+    def test_effectful_site_gets_resuming_guard(self):
+        module, index = _spliced(effectful=True)
+        guards = _guards(module.functions["caller"])
+        assert len(guards) == 1
+        assert guards[0].imm == (0, (index["add1"],), "resume")
+        # The materialized slow path keeps the original dynamic call.
+        assert any(i.op == "call_indirect"
+                   for b in module.functions["caller"].blocks.values()
+                   for i in b.instrs)
+
+    def test_inlined_dispatch_runs_the_callee(self):
+        module, index = _spliced()
+        ref, _ = _make_module()
+        for x in (0, 5, 41):
+            got = VM(module).call("caller", [index["add1"], x])
+            want = VM(ref).call("caller", [index["add1"], x])
+            assert got == want == x + 1 + 7
+
+    def test_polymorphic_chain_covers_both_targets(self):
+        module, index = _spliced(targets=("add1", "dbl"))
+        guards = _guards(module.functions["caller"])
+        assert guards[0].imm[1] == tuple(sorted(
+            (index["add1"], index["dbl"])))
+        for name, want in (("add1", 5 + 1 + 7), ("dbl", 5 * 2 + 7)):
+            assert VM(module).call("caller", [index[name], 5]) == want
+        with pytest.raises(GuardFailed):
+            VM(module).call("caller", [index["flip"], 5])
+
+    def test_site_result_feeds_the_suffix(self):
+        # return r + 7 after the splice: the join block must own the
+        # original result id.  (Covered implicitly above; pinned here.)
+        module, index = _spliced(targets=("dbl",))
+        assert VM(module).call("caller", [index["dbl"], 9]) == 25
+
+    def test_sites_enumerate_in_block_id_order(self):
+        module, _ = _make_module()
+        sites = list(enumerate_call_sites(module.functions["caller"]))
+        assert [s[0] for s in sites] == [0]
+        assert sites[0][3].op == "call_indirect"
+
+    def test_self_inlining_skipped(self):
+        module, index = _make_module()
+        caller = module.functions["caller"]
+        self_idx = module.add_table_entry("caller")
+        plan = ((0, ((self_idx, function_fingerprint(caller)),)),)
+        apply_inline_plan(caller, module, plan)
+        assert not _guards(caller)  # site left as the dynamic call
+
+    def test_oversized_callee_rejected_with_stats(self):
+        module, index = _make_module()
+        fb = FunctionBuilder("huge", SIG1)
+        acc = fb.entry.params[0][0]
+        for _ in range(INLINE_HARD_CAP + 1):
+            acc = fb.iadd(acc, fb.iconst(1))
+        fb.ret(acc)
+        module.add_function(fb.finish())
+        huge_idx = module.add_table_entry("huge")
+        stats = PipelineStats()
+        plan = ((0, ((huge_idx,
+                      function_fingerprint(module.functions["huge"])),)),)
+        apply_inline_plan(module.functions["caller"], module, plan,
+                          stats=stats)
+        assert stats.inline_rejected_size == 1
+        assert not _guards(module.functions["caller"])
+
+    def test_fingerprint_mismatch_is_a_hard_error(self):
+        module, index = _make_module()
+        plan = ((0, ((index["add1"], "not-the-fingerprint"),)),)
+        with pytest.raises(InlineError, match="fingerprint"):
+            apply_inline_plan(module.functions["caller"], module, plan)
+
+    def test_unknown_site_is_a_hard_error(self):
+        module, index = _make_module()
+        with pytest.raises(InlineError, match="unknown site"):
+            apply_inline_plan(module.functions["caller"], module,
+                              _plan(module, index, "add1", site=3))
+
+    def test_null_table_slot_is_a_hard_error(self):
+        module, index = _make_module()
+        plan = ((0, ((0, "x"),)),)
+        with pytest.raises(InlineError, match="table"):
+            apply_inline_plan(module.functions["caller"], module, plan)
+
+
+# ---------------------------------------------------------------------------
+# Miss-path semantics: unwinding deopt and resuming site-miss notify.
+# ---------------------------------------------------------------------------
+
+class TestMissPaths:
+    def test_unwinding_miss_raises_with_site_attribution(self):
+        module, index = _spliced()
+        with pytest.raises(GuardFailed) as excinfo:
+            VM(module).call("caller", [index["dbl"], 3])
+        assert excinfo.value.function == "caller"
+        assert excinfo.value.site == 0
+
+    @pytest.mark.parametrize("backend", ["vm"] + list(EMIT_MODES))
+    def test_unwinding_deopt_is_observably_generic(self, backend):
+        """A guard miss deep in the body (after a counted loop's
+        backedges) rolls back to the pre-call snapshot and re-runs the
+        generic caller: results AND every counter — fuel, loads,
+        stores, backedges — match a VM that never specialized."""
+        module, index = _spliced(loop_trips=5)
+        vm = VM(module)
+        vm.deopt_fallbacks["caller"] = "caller_gen"
+        if backend in EMIT_MODES:
+            compiled = compile_function(module.functions["caller"],
+                                        module, mode=backend)
+            vm.install_compiled({"caller": compiled.pyfunc})
+        deopts = []
+        vm.deopt_hook = lambda name, site=None: deopts.append((name, site))
+        ref_module, _ = _make_module(loop_trips=5)
+        ref = VM(ref_module)
+        got = vm.call("caller", [index["dbl"], 3])
+        want = ref.call("caller_gen", [index["dbl"], 3])
+        assert got == want
+        assert deopts == [("caller", 0)]
+        assert vm.stats.fuel == ref.stats.fuel
+        assert vm.stats.loads == ref.stats.loads
+        assert vm.stats.stores == ref.stats.stores
+        assert vm.stats.backedges == ref.stats.backedges
+
+    @pytest.mark.parametrize("backend", ["vm"] + list(EMIT_MODES))
+    def test_resuming_miss_notifies_and_continues(self, backend):
+        """The effectful caller's miss block re-issues the dynamic call
+        in place: no unwind, identical result and side-effect count,
+        one site-miss notification."""
+        module, index = _spliced(effectful=True)
+        vm = VM(module)
+        if backend in EMIT_MODES:
+            compiled = compile_function(module.functions["caller"],
+                                        module, mode=backend)
+            vm.install_compiled({"caller": compiled.pyfunc})
+        misses = []
+        vm.site_miss_hook = lambda name, site: misses.append((name, site))
+        ref_module, _ = _make_module(effectful=True)
+        ref = VM(ref_module)
+        got = vm.call("caller", [index["dbl"], 4])
+        want = ref.call("caller_gen", [index["dbl"], 4])
+        assert got == want == 4 * 2 + 7
+        assert misses == [("caller", 0)]
+        assert vm.load_u64(SCRATCH) == 1  # prefix effect ran exactly once
+
+    def test_resuming_hit_does_not_notify(self):
+        module, index = _spliced(effectful=True)
+        vm = VM(module)
+        misses = []
+        vm.site_miss_hook = lambda name, site: misses.append((name, site))
+        assert vm.call("caller", [index["add1"], 4]) == 4 + 1 + 7
+        assert misses == []
+
+
+# ---------------------------------------------------------------------------
+# Backend agreement: results and exhaustive fuel sweeps, both emit modes.
+# ---------------------------------------------------------------------------
+
+def _run_limited(module, compiled_fn, args, fuel_limit):
+    vm = VM(module, fuel_limit=fuel_limit)
+    if compiled_fn is not None:
+        vm.install_compiled({"caller": compiled_fn})
+    vm.deopt_fallbacks["caller"] = "caller_gen"
+    try:
+        return ("ok", vm.call("caller", list(args)), vm.stats.fuel)
+    except OutOfFuel:
+        return ("out-of-fuel", None, None)
+
+
+class TestEmitAgreement:
+    @pytest.mark.parametrize("effectful", [False, True])
+    def test_fuel_identical_across_modes(self, effectful):
+        module, index = _spliced(targets=("add1", "dbl"),
+                                 effectful=effectful, loop_trips=3)
+        compiled = {mode: compile_function(module.functions["caller"],
+                                           module, mode=mode)
+                    for mode in EMIT_MODES}
+        for sel in ("add1", "dbl", "flip"):
+            args = (index[sel], 6)
+            reference = _run_limited(module, None, args, None)
+            assert reference[0] == "ok"
+            for mode in EMIT_MODES:
+                got = _run_limited(module, compiled[mode].pyfunc, args,
+                                   None)
+                assert got == reference, (
+                    f"sel {sel} mode {mode}: {got!r} != {reference!r}")
+
+    @pytest.mark.parametrize("effectful", [False, True])
+    def test_exhaustive_fuel_limit_sweep(self, effectful):
+        """OutOfFuel agreement at every limit up to a full run, on both
+        the inlined fast path and the miss path: fuel batching in the
+        compiled tiers must trap at the exact VM boundary even through
+        mid-function guards and deopt re-dispatch."""
+        module, index = _spliced(effectful=effectful, loop_trips=3)
+        compiled = {mode: compile_function(module.functions["caller"],
+                                           module, mode=mode)
+                    for mode in EMIT_MODES}
+        for sel in ("add1", "dbl"):  # hit path and miss path
+            args = (index[sel], 6)
+            full = _run_limited(module, None, args, None)[2]
+            for limit in range(1, full + 1):
+                reference = _run_limited(module, None, args, limit)
+                for mode in EMIT_MODES:
+                    got = _run_limited(module, compiled[mode].pyfunc,
+                                       args, limit)
+                    assert got == reference, (
+                        f"sel {sel} limit {limit} mode {mode}: "
+                        f"{got!r} != {reference!r}")
+
+
+# ---------------------------------------------------------------------------
+# Serialization: guard imm forms and request inline plans.
+# ---------------------------------------------------------------------------
+
+class TestSerialization:
+    @pytest.mark.parametrize("effectful", [False, True])
+    def test_spliced_function_round_trips(self, effectful):
+        module, _ = _spliced(targets=("add1", "dbl"), effectful=effectful)
+        func = module.functions["caller"]
+        payload = function_to_dict(func)
+        import json
+        restored = function_from_dict(json.loads(json.dumps(payload)))
+        verify_function(restored, module)
+        assert function_to_dict(restored) == payload
+        assert [i.imm for i in _guards(restored)] == \
+            [i.imm for i in _guards(func)]
+
+    def test_request_inline_plan_round_trips(self):
+        request = SpecializationRequest(
+            "caller", [Runtime(), Runtime()], specialized_name="spec",
+            inline_plan=((0, ((2, "aa"), (3, "bb"))), (4, ((1, "cc"),))))
+        restored = request_from_dict(request_to_dict(request))
+        assert restored.inline_plan == request.inline_plan
+        assert restored.cache_key() == request.cache_key()
+
+    def test_plain_request_decodes_with_empty_plan(self):
+        request = SpecializationRequest("caller", [Runtime()],
+                                        specialized_name="spec")
+        data = request_to_dict(request)
+        data.pop("inline_plan", None)  # pre-PR-8 artifact shape
+        assert request_from_dict(data).inline_plan == ()
+
+    def test_plan_changes_name_and_cache_key(self):
+        base = SpecializationRequest("caller", [Runtime()])
+        planned = dataclasses.replace(
+            base, inline_plan=((0, ((2, "aa"),)),))
+        assert planned.name() != base.name()
+        assert planned.cache_key() != base.cache_key()
+
+
+# ---------------------------------------------------------------------------
+# Controller policy: per-site demotion on a MiniJS phase change.
+# ---------------------------------------------------------------------------
+
+# The warm-up loop drives ``inc`` to tier 2 *before* ``apply``'s
+# profiling window opens: a staged callee's dispatch slot stays
+# un-patched until its own tier-2 install, so ``apply``'s site only
+# observes (and the controller only inlines) callees that are already
+# compiled — exactly the steady-state chains worth splicing.
+PHASE_CHANGE_SRC = "\n".join([
+    "function inc(x) { return x + 1; }",
+    "function dbl(x) { return x * 2; }",
+    "function apply(f, x) { return f(x); }",
+    "var w = 0;",
+    "var k = 0;",
+    "while (k < 8) { w = inc(w); k = k + 1; }",
+    "var t = w;",
+    "var i = 0;",
+    "while (i < 30) { t = t + apply(inc, i); i = i + 1; }",
+    "var j = 0;",
+    "while (j < 30) { t = t + apply(dbl, j); j = j + 1; }",
+    "print(t);",
+])
+
+
+class TestControllerInline:
+    def test_inline_requires_staged_tier2_window(self):
+        runtime = JSRuntime(PHASE_CHANGE_SRC, "wevaled",
+                            options=SpecializeOptions(backend="py"))
+        with pytest.raises(ValueError, match="staged"):
+            runtime.run_tiered(threshold=2, inline=True)
+
+    def test_phase_change_demotes_site_exactly_once(self):
+        """The ``apply`` dispatch site is speculated on ``inc`` during
+        the profiling window; the mid-run switch to ``dbl`` must miss
+        the polymorphic guard, demote that one *site* exactly once,
+        respecialize without it, and keep the output identical to the
+        interpreter."""
+        reference = JSRuntime(PHASE_CHANGE_SRC, "interp_ic")
+        reference.run()
+        runtime = JSRuntime(PHASE_CHANGE_SRC, "wevaled",
+                            options=SpecializeOptions(backend="py"))
+        runtime.run_tiered(threshold=2, compile_threshold=3,
+                           inline=True, inline_min_site_calls=2)
+        assert runtime.printed == reference.printed
+        stats = runtime.controller.stats
+        assert stats.inline_sites_planned >= 1
+        assert stats.site_misses >= 1
+        assert stats.site_demotions == 1  # one site, exactly once
+        # The whole-function speculation machinery was not involved.
+        assert stats.demotions == 0
+
+    def test_inline_off_is_unchanged(self):
+        """``inline=False`` staged tier-2 plans nothing and keeps its
+        existing behavior byte for byte (prints and fuel)."""
+        reference = JSRuntime(PHASE_CHANGE_SRC, "wevaled",
+                              options=SpecializeOptions(backend="py"))
+        vm_ref = reference.run_tiered(threshold=2, compile_threshold=3)
+        runtime = JSRuntime(PHASE_CHANGE_SRC, "wevaled",
+                            options=SpecializeOptions(backend="py"))
+        vm_off = runtime.run_tiered(threshold=2, compile_threshold=3,
+                                    inline=False)
+        assert runtime.printed == reference.printed
+        assert vm_off.stats.fuel == vm_ref.stats.fuel
+        assert runtime.controller.stats.inline_sites_planned == 0

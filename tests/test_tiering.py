@@ -2,8 +2,9 @@
 
 Covers the pieces the differential tier exercises only end-to-end:
 
-* the ``guard`` instruction's verifier placement rules (entry block
-  only, ahead of any side effect);
+* the ``guard`` instruction's verifier placement rules (an unwinding
+  guard may appear anywhere no side effect can precede it on *any*
+  entry path; resuming site guards are exempt);
 * VM deopt mechanics — counter rollback, fallback dispatch, and the
   exactness of the "as if never specialized" contract on both
   execution backends;
@@ -37,7 +38,8 @@ def _args(program, value):
 # Verifier rules for guards.
 # ---------------------------------------------------------------------------
 
-def _guard_func(guard_block: str = "entry", after_store: bool = False):
+def _guard_func(guard_block: str = "entry", after_store: bool = False,
+                imm=7):
     func = Function("g", Signature((I64,), (I64,)))
     entry = func.new_block()
     func.entry = entry.id
@@ -45,13 +47,16 @@ def _guard_func(guard_block: str = "entry", after_store: bool = False):
     entry.params = [(param, I64)]
     func.value_types[param] = I64
     other = func.new_block()
-    guard = Instr("guard", None, (param,), 7, None)
+    guard = Instr("guard", None, (param,), imm, None)
     if guard_block == "entry":
         if after_store:
             entry.instrs.append(Instr("store64", None, (param, param),
                                       0, None))
         entry.instrs.append(guard)
     else:
+        if after_store:
+            entry.instrs.append(Instr("store64", None, (param, param),
+                                      0, None))
         other.instrs.append(guard)
     entry.terminator = Jump(BlockCall(other.id, ()))
     other.terminator = Ret((param,))
@@ -62,19 +67,47 @@ class TestGuardVerification:
     def test_entry_guard_accepted(self):
         verify_function(_guard_func())
 
-    def test_guard_outside_entry_rejected(self):
-        with pytest.raises(VerificationError, match="outside the entry"):
-            verify_function(_guard_func(guard_block="other"))
+    def test_mid_function_guard_with_clean_prefix_accepted(self):
+        # PR 8 relaxation: an unwinding guard is legal anywhere no
+        # store/call/global_set can execute on any entry path to it.
+        verify_function(_guard_func(guard_block="other"))
 
     def test_guard_after_side_effect_rejected(self):
         with pytest.raises(VerificationError, match="after a side"):
             verify_function(_guard_func(after_store=True))
+
+    def test_mid_function_guard_after_effectful_path_rejected(self):
+        with pytest.raises(VerificationError, match="after a side"):
+            verify_function(_guard_func(guard_block="other",
+                                        after_store=True))
+
+    def test_resuming_guard_after_side_effect_accepted(self):
+        # Resuming guards carry a materialized deopt state: control
+        # falls through on a miss, so effectful prefixes are fine.
+        verify_function(_guard_func(guard_block="other", after_store=True,
+                                    imm=(0, (7,), "resume")))
+
+    def test_polymorphic_guard_with_clean_prefix_accepted(self):
+        verify_function(_guard_func(imm=(2, (3, 9))))
 
     def test_guard_imm_must_be_u64(self):
         func = _guard_func()
         func.entry_block().instrs[0].imm = "nope"
         with pytest.raises(VerificationError, match="guard imm"):
             verify_function(func)
+
+    @pytest.mark.parametrize("imm", [
+        (-1, (3,)),               # negative site
+        (0, ()),                  # empty value set
+        (0, (9, 3)),              # not strictly increasing
+        (0, (3, 3)),              # duplicate
+        (0, (1 << 64,)),          # out of u64 range
+        (0, (3,), "retry"),       # bad third element
+        (0, (3,), "resume", 4),   # wrong arity
+    ])
+    def test_bad_polymorphic_imms_rejected(self, imm):
+        with pytest.raises(VerificationError, match="guard"):
+            verify_function(_guard_func(imm=imm))
 
     def test_speculated_residual_verifies(self):
         program = sum_to_n_program(5)
@@ -143,7 +176,7 @@ class TestDeopt:
         vm.install_compiled({"spec_g": compiled.pyfunc})
         vm.deopt_fallbacks["spec_g"] = "min_interp"
         seen = []
-        vm.deopt_hook = seen.append
+        vm.deopt_hook = lambda name, site=None: seen.append(name)
         ref = VM(module)
         assert vm.call("spec_g", _args(program, 5)) == \
             ref.call("min_interp", _args(program, 5))
@@ -257,7 +290,7 @@ class TestNestedDeopt:
             self._install_compiled(vm, module,
                                    ["outer_spec", "inner_spec"])
         deopts = []
-        vm.deopt_hook = deopts.append
+        vm.deopt_hook = lambda name, site=None: deopts.append(name)
         assert vm.call("outer_spec", [3]) == expected
         assert deopts == ["inner_spec"]  # inner boundary, exactly once
         assert vm.load_u64(_COUNTER) == 1  # outer side effect not redone
@@ -274,7 +307,7 @@ class TestNestedDeopt:
             self._install_compiled(vm, module,
                                    ["outer_spec", "inner_spec"])
         deopts = []
-        vm.deopt_hook = deopts.append
+        vm.deopt_hook = lambda name, site=None: deopts.append(name)
         with pytest.raises(GuardFailed) as excinfo:
             vm.call("outer_spec", [3])
         assert excinfo.value.function == "inner_spec"
