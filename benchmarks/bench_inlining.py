@@ -92,9 +92,10 @@ class Service:
     dispatch shape as bench_tiering's Service), running under the
     staged dynamic tier-up pipeline."""
 
-    def __init__(self, source: str, cache_dir=None, **tiered_kwargs):
+    def __init__(self, source: str, cache_dir=None, options=None,
+                 **tiered_kwargs):
         self.rt = JSRuntime(source, "wevaled_state",
-                            options=SpecializeOptions(
+                            options=options or SpecializeOptions(
                                 backend="py", emit_mode="structured"))
         self.structs = {f.name: self.rt.func_addrs[f.index]
                         for f in self.rt.compiled.functions}

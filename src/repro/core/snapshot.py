@@ -51,6 +51,10 @@ class ProcessedRequest:
     result_addr: int
     cache_hit: bool            # in-memory SpecializationCache hit
     artifact_hit: bool = False  # residual loaded from the on-disk store
+    # Fault containment: a request whose compile crashed.  The module,
+    # table, and heap were left untouched (table_index is -1) — the
+    # guest keeps calling whatever the slot already held, i.e. tier 0.
+    error: Optional[str] = None
 
 
 class SnapshotCompiler:
@@ -120,6 +124,16 @@ class SnapshotCompiler:
 
         processed = []
         for (request, result_addr), result in zip(batch, results):
+            if result.error is not None:
+                # Contained compile failure: apply *nothing* for this
+                # request — no module mutation, no table slot, no heap
+                # patch — so the guest's function pointer still names
+                # the generic tier-0 path.  Sibling requests in the
+                # same batch are applied normally.
+                processed.append(ProcessedRequest(
+                    request, request.name(), -1, result_addr,
+                    False, False, error=result.error))
+                continue
             func = result.function
             stats = getattr(func, "_weval_stats", None)
             if stats is not None:
@@ -178,7 +192,8 @@ class SnapshotCompiler:
         if full:
             if self._backend_compiled:
                 return self.backend_functions
-            names = [p.function_name for p in self.processed]
+            names = [p.function_name for p in self.processed
+                     if p.error is None]
         start = time.perf_counter()
         todo = [n for n in names if n not in self.backend_functions]
         compiled, fallbacks = self.engine.compile_backend_functions(todo)

@@ -140,6 +140,12 @@ class SpecializeOptions:
     # duplication, never correctness, so this is a sound safety valve
     # against runaway specialization of dynamically-unreachable paths.
     max_contexts: int = 100_000
+    # Deterministic fault injection for the robustness tier
+    # (repro.pipeline.faults.FaultPlan, or None for production).  The
+    # plan only *fails* pipeline stages — it never changes what a
+    # successful compile produces — so, like ``jobs``/``pool``, it is
+    # deliberately NOT part of any cache key.
+    fault_plan: Optional[object] = None
     # Escape hatch for the fixpoint engine's throughput machinery:
     # disables unchanged-input meet skipping in the specializer and both
     # levels of mid-end pass skipping (dirty sets and work detectors),

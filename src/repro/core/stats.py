@@ -102,6 +102,12 @@ class EngineStats:
     emit_seconds: float = 0.0        # summed across workers
     wall_seconds: float = 0.0        # batch wall clock
     jobs: int = 0                    # max worker count used so far
+    # Fault containment (PR 9): per-request failures and degradations.
+    requests_failed: int = 0         # results returned with .error set
+    pool_rebuilds: int = 0           # broken process pool, rebuilt once
+    pool_degradations: int = 0       # ... broken again: threads for good
+    store_write_failures: int = 0    # artifact-store writes that failed
+    store_degraded: int = 0          # 1 while the store is memory-only
 
     def merge(self, other: "EngineStats") -> None:
         for field in dataclasses.fields(self):
@@ -137,6 +143,14 @@ class TieringStats:
     inline_candidates_rejected: int = 0  # hot sites rejected (size/poly)
     site_misses: int = 0             # resuming-guard misses observed
     site_demotions: int = 0          # sites retired after a miss/deopt
+    # Fault containment (PR 9): quarantine / blacklist / storm breaker.
+    compile_failures: int = 0        # contained promotion exceptions
+    quarantines: int = 0             # functions put into backoff
+    quarantine_retries: int = 0      # promotion retried after backoff
+    quarantine_recoveries: int = 0   # ... and the retry succeeded
+    blacklists: int = 0              # functions pinned tier-0 for good
+    storm_pins: int = 0              # functions pinned generic by the
+                                     # deopt-storm breaker
 
     def merge(self, other: "TieringStats") -> None:
         for field in dataclasses.fields(self):

@@ -44,6 +44,7 @@ from repro.pipeline.artifacts import (
     residual_fingerprint,
 )
 from repro.pipeline.engine import CompilationEngine, EngineResult
+from repro.pipeline.faults import SEAMS, FaultInjected, FaultPlan
 from repro.pipeline.profiles import (
     PROFILE_VERSION,
     ProfileStore,
@@ -62,6 +63,7 @@ from repro.pipeline.serialize import (
 from repro.pipeline.tiering import (
     DEFAULT_THRESHOLD,
     FunctionProfile,
+    PromotionError,
     TierEntry,
     TieringController,
 )
@@ -71,11 +73,15 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "EMITTER_VERSION",
     "PROFILE_VERSION",
+    "SEAMS",
     "ArtifactStore",
     "CompilationEngine",
     "EngineResult",
+    "FaultInjected",
+    "FaultPlan",
     "FunctionProfile",
     "ProfileStore",
+    "PromotionError",
     "SerializationError",
     "TierEntry",
     "TieringController",

@@ -84,6 +84,15 @@ HIT = "hit"
 MISS = "miss"
 INVALID = "invalid"  # present but unusable: version/fp skew, corruption
 
+# Consecutive write failures (OSError, lost reread validation, injected
+# outage) after which a store stops touching the disk and degrades to a
+# memory-only overlay for the rest of the process.  Write failures under
+# healthy operation are one-off (a lost cross-process race); a run of
+# them means the disk is gone (full, read-only, revoked) and every
+# further attempt would burn a temp-file round trip per artifact on the
+# serving path.
+DEGRADE_AFTER_WRITE_FAILURES = 3
+
 
 def _digest(parts: Tuple) -> str:
     """Stable hex digest of a key tuple (reprs of ints/strs/tuples are
@@ -207,14 +216,41 @@ def locked_write_json(lock_root: str, path: str, data: dict,
 
 
 class ArtifactStore:
-    """One directory of compilation artifacts, shared across processes."""
+    """One directory of compilation artifacts, shared across processes.
 
-    def __init__(self, root: str):
+    **Degraded mode.**  Store writes must never fail a build, and they
+    must also never *bleed* — a dead disk turning every compile into a
+    temp-file dance.  After :data:`DEGRADE_AFTER_WRITE_FAILURES`
+    consecutive write failures the store flips to a memory-only overlay:
+    writes land in ``self._memory`` (so warm reuse within this process
+    still works), the disk is left alone, and the condition is surfaced
+    through :meth:`health` (and from there
+    ``EngineStats.store_degradations`` / the tiering report) instead of
+    ever raising into a serving request.  ``fault_plan`` injects
+    read-corruption and write-failure faults at this store's seams
+    (:mod:`repro.pipeline.faults`).
+    """
+
+    def __init__(self, root: str, fault_plan=None):
         self.root = root
         self.spec_dir = os.path.join(root, "spec")
         self.py_dir = os.path.join(root, "py")
         os.makedirs(self.spec_dir, exist_ok=True)
         os.makedirs(self.py_dir, exist_ok=True)
+        self.fault_plan = fault_plan
+        self.degraded = False
+        self.write_failures = 0
+        self._consecutive_write_failures = 0
+        # path -> payload dict; populated only in degraded mode, and
+        # consulted before the disk so degraded-mode writes stay
+        # observable to this process's loads.
+        self._memory: dict = {}
+
+    def health(self) -> dict:
+        """The store's fault-containment state, for stats surfaces."""
+        return {"degraded": self.degraded,
+                "write_failures": self.write_failures,
+                "memory_entries": len(self._memory)}
 
     # ------------------------------------------------------------------
     # Low-level IO.
@@ -234,6 +270,21 @@ class ArtifactStore:
             return None, INVALID
         return data, HIT
 
+    def _load_json(self, path: str) -> Tuple[Optional[dict], str]:
+        """Entry load: the degraded-mode memory overlay shadows the
+        disk, and an injected read fault reads as corruption (the
+        ``INVALID`` path the engine already treats as "recompile")."""
+        overlay = self._memory.get(path)
+        if overlay is not None:
+            if not isinstance(overlay, dict) or \
+                    overlay.get("version") != ARTIFACT_VERSION:
+                return None, INVALID
+            return overlay, HIT
+        plan = self.fault_plan
+        if plan is not None and plan.fires("store_read"):
+            return None, INVALID
+        return self._read_json(path)
+
     def _write_json(self, path: str, data: dict,
                     stored_ok: Callable[[dict], bool]) -> bool:
         """Atomically publish ``data`` at ``path`` and prove it landed.
@@ -241,14 +292,39 @@ class ArtifactStore:
         Delegates to :func:`locked_write_json` (advisory lock + temp
         file + ``os.replace``), validating the reread with ``stored_ok``
         — a write that cannot be read back whole is a failed write, not
-        a poisoned store.
+        a poisoned store.  Failures accumulate toward degraded mode
+        (see the class docstring); in degraded mode the entry lands in
+        the memory overlay and the call reports success.
         """
+        if self.degraded:
+            self._memory[path] = data
+            return True
+
         def validate(written: str) -> bool:
             reread, status = self._read_json(written)
             return status == HIT and reread is not None \
                 and stored_ok(reread)
 
-        return locked_write_json(self.root, path, data, validate)
+        plan = self.fault_plan
+        ok = False
+        if plan is None or not plan.fires("store_write"):
+            try:
+                ok = locked_write_json(self.root, path, data, validate)
+            except Exception:
+                # The write helpers are designed never to raise; this
+                # is the containment backstop for the unforeseen (and
+                # for hostile monkeypatching in the chaos tier).
+                ok = False
+        if ok:
+            self._consecutive_write_failures = 0
+            return True
+        self.write_failures += 1
+        self._consecutive_write_failures += 1
+        if self._consecutive_write_failures >= DEGRADE_AFTER_WRITE_FAILURES:
+            self.degraded = True
+            self._memory[path] = data
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Residual IR artifacts.
@@ -259,7 +335,8 @@ class ArtifactStore:
     def has_residual(self, key: Tuple) -> bool:
         """Whether *some* artifact exists for ``key`` (existence only —
         a corrupt file still counts; it will be diagnosed on load)."""
-        return os.path.exists(self.spec_path(key))
+        path = self.spec_path(key)
+        return path in self._memory or os.path.exists(path)
 
     def load_residual(self, key: Tuple, name: str,
                       generic_fingerprint: str,
@@ -272,7 +349,7 @@ class ArtifactStore:
         re-checked here, so a digest collision or a hand-edited file is
         caught the same way as corruption: silent recompile.
         """
-        data, status = self._read_json(self.spec_path(key))
+        data, status = self._load_json(self.spec_path(key))
         if data is None:
             return None, status
         if data.get("generic_fingerprint") != generic_fingerprint or \
@@ -324,7 +401,7 @@ class ArtifactStore:
         fallback marker means the emitter already determined this
         residual cannot be compiled, so warm runs skip the re-attempt.
         """
-        data, status = self._read_json(self.py_path(residual_fp, mode))
+        data, status = self._load_json(self.py_path(residual_fp, mode))
         if data is None:
             return None, status
         source = data.get("source")

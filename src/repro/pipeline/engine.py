@@ -41,6 +41,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.cache import (
@@ -62,6 +63,7 @@ from repro.pipeline.artifacts import (
     ArtifactStore,
     residual_fingerprint,
 )
+from repro.pipeline.faults import FaultInjected, plan_from_options
 from repro.pipeline.serialize import (
     SerializationError,
     function_from_dict,
@@ -98,7 +100,8 @@ def _process_worker_init(module_payload: dict, options, snapshot: bytes,
     store = None
     if store_root:
         try:
-            store = ArtifactStore(store_root)
+            store = ArtifactStore(store_root,
+                                  fault_plan=plan_from_options(options))
         except OSError:
             store = None
     _WORKER_STATE["module"] = module_from_dict(module_payload)
@@ -113,27 +116,40 @@ def _process_specialize(item: tuple):
     Mirrors ``CompilationEngine._make_specialize_task`` exactly; the
     residual ships back serialized with its specialization stats.  A
     residual the encoding cannot express returns the ``"raw"`` marker
-    and the parent recomputes that one plan locally.
+    and the parent recomputes that one plan locally; a task that raises
+    (including injected ``specialize``/``verify`` faults) returns the
+    ``"error"`` marker with the message — a worker never lets an
+    exception escape, because one poisoned task must fail one request,
+    not the whole pool.
     """
     request_data, key, name = item
     module = _WORKER_STATE["module"]
     options = _WORKER_STATE["options"]
     snapshot = _WORKER_STATE["snapshot"]
     store = _WORKER_STATE["store"]
+    fault = plan_from_options(options)
     begin = time.perf_counter()
     artifact_status = MISS
     func: Optional[Function] = None
-    if store is not None:
-        func, artifact_status = store.load_residual(
-            key, name, key[0], key[2])
-        if func is not None:
-            try:
-                verify_function(func, module)
-            except VerificationError:
-                func, artifact_status = None, INVALID
-    if func is None:
-        request = request_from_dict(request_data)
-        func = specialize(module, request, options, snapshot)
+    try:
+        if store is not None:
+            func, artifact_status = store.load_residual(
+                key, name, key[0], key[2])
+            if func is not None:
+                try:
+                    verify_function(func, module)
+                except VerificationError:
+                    func, artifact_status = None, INVALID
+        if func is None:
+            request = request_from_dict(request_data)
+            if fault is not None:
+                fault.check("specialize")
+            func = specialize(module, request, options, snapshot)
+            if fault is not None:
+                fault.check("verify")
+    except Exception as exc:
+        return ("error", f"{type(exc).__name__}: {exc}", artifact_status,
+                time.perf_counter() - begin)
     stats = getattr(func, "_weval_stats", None)
     try:
         payload = function_to_dict(func)
@@ -155,16 +171,35 @@ class EngineResult:
     populated when the engine's backend is ``"py"``;
     ``fallback_reason`` records a residual the emitter cannot express
     (it stays on the IR VM).
+
+    ``error`` is the fault-containment surface: an exception anywhere in
+    this request's pipeline (specialize, verify, emit, a crashed pool
+    worker) fails *this result only* — ``function`` is ``None``, nothing
+    was cached or stored for it, and the rest of the batch is
+    unaffected.  Callers must treat an errored result as "stay on the
+    current tier"; the tiering controller turns it into quarantine.
     """
 
     request: SpecializationRequest
-    function: Function
+    function: Optional[Function]
     cache_hit: bool = False
     artifact_hit: bool = False
     specialized: bool = False
     py_source: Optional[str] = None
     pyfunc: Optional[Callable] = None
     fallback_reason: Optional[str] = None
+    error: Optional[str] = None
+
+
+class _TaskFailure:
+    """Marker a pure-stage task returns in place of its result when it
+    raised: the exception is contained at the task boundary so pool
+    workers stay healthy and sibling requests complete normally."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
 
 
 class _Plan:
@@ -172,7 +207,7 @@ class _Plan:
 
     __slots__ = ("request", "name", "key", "func", "cache_hit",
                  "artifact_hit", "specialized", "dup_of",
-                 "py_source", "py_fallback", "py_from_store")
+                 "py_source", "py_fallback", "py_from_store", "error")
 
     def __init__(self, request: SpecializationRequest, name: str,
                  key: tuple):
@@ -187,6 +222,7 @@ class _Plan:
         self.py_source: Optional[str] = None
         self.py_fallback: Optional[str] = None
         self.py_from_store = False
+        self.error: Optional[str] = None
 
 
 class CompilationEngine:
@@ -203,11 +239,12 @@ class CompilationEngine:
         self.cache = cache
         self.jobs = max(1, jobs if jobs is not None else self.options.jobs)
         self.pool = self.options.pool
+        self.fault_plan = plan_from_options(self.options)
         root = cache_dir if cache_dir is not None else self.options.cache_dir
         self.store: Optional[ArtifactStore] = None
         if root:
             try:
-                self.store = ArtifactStore(root)
+                self.store = ArtifactStore(root, fault_plan=self.fault_plan)
             except OSError:
                 # An uncreatable cache directory (read-only image, path
                 # collision) degrades to "no cache", never to a failed
@@ -224,10 +261,16 @@ class CompilationEngine:
         in submission order regardless of completion order."""
         if self.jobs == 1 or len(thunks) <= 1:
             return [thunk() for thunk in thunks]
-        with ThreadPoolExecutor(
-                max_workers=min(self.jobs, len(thunks))) as pool:
+        pool = ThreadPoolExecutor(max_workers=min(self.jobs, len(thunks)))
+        try:
             futures = [pool.submit(thunk) for thunk in thunks]
             return [future.result() for future in futures]
+        finally:
+            # Tear the executor down on *every* exit path, and cancel
+            # queued thunks when one result raised — without
+            # cancel_futures a failing batch used to block here until
+            # every already-queued sibling ran to completion.
+            pool.shutdown(wait=True, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # Batch compilation.
@@ -279,9 +322,14 @@ class CompilationEngine:
                   if plan.func is None and plan.dup_of is None]
         outcomes = self._specialize_misses(misses, snapshot)
         for plan, (func, artifact_status, seconds) in zip(misses, outcomes):
-            plan.func = func
-            plan.artifact_hit = artifact_status == HIT
-            plan.specialized = not plan.artifact_hit
+            if isinstance(func, _TaskFailure):
+                # Contained task crash: fail this request, leave every
+                # sibling (and the caches) untouched.
+                plan.error = func.message
+            else:
+                plan.func = func
+                plan.artifact_hit = artifact_status == HIT
+                plan.specialized = not plan.artifact_hit
             if artifact_status == INVALID:
                 stats.artifact_invalid += 1
             stats.specialize_seconds += seconds
@@ -290,6 +338,11 @@ class CompilationEngine:
         for plan in plans:
             if plan.dup_of is not None:
                 producer = plans[plan.dup_of]
+                if producer.error is not None:
+                    # The producer crashed; its duplicates share the
+                    # failure (there is no residual to clone).
+                    plan.error = producer.error
+                    continue
                 plan.func = clone_function(producer.func, plan.name)
                 plan.cache_hit = True
                 if self.cache is not None:
@@ -299,22 +352,29 @@ class CompilationEngine:
 
         # Stage 2 (parallel, pure): backend emission for every function.
         if want_py:
+            emit_plans = [plan for plan in plans if plan.error is None]
             emitted = self._run_all(
-                [self._make_emit_task(plan) for plan in plans])
+                [self._make_emit_task(plan) for plan in emit_plans])
             for plan, (source, fallback, status, seconds) in zip(
-                    plans, emitted):
-                plan.py_source = source
-                plan.py_fallback = fallback
-                plan.py_from_store = status == HIT
+                    emit_plans, emitted):
+                if isinstance(source, _TaskFailure):
+                    plan.error = source.message
+                else:
+                    plan.py_source = source
+                    plan.py_fallback = fallback
+                    plan.py_from_store = status == HIT
                 if status == INVALID:
                     stats.artifact_invalid += 1
                 stats.emit_seconds += seconds
 
         # Stage 3 (serial, request order): cache/artifact writes and
-        # ``exec`` of emitted source.
+        # ``exec`` of emitted source.  Errored plans write nothing — a
+        # crashed stage must not leave partial state in the caches.
         results = []
         for plan in plans:
-            if plan.cache_hit:
+            if plan.error is not None:
+                stats.requests_failed += 1
+            elif plan.cache_hit:
                 stats.cache_hits += 1
                 if self.store is not None and plan.dup_of is None and \
                         not self.store.has_residual(plan.key):
@@ -341,6 +401,10 @@ class CompilationEngine:
                             plan.key[0], plan.key[2]):
                         stats.artifacts_written += 1
             results.append(self._finalize(plan))
+        if self.store is not None:
+            health = self.store.health()
+            stats.store_write_failures = health["write_failures"]
+            stats.store_degraded = 1 if health["degraded"] else 0
         stats.wall_seconds += time.perf_counter() - start
         return results
 
@@ -365,7 +429,18 @@ class CompilationEngine:
                                  ) -> Optional[List[Tuple[Function, str,
                                                           float]]]:
         """Stage 1 on a :class:`ProcessPoolExecutor`; ``None`` means
-        "use the thread path" (unserializable payloads)."""
+        "use the thread path" (unserializable payloads, or a pool the
+        engine just degraded away from).
+
+        Pool-level failure containment: a broken pool (a worker
+        segfaulted or was OOM-killed — surfaced by ``concurrent.futures``
+        as :class:`BrokenProcessPool` at the batch boundary) is retried
+        once with a fresh pool, because one dead worker is usually
+        transient.  A second consecutive failure flips ``self.pool`` to
+        ``"thread"`` for the rest of the session: threads cannot crash
+        independently of the parent, so tier-up keeps working at
+        in-process speed instead of failing every batch.
+        """
         try:
             module_payload = module_to_dict(self.module)
             items = [(request_to_dict(plan.request), plan.key, plan.name)
@@ -373,15 +448,38 @@ class CompilationEngine:
         except SerializationError:
             return None
         store_root = self.store.root if self.store is not None else None
-        with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(misses)),
-                initializer=_process_worker_init,
-                initargs=(module_payload, self.options, snapshot,
-                          store_root)) as pool:
-            shipped = list(pool.map(_process_specialize, items))
+        fault = self.fault_plan
+        failures = 0
+        while True:
+            pool = None
+            try:
+                if fault is not None and fault.fires("pool_worker"):
+                    raise BrokenProcessPool(
+                        "injected fault at seam 'pool_worker'")
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(misses)),
+                    initializer=_process_worker_init,
+                    initargs=(module_payload, self.options, snapshot,
+                              store_root))
+                shipped = list(pool.map(_process_specialize, items))
+                break
+            except (BrokenProcessPool, OSError):
+                failures += 1
+                if failures == 1:
+                    self.stats.pool_rebuilds += 1
+                    continue
+                self.pool = "thread"
+                self.stats.pool_degradations += 1
+                return None
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=True, cancel_futures=True)
         outcomes = []
         for plan, (payload, spec_stats, status, seconds) in zip(misses,
                                                                 shipped):
+            if payload == "error":
+                outcomes.append((_TaskFailure(spec_stats), status, seconds))
+                continue
             if payload == "raw":
                 # The worker specialized fine but could not serialize
                 # the residual back; recompute this one plan locally.
@@ -395,31 +493,48 @@ class CompilationEngine:
         return outcomes
 
     def _make_specialize_task(self, plan: _Plan, snapshot: bytes):
-        def task() -> Tuple[Function, str, float]:
+        fault = self.fault_plan
+
+        def task() -> Tuple[object, str, float]:
             begin = time.perf_counter()
             artifact_status = MISS
             func: Optional[Function] = None
-            if self.store is not None:
-                func, artifact_status = self.store.load_residual(
-                    plan.key, plan.name, plan.key[0], plan.key[2])
-                if func is not None:
-                    try:
-                        # Disk artifacts sit outside the process's trust
-                        # boundary: verify before use, and treat a
-                        # rejection exactly like corruption.
-                        verify_function(func, self.module)
-                    except VerificationError:
-                        func, artifact_status = None, INVALID
-            if func is None:
-                func = specialize(self.module, plan.request, self.options,
-                                  snapshot)
+            try:
+                if self.store is not None:
+                    func, artifact_status = self.store.load_residual(
+                        plan.key, plan.name, plan.key[0], plan.key[2])
+                    if func is not None:
+                        try:
+                            # Disk artifacts sit outside the process's
+                            # trust boundary: verify before use, and
+                            # treat a rejection exactly like corruption.
+                            verify_function(func, self.module)
+                        except VerificationError:
+                            func, artifact_status = None, INVALID
+                if func is None:
+                    if fault is not None:
+                        fault.check("specialize")
+                    func = specialize(self.module, plan.request,
+                                      self.options, snapshot)
+                    if fault is not None:
+                        fault.check("verify")
+            except Exception as exc:
+                # Contain any stage crash at the task boundary: the
+                # marker fails this one request in stage 3; the pool and
+                # sibling tasks are unaffected.
+                return (_TaskFailure(f"{type(exc).__name__}: {exc}"),
+                        artifact_status, time.perf_counter() - begin)
             return func, artifact_status, time.perf_counter() - begin
         return task
 
     def _make_emit_task(self, plan: _Plan):
         def task():
             begin = time.perf_counter()
-            source, fallback, status = self._emit_one(plan.func)
+            try:
+                source, fallback, status = self._emit_one(plan.func)
+            except Exception as exc:
+                return (_TaskFailure(f"{type(exc).__name__}: {exc}"),
+                        None, MISS, time.perf_counter() - begin)
             return source, fallback, status, time.perf_counter() - begin
         return task
 
@@ -437,6 +552,8 @@ class CompilationEngine:
             cached, status = self.store.load_py_source(fp, mode)
             if cached is not None:
                 return cached[0], cached[1], status
+        if self.fault_plan is not None:
+            self.fault_plan.check("emit")
         try:
             source, _mode_used, _emitter = emit_function_source(
                 func, self.module, mode=mode)
@@ -458,6 +575,13 @@ class CompilationEngine:
                 pyfunc = compile_python_source(plan.name, plan.py_source)
             except UnsupportedConstruct as exc:
                 plan.py_source, plan.py_fallback = None, str(exc)
+            except Exception as exc:
+                # ``exec`` of emitted source is deterministic for a given
+                # residual, so an unexpected crash here is a permanent
+                # emitter bug for this function: record a fallback (tier
+                # 1 keeps serving it) instead of failing the request.
+                plan.py_source = None
+                plan.py_fallback = f"{type(exc).__name__}: {exc}"
         if plan.py_source is not None or plan.py_fallback is not None:
             if plan.py_from_store:
                 stats.backend_source_hits += 1
@@ -474,6 +598,7 @@ class CompilationEngine:
             py_source=plan.py_source,
             pyfunc=pyfunc,
             fallback_reason=plan.py_fallback,
+            error=plan.error,
         )
 
     # ------------------------------------------------------------------
@@ -506,11 +631,21 @@ class CompilationEngine:
             self._make_named_emit_task(name) for name in todo])
         for name, (source, fallback, status, seconds) in zip(todo, outcomes):
             stats.emit_seconds += seconds
+            if isinstance(source, _TaskFailure):
+                # Contained emit crash.  Deliberately *neither* compiled
+                # nor a fallback: a fallback is the permanent
+                # "emitter cannot express this" verdict, while a crash
+                # is transient — leaving the name out of both tells the
+                # tiering controller to quarantine and retry.
+                stats.requests_failed += 1
+                continue
             if source is not None:
                 try:
                     compiled[name] = compile_python_source(name, source)
                 except UnsupportedConstruct as exc:
                     source, fallback = None, str(exc)
+                except Exception as exc:
+                    source, fallback = None, f"{type(exc).__name__}: {exc}"
             if source is None:
                 fallbacks.append((name, fallback))
             if status == HIT:
@@ -526,7 +661,11 @@ class CompilationEngine:
     def _make_named_emit_task(self, name: str):
         def task():
             begin = time.perf_counter()
-            source, fallback, status = self._emit_one(
-                self.module.functions[name])
+            try:
+                source, fallback, status = self._emit_one(
+                    self.module.functions[name])
+            except Exception as exc:
+                return (_TaskFailure(f"{type(exc).__name__}: {exc}"),
+                        None, MISS, time.perf_counter() - begin)
             return source, fallback, status, time.perf_counter() - begin
         return task

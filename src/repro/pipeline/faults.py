@@ -1,0 +1,197 @@
+"""Seeded, deterministic fault injection for the compile/serve seams.
+
+The tier-up contract this repo grew PR over PR — tier 0 is always a
+correct fallback, so compilation is *advisory* — is only as strong as
+its failure paths.  The artifact and profile stores were already
+paranoid about **read** corruption (anything torn, skewed, or mangled
+silently recompiles / reads as no heat), but nothing systematically
+exercised a compile-stage crash, a broken worker pool, or a store
+*write* failure while a live guest request was on the stack.  This
+module is the adversary that proves those paths: a :class:`FaultPlan`
+injects failures at named seams of the pipeline, deterministically,
+from a seed.
+
+Seams (:data:`SEAMS`):
+
+``specialize``
+    Raises :class:`FaultInjected` inside the engine's stage-1 task,
+    just before the weval transform runs — a compiler crash at a call
+    boundary.
+``verify``
+    Raises after specialization, where the residual-verification stage
+    sits — a verifier crash (distinct from a *rejection*, which is the
+    already-tested silent-recompile path).
+``emit``
+    Raises inside backend emission (both the batched emit stage and
+    ``compile_backend_functions``).
+``store_read``
+    The artifact store treats the read as corrupt: the load reports
+    ``INVALID`` and the engine recompiles — the read seam never raises
+    by construction.
+``store_write``
+    The artifact store treats the write as failed (full disk, revoked
+    permissions); repeated failures flip the store into memory-only
+    degraded mode (:mod:`repro.pipeline.artifacts`).
+``pool_worker``
+    The engine's process pool raises
+    :class:`concurrent.futures.process.BrokenProcessPool` at the batch
+    boundary — the engine rebuilds the pool once, then degrades to
+    threads for the session.
+``heat_merge``
+    The profile store's merge write fails; the publish high-water marks
+    must retain the delta for the next attempt.
+
+**Determinism.**  Each seam keeps its own consult counter and its own
+``random.Random`` seeded from ``(seed, seam)``; the Nth consult of a
+seam fires (or not) identically across runs for the same plan
+configuration and per-seam consult order.  The chaos tier therefore
+runs single-job engines (``jobs=1``) so consult order is the program
+order; with a worker pool the per-seam *rate* still holds but the
+exact firing pattern may interleave differently.
+
+A plan is consulted only where one is installed
+(``SpecializeOptions(fault_plan=...)``); with no plan the containment
+hooks are a single ``is not None`` test — the no-plan execution stays
+byte-identical to a build without this module (``bench_faults.py``
+guards the wall-clock side of that claim).
+
+Plans are picklable (the process-pool engine ships options to its
+workers); the internal lock is dropped and recreated across the
+boundary, so each worker advances an independent copy of the per-seam
+state — per-process determinism, which is what the cross-process tests
+rely on.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Iterable, Optional
+
+SEAMS = ("specialize", "verify", "emit", "store_read", "store_write",
+         "pool_worker", "heat_merge")
+
+
+class FaultInjected(Exception):
+    """An injected failure from a :class:`FaultPlan` seam.
+
+    Deliberately a plain ``Exception`` subclass: the containment layer
+    must survive *any* exception type, so the injector uses the most
+    generic class the policy is allowed to catch.
+    """
+
+
+class FaultPlan:
+    """A deterministic schedule of failures over the pipeline seams.
+
+    ``rates`` maps seam name to a firing probability per consult, drawn
+    from a per-seam seeded RNG; ``at`` maps seam name to explicit
+    0-based consult indices that fire regardless of rate (the precise
+    single-shot schedules the regression tests use).  ``max_fires``
+    caps the total number of injected faults across all seams.
+
+    :meth:`disarm` stops all firing (consult counters keep advancing,
+    so a later :meth:`arm` resumes the same deterministic sequence) —
+    the chaos tier uses this to prove a quarantined function re-promotes
+    once the injection stops.
+    """
+
+    def __init__(self, seed: int = 0,
+                 rates: Optional[Dict[str, float]] = None,
+                 at: Optional[Dict[str, Iterable[int]]] = None,
+                 max_fires: Optional[int] = None):
+        for seam in list(rates or ()) + list(at or ()):
+            if seam not in SEAMS:
+                raise ValueError(f"unknown fault seam {seam!r}")
+        self.seed = seed
+        self.rates = dict(rates or {})
+        self.at = {seam: frozenset(indices)
+                   for seam, indices in (at or {}).items()}
+        self.max_fires = max_fires
+        self.armed = True
+        self.consults: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def once(cls, seam: str, index: int = 0) -> "FaultPlan":
+        """A plan that fires exactly one fault: consult ``index`` of
+        ``seam``."""
+        return cls(at={seam: (index,)})
+
+    @classmethod
+    def always(cls, *seams: str) -> "FaultPlan":
+        """A plan that fires on every consult of the given seams (the
+        persistent-outage schedules: full disk, dead pool)."""
+        return cls(rates={seam: 1.0 for seam in seams})
+
+    # ------------------------------------------------------------------
+    # Consultation.
+    # ------------------------------------------------------------------
+    def _rng(self, seam: str) -> random.Random:
+        rng = self._rngs.get(seam)
+        if rng is None:
+            rng = self._rngs[seam] = random.Random(f"{self.seed}/{seam}")
+        return rng
+
+    def fires(self, seam: str) -> bool:
+        """Advance ``seam``'s consult counter and decide whether this
+        consult fails.  Non-raising seams (store read/write, heat merge)
+        use this directly; exception seams go through :meth:`check`."""
+        with self._lock:
+            index = self.consults.get(seam, 0)
+            self.consults[seam] = index + 1
+            fire = index in self.at.get(seam, ())
+            rate = self.rates.get(seam, 0.0)
+            if rate and self._rng(seam).random() < rate:
+                fire = True
+            if fire and self.armed and (
+                    self.max_fires is None
+                    or self.total_fired() < self.max_fires):
+                self.fired[seam] = self.fired.get(seam, 0) + 1
+                return True
+            return False
+
+    def check(self, seam: str) -> None:
+        """Raise :class:`FaultInjected` when this consult of ``seam``
+        fires."""
+        if self.fires(seam):
+            raise FaultInjected(
+                f"injected fault at seam {seam!r} "
+                f"(consult {self.consults.get(seam, 1) - 1})")
+
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Stop injecting (counters keep advancing deterministically)."""
+        self.armed = False
+
+    # ------------------------------------------------------------------
+    # Pickling (the process-pool engine ships options to workers).
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        spec = {seam: rate for seam, rate in self.rates.items()}
+        spec.update({seam: sorted(idx) for seam, idx in self.at.items()})
+        return (f"FaultPlan(seed={self.seed}, {spec}, "
+                f"fired={self.total_fired()}, armed={self.armed})")
+
+
+def plan_from_options(options) -> Optional[FaultPlan]:
+    """The plan installed on a :class:`SpecializeOptions`, if any (the
+    attribute-style accessor keeps older pickled options loadable)."""
+    return getattr(options, "fault_plan", None) if options is not None \
+        else None

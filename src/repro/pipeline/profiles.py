@@ -49,6 +49,14 @@ from repro.pipeline.artifacts import _StoreLock, atomic_write_json
 # Bump on any change to the heat-file schema or key format.
 PROFILE_VERSION = 1
 
+# Consecutive merge-write failures after which the store degrades to
+# memory-only heat (same rationale as the artifact store's
+# DEGRADE_AFTER_WRITE_FAILURES: a run of failures means the disk is
+# gone, and heat must keep accumulating for *this* process — adoption
+# and promotion decisions stay warm — even if it can no longer be
+# shared with the fleet).
+DEGRADE_AFTER_MERGE_FAILURES = 3
+
 # One heat record: plain ints only, so records merge by addition.
 _FIELDS = ("calls", "backedges")
 
@@ -61,28 +69,59 @@ def profile_key(generic: str, key: int) -> str:
 
 
 class ProfileStore:
-    """One heat file of merged fleet profiles, shared across processes."""
+    """One heat file of merged fleet profiles, shared across processes.
 
-    def __init__(self, root: str):
+    Like the artifact store, write failures degrade rather than raise:
+    after :data:`DEGRADE_AFTER_MERGE_FAILURES` consecutive failed
+    merges the store flips to memory-only heat — deltas accumulate in
+    ``self._memory_heat`` and :meth:`load` folds them over whatever the
+    disk last held, so this process's own adoption and promotion
+    decisions stay warm while the fleet sharing is (visibly, via
+    :meth:`health`) suspended.  ``fault_plan`` injects merge-write failures at the
+    ``heat_merge`` seam (:mod:`repro.pipeline.faults`).
+    """
+
+    def __init__(self, root: str, fault_plan=None):
         self.root = root
         self.dir = os.path.join(root, "profiles")
         self.path = os.path.join(self.dir, "heat.json")
         os.makedirs(self.dir, exist_ok=True)
+        self.fault_plan = fault_plan
+        self.degraded = False
+        self.merge_failures = 0
+        self._consecutive_merge_failures = 0
+        self._memory_heat: Heat = {}
+
+    def health(self) -> dict:
+        """The store's fault-containment state, for stats surfaces."""
+        return {"degraded": self.degraded,
+                "merge_failures": self.merge_failures,
+                "memory_records": len(self._memory_heat)}
 
     # ------------------------------------------------------------------
     # Loads (lock-free, paranoid).
     # ------------------------------------------------------------------
     def load(self) -> Heat:
-        """Read the merged heat map; any corruption reads as ``{}``."""
+        """Read the merged heat map; any corruption reads as ``{}``.
+
+        Memory-only deltas from degraded mode are folded over the disk
+        state, so a degraded worker keeps seeing the heat it can no
+        longer share.
+        """
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except FileNotFoundError:
-            return {}
+            data = None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError,
                 ValueError):
-            return {}
-        return self._validate(data)
+            data = None
+        heat = self._validate(data) if data is not None else {}
+        for key, record in self._memory_heat.items():
+            into = heat.setdefault(key, {field: 0 for field in _FIELDS})
+            for field in _FIELDS:
+                into[field] += record[field]
+        return heat
 
     @staticmethod
     def _validate(data) -> Heat:
@@ -132,35 +171,66 @@ class ProfileStore:
                   if any(record.get(field) for field in _FIELDS)}
         if not deltas:
             return True
-        with _StoreLock(self.dir):
-            merged = self.load()
-            for key, record in deltas.items():
-                into = merged.setdefault(
-                    key, {field: 0 for field in _FIELDS})
-                for field in _FIELDS:
-                    into[field] += max(0, int(record.get(field, 0)))
+        if self.degraded:
+            self._absorb(deltas)
+            return True
+        ok = False
+        plan = self.fault_plan
+        if plan is None or not plan.fires("heat_merge"):
+            with _StoreLock(self.dir):
+                merged = self.load()
+                for key, record in deltas.items():
+                    into = merged.setdefault(
+                        key, {field: 0 for field in _FIELDS})
+                    for field in _FIELDS:
+                        into[field] += max(0, int(record.get(field, 0)))
 
-            def stored_ok(path: str) -> bool:
-                reread = self.load()
-                return all(
-                    key in reread and all(
-                        reread[key][field] >= merged[key][field]
-                        for field in _FIELDS)
-                    for key in deltas)
+                def stored_ok(path: str) -> bool:
+                    reread = self.load()
+                    return all(
+                        key in reread and all(
+                            reread[key][field] >= merged[key][field]
+                            for field in _FIELDS)
+                        for key in deltas)
 
-            return atomic_write_json(
-                self.path,
-                {"version": PROFILE_VERSION, "heat": merged},
-                stored_ok)
+                try:
+                    ok = atomic_write_json(
+                        self.path,
+                        {"version": PROFILE_VERSION, "heat": merged},
+                        stored_ok)
+                except Exception:
+                    # The write helper never raises by design; backstop
+                    # for the unforeseen, so a merge can fail but never
+                    # take the publishing request down.
+                    ok = False
+        if ok:
+            self._consecutive_merge_failures = 0
+            return True
+        self.merge_failures += 1
+        self._consecutive_merge_failures += 1
+        if self._consecutive_merge_failures >= DEGRADE_AFTER_MERGE_FAILURES:
+            self.degraded = True
+            self._absorb(deltas)
+            return True
+        return False
+
+    def _absorb(self, deltas: Heat) -> None:
+        """Fold a delta into the degraded-mode memory heat."""
+        for key, record in deltas.items():
+            into = self._memory_heat.setdefault(
+                key, {field: 0 for field in _FIELDS})
+            for field in _FIELDS:
+                into[field] += max(0, int(record.get(field, 0)))
 
 
-def open_profile_store(cache_dir: Optional[str]) -> Optional[ProfileStore]:
+def open_profile_store(cache_dir: Optional[str],
+                       fault_plan=None) -> Optional[ProfileStore]:
     """Profile store for a cache dir, or ``None`` when persistence is
     off or the directory cannot be created (read-only image) — profile
     persistence must never fail a serving process."""
     if not cache_dir:
         return None
     try:
-        return ProfileStore(cache_dir)
+        return ProfileStore(cache_dir, fault_plan=fault_plan)
     except OSError:
         return None

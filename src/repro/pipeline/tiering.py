@@ -96,7 +96,27 @@ INLINE_MIN_SITE_CALLS = 4
 INLINE_MAX_TARGETS = 2
 INLINE_MAX_INSTRS = 400
 
+# Fault-containment policy (PR 9).  A contained compile failure
+# quarantines the function: promotion is retried with exponential
+# backoff measured in *threshold crossings* (the retry is earned by
+# fresh heat, not by wall clock — a function nobody calls never retries),
+# and after MAX_COMPILE_FAILURES contained failures the function is
+# blacklisted to tier 0 permanently.  Separately, the deopt-storm
+# breaker pins a function generic for good when STORM_DEOPTS guard
+# misses land within a window of STORM_WINDOW calls — with the
+# demote-exactly-once design a healthy function can deopt at most once
+# per speculation, so a storm means its guards are systematically wrong.
+MAX_COMPILE_FAILURES = 3
+STORM_DEOPTS = 8
+STORM_WINDOW = 64
+
 _UNSTABLE = object()
+
+
+class PromotionError(Exception):
+    """A compile failure surfaced by the engine (``EngineResult.error``)
+    re-raised inside the controller so one containment policy handles
+    both in-process exceptions and contained engine-task crashes."""
 
 
 @dataclasses.dataclass
@@ -144,7 +164,9 @@ class FunctionProfile:
                  "calls_at_promotion", "tier2_attempted",
                  "published_calls", "published_backedges",
                  "site_callees", "no_inline_sites", "inline_plan",
-                 "active_request")
+                 "active_request", "compile_failures", "retry_at_score",
+                 "blacklisted", "pinned_generic", "deopt_marks",
+                 "last_error")
 
     def __init__(self, entry: TierEntry):
         self.entry = entry
@@ -178,6 +200,17 @@ class FunctionProfile:
         # The request actually used at promotion (speculation applied);
         # inline (re)specializations derive from it.
         self.active_request: Optional[SpecializationRequest] = None
+        # Fault containment: consecutive contained compile failures, the
+        # score this function must reach before promotion is retried
+        # (None = not quarantined), and the two permanent verdicts.
+        self.compile_failures = 0
+        self.retry_at_score: Optional[float] = None
+        self.blacklisted = False
+        self.pinned_generic = False
+        # Call-count marks of recent deopt/guard-miss events, for the
+        # storm breaker's sliding window.
+        self.deopt_marks: List[int] = []
+        self.last_error: Optional[str] = None
 
     def score(self, backedge_weight: int) -> int:
         return self.calls + self.backedges // backedge_weight
@@ -213,7 +246,10 @@ class TieringController:
                  inline: bool = False,
                  inline_max_targets: int = INLINE_MAX_TARGETS,
                  inline_min_site_calls: int = INLINE_MIN_SITE_CALLS,
-                 inline_max_instrs: int = INLINE_MAX_INSTRS):
+                 inline_max_instrs: int = INLINE_MAX_INSTRS,
+                 max_compile_failures: int = MAX_COMPILE_FAILURES,
+                 storm_deopts: int = STORM_DEOPTS,
+                 storm_window: int = STORM_WINDOW):
         self.module = module
         self.options = options or SpecializeOptions()
         self.threshold = (DEFAULT_THRESHOLD if threshold is None
@@ -221,6 +257,9 @@ class TieringController:
         self.speculate = speculate
         self.backedge_weight = max(1, backedge_weight)
         self.compile_threshold = compile_threshold
+        self.max_compile_failures = max(1, max_compile_failures)
+        self.storm_deopts = storm_deopts
+        self.storm_window = max(1, storm_window)
         self.want_py = self.options.backend == "py"
         staged = self.want_py and compile_threshold > 0
         self._staged_tier2 = staged
@@ -326,8 +365,15 @@ class TieringController:
         processed = self.compiler.process_requests()
         names = []
         installs = 0
+        promoted = 0
         for entry, item in zip(entries, processed):
             profile = self.profiles[(entry.generic, entry.key)]
+            if item.error is not None:
+                # Contained engine failure for this one function: it
+                # stays on tier 0 (nothing was installed) and enters
+                # quarantine; the rest of the batch installs normally.
+                self._contain_failure(profile, item.error)
+                continue
             profile.installed_name = item.function_name
             profile.table_index = item.table_index
             tier = 2 if (self.want_py and item.function_name
@@ -335,8 +381,9 @@ class TieringController:
             if tier == 2 and profile.tier != 2:
                 installs += 1
             profile.tier = tier
+            promoted += 1
             names.append(item.function_name)
-        self.stats.promotions += len(processed)
+        self.stats.promotions += promoted
         self.stats.tier2_installs += installs
         self.stats.promote_seconds += time.perf_counter() - start
         if self.vm is not None and self.compiler.backend_functions:
@@ -363,14 +410,19 @@ class TieringController:
                 heat_key = (profile.entry.heat_key
                             or profile_key(generic, key))
                 deltas[heat_key] = {"calls": calls, "backedges": backedges}
-                pending.append(profile)
+                pending.append((profile, calls, backedges))
         if not deltas:
             return True
         if not store.merge(deltas):
             return False
-        for profile in pending:
-            profile.published_calls = profile.calls
-            profile.published_backedges = profile.backedges
+        for profile, calls, backedges in pending:
+            # Advance the marks by exactly the delta that was merged —
+            # NOT to the live counters, which another thread (or the
+            # profiled workload itself, re-entering through a host call
+            # during the merge) may have advanced since the snapshot
+            # above; those extra counts belong to the *next* publish.
+            profile.published_calls += calls
+            profile.published_backedges += backedges
         return True
 
     def adopt_heat(self, store: ProfileStore) -> List[str]:
@@ -426,13 +478,29 @@ class TieringController:
                 self._last_profile.backedges += delta
         self._last_profile = profile
         profile.calls += 1
+        if profile.pinned_generic or profile.blacklisted:
+            # A containment verdict is final: this function serves tier 0
+            # for the rest of the session.
+            self.stats.tier0_calls += 1
+            return None
         if profile.tier == 1 and self._staged_tier2:
             # Promoted but deliberately unpatched: redirect to the
             # residual, and pay for tier 2 once it proves durable.
             if (not profile.tier2_attempted
+                    and self._may_attempt(profile)
                     and profile.calls - profile.calls_at_promotion
                     >= self.compile_threshold):
-                self._install_tier2(profile)
+                try:
+                    self._install_tier2(profile)
+                except Exception as exc:
+                    # Contained tier-2 failure: keep serving the tier-1
+                    # residual and retry the install after backoff.
+                    profile.tier2_attempted = False
+                    self._contain_failure(
+                        profile, f"{type(exc).__name__}: {exc}")
+                    if profile.blacklisted:
+                        self.stats.tier0_calls += 1
+                        return None
             return profile.installed_name
         if profile.tier != 0:
             return profile.installed_name
@@ -445,12 +513,112 @@ class TieringController:
                     samples[index] = args[index]
                 elif seen is not _UNSTABLE and seen != args[index]:
                     samples[index] = _UNSTABLE
-        if profile.score(self.backedge_weight) >= self.threshold:
-            return self._promote(profile)
+        if profile.score(self.backedge_weight) >= self.threshold and \
+                self._may_attempt(profile):
+            name = self._promote_contained(profile)
+            if name is not None:
+                return name
         # Only now is the call certain to execute on the generic
         # interpreter (every earlier path redirected it).
         self.stats.tier0_calls += 1
         return None
+
+    # ------------------------------------------------------------------
+    # Fault containment (PR 9): quarantine, blacklist, storm breaker.
+    # ------------------------------------------------------------------
+    def _may_attempt(self, profile: FunctionProfile) -> bool:
+        """Whether containment policy permits a compile attempt now."""
+        if profile.blacklisted or profile.pinned_generic:
+            return False
+        if profile.retry_at_score is None:
+            return True
+        return profile.score(self.backedge_weight) >= profile.retry_at_score
+
+    def _promote_contained(self, profile: FunctionProfile) -> Optional[str]:
+        """:meth:`_promote` under the containment policy: an exception
+        anywhere in the compile fails *this promotion attempt only* —
+        the triggering call (and every call until the backoff expires)
+        runs generically, which is always correct."""
+        retrying = profile.compile_failures > 0
+        if retrying:
+            self.stats.quarantine_retries += 1
+        try:
+            name = self._promote(profile)
+        except Exception as exc:
+            self._contain_failure(profile,
+                                  f"{type(exc).__name__}: {exc}")
+            return None
+        if retrying:
+            self.stats.quarantine_recoveries += 1
+        profile.compile_failures = 0
+        profile.retry_at_score = None
+        return name
+
+    def _contain_failure(self, profile: FunctionProfile,
+                         message: str) -> None:
+        """Apply quarantine policy after one contained compile failure."""
+        self.stats.compile_failures += 1
+        profile.compile_failures += 1
+        profile.last_error = message
+        # Drop any queued requests the failed attempt left behind so the
+        # next (unrelated) promotion does not replay a poisoned batch.
+        self.compiler.pending = []
+        if profile.compile_failures >= self.max_compile_failures:
+            if not profile.blacklisted:
+                profile.blacklisted = True
+                profile.tier = 0
+                self.stats.blacklists += 1
+                if self.vm is not None:
+                    # Force heap-level dispatch back to the generic path
+                    # (a staged install may have patched the slot).
+                    self.vm.store_u64(profile.entry.result_addr, 0)
+            return
+        if profile.compile_failures == 1:
+            self.stats.quarantines += 1
+        # Exponential backoff measured in threshold crossings: the Nth
+        # consecutive failure defers the retry until the function has
+        # earned 2^(N-1) further thresholds' worth of heat.
+        backoff = max(1.0, float(self.threshold)) * \
+            (2 ** (profile.compile_failures - 1))
+        profile.retry_at_score = \
+            profile.score(self.backedge_weight) + backoff
+
+    def _record_deopt_event(self, profile: FunctionProfile) -> bool:
+        """Feed one deopt/guard-miss event to the storm breaker; returns
+        True when it just pinned the function generic."""
+        if not self.storm_deopts or self.storm_deopts <= 0:
+            return False
+        marks = profile.deopt_marks
+        marks.append(profile.calls)
+        cutoff = profile.calls - self.storm_window
+        while marks and marks[0] < cutoff:
+            marks.pop(0)
+        if len(marks) >= self.storm_deopts:
+            self._pin_generic(profile)
+            return True
+        return False
+
+    def _pin_generic(self, profile: FunctionProfile) -> None:
+        """Storm-breaker verdict: this function's speculation is
+        systematically wrong — serve it generically, permanently.
+        In-flight frames of old residuals still deopt safely (their
+        fallback mappings survive); new calls never leave tier 0."""
+        if profile.pinned_generic:
+            return
+        profile.pinned_generic = True
+        profile.tier = 0
+        profile.no_speculate = True
+        self.stats.storm_pins += 1
+        if self.vm is not None:
+            self.vm.store_u64(profile.entry.result_addr, 0)
+        name = profile.installed_name
+        if name is not None:
+            self._speculative.pop(name, None)
+            if self.inline and name in self._site_profiled:
+                self._site_profiled.discard(name)
+                if self.vm is not None:
+                    self.vm.site_profile_functions = \
+                        frozenset(self._site_profiled)
 
     # ------------------------------------------------------------------
     # Promotion.
@@ -485,6 +653,11 @@ class TieringController:
         request, speculative = self._speculative_request(profile)
         self.compiler.enqueue(request, entry.result_addr)
         item = self.compiler.process_requests()[-1]
+        if item.error is not None:
+            # The engine contained a compile crash for this request (no
+            # module/table/heap mutation happened); surface it to the
+            # quarantine policy.
+            raise PromotionError(item.error)
         name = item.function_name
         profile.installed_name = name
         profile.table_index = item.table_index
@@ -539,6 +712,14 @@ class TieringController:
             self.vm.install_compiled({name: compiled[name]})
             profile.tier = 2
             self.stats.tier2_installs += 1
+        elif not any(f[0] == name
+                     for f in self.compiler.backend_fallbacks):
+            # Neither compiled nor a recorded emitter fallback: the emit
+            # stage *crashed* (a fallback is the permanent "cannot
+            # express" verdict; a crash is transient).  Raise before the
+            # dispatch slot is patched so the function keeps flowing
+            # through the hook and the install is retried after backoff.
+            raise PromotionError(f"tier-2 emit failed for {name}")
         self.vm.store_u64(profile.entry.result_addr, profile.table_index)
         if self.inline:
             self._site_profiled.discard(name)
@@ -616,6 +797,11 @@ class TieringController:
             request = dataclasses.replace(request, inline_plan=plan)
         self.compiler.enqueue(request, entry.result_addr)
         item = self.compiler.process_requests()[-1]
+        if item.error is not None:
+            # Contained engine crash: the previously installed residual
+            # is still live and correct, so the caller's containment
+            # wrapper just records the failure.
+            raise PromotionError(item.error)
         old_name = profile.installed_name
         name = item.function_name
         profile.installed_name = name
@@ -665,24 +851,37 @@ class TieringController:
 
     def _demote_site(self, profile: FunctionProfile, site: int) -> None:
         """Retire one speculation site, exactly once: respecialize with
-        the remaining plan; every other inlined site survives."""
+        the remaining plan; every other inlined site survives.
+
+        Contained: if the repair compile itself crashes, the *old*
+        residual keeps serving (its guard at this site now always takes
+        the slow path / generic fallback — slower, never wrong) and the
+        failure feeds the quarantine policy.
+        """
         if site in profile.no_inline_sites:
             return  # in-flight frames of the retired residual
         start = time.perf_counter()
         profile.no_inline_sites.add(site)
         self.stats.site_demotions += 1
-        plan = tuple(e for e in profile.inline_plan if e[0] != site)
-        self._respecialize_with_plan(profile, plan)
-        name = profile.installed_name
-        if profile.tier == 2:
-            compiled = self.compiler.compile_backend([name])
-            if name in compiled:
-                self.vm.install_compiled({name: compiled[name]})
-                self.stats.tier2_installs += 1
-            else:
-                profile.tier = 1
-        self.vm.store_u64(profile.entry.result_addr, profile.table_index)
-        self.stats.promote_seconds += time.perf_counter() - start
+        if self._record_deopt_event(profile):
+            return  # storm breaker: pinned generic, no repair compile
+        try:
+            plan = tuple(e for e in profile.inline_plan if e[0] != site)
+            self._respecialize_with_plan(profile, plan)
+            name = profile.installed_name
+            if profile.tier == 2:
+                compiled = self.compiler.compile_backend([name])
+                if name in compiled:
+                    self.vm.install_compiled({name: compiled[name]})
+                    self.stats.tier2_installs += 1
+                else:
+                    profile.tier = 1
+            self.vm.store_u64(profile.entry.result_addr,
+                              profile.table_index)
+        except Exception as exc:
+            self._contain_failure(profile, f"{type(exc).__name__}: {exc}")
+        finally:
+            self.stats.promote_seconds += time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Deopt (guard failure at a call boundary).
@@ -717,10 +916,14 @@ class TieringController:
         profile.no_speculate = True
         profile.tier = 0
         self.stats.demotions += 1
+        if self._record_deopt_event(profile):
+            return  # storm breaker: pinned generic, no replacement
         # Respecialize without the failed speculation and install the
         # plain residual; the deopted call itself runs generically (the
-        # VM re-dispatches it after this hook returns).
-        self._promote(profile)
+        # VM re-dispatches it after this hook returns).  Contained: a
+        # crashed replacement compile leaves the function on tier 0,
+        # quarantined.
+        self._promote_contained(profile)
 
     # ------------------------------------------------------------------
     # Reporting.
@@ -753,4 +956,21 @@ class TieringController:
                 f"rejected={stats.inline_candidates_rejected} "
                 f"misses={stats.site_misses} "
                 f"site_demotions={stats.site_demotions}")
+        if stats.compile_failures or stats.blacklists or stats.storm_pins:
+            lines.append(
+                f"containment: failures={stats.compile_failures} "
+                f"quarantines={stats.quarantines} "
+                f"retries={stats.quarantine_retries} "
+                f"recoveries={stats.quarantine_recoveries} "
+                f"blacklists={stats.blacklists} "
+                f"storm_pins={stats.storm_pins}")
+        estats = self.compiler.engine.stats
+        if estats.requests_failed or estats.pool_rebuilds or \
+                estats.pool_degradations or estats.store_degraded:
+            lines.append(
+                f"engine: failed={estats.requests_failed} "
+                f"pool_rebuilds={estats.pool_rebuilds} "
+                f"pool_degradations={estats.pool_degradations} "
+                f"store_degraded={bool(estats.store_degraded)} "
+                f"store_write_failures={estats.store_write_failures}")
         return "\n".join(lines)

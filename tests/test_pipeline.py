@@ -850,3 +850,137 @@ class TestAtomicWriteFailurePaths:
         assert locked_write_json(str(tmp_path), target, {"k": 1}, validate)
         assert [f for f in os.listdir(str(tmp_path))
                 if f.endswith(".tmp")] == []
+
+
+# ---------------------------------------------------------------------------
+# Fault containment (PR 9): per-request isolation, store degradation,
+# executor lifecycle.
+# ---------------------------------------------------------------------------
+class TestFaultContainment:
+    def test_specialize_fault_fails_only_that_request(self):
+        from repro.pipeline.faults import FaultPlan
+        module = build_module()
+        engine = CompilationEngine(
+            module, SpecializeOptions(fault_plan=FaultPlan.once(
+                "specialize", index=0)))
+        results = engine.compile_batch(make_requests())
+        assert results[0].error is not None
+        assert results[0].function is None
+        assert results[1].error is None
+        assert results[1].function.name == "spec_b"
+        assert engine.stats.requests_failed == 1
+        assert engine.stats.functions_specialized == 1
+
+    def test_errored_request_writes_nothing(self, tmp_path):
+        from repro.pipeline.faults import FaultPlan
+        options = SpecializeOptions(
+            cache_dir=str(tmp_path),
+            fault_plan=FaultPlan.once("specialize", index=0))
+        cache = SpecializationCache()
+        engine = CompilationEngine(build_module(), options, cache=cache)
+        results = engine.compile_batch(make_requests())
+        assert results[0].error is not None
+        # Neither cache layer holds state for the failed request; a
+        # retry compiles it fresh and both layers fill in.
+        retry = engine.compile_batch(make_requests())
+        assert retry[0].error is None
+        assert retry[0].specialized  # fresh compile, not a (stale) hit
+        assert engine.stats.artifacts_written == 2
+
+    def test_dup_of_errored_producer_shares_failure(self):
+        from repro.pipeline.faults import FaultPlan
+        module = build_module()
+        engine = CompilationEngine(
+            module, SpecializeOptions(fault_plan=FaultPlan.once(
+                "specialize", index=0)))
+        request = make_requests()[0]
+        twin = dataclasses.replace(request, specialized_name="spec_twin")
+        results = engine.compile_batch([request, twin])
+        assert results[0].error is not None
+        assert results[1].error is not None  # no residual to clone
+        assert engine.stats.requests_failed == 2
+
+    def test_emit_fault_fails_request(self):
+        from repro.pipeline.faults import FaultPlan
+        module = build_module()
+        engine = CompilationEngine(
+            module, SpecializeOptions(
+                backend="py",
+                fault_plan=FaultPlan.once("emit", index=0)))
+        results = engine.compile_batch(make_requests())
+        assert results[0].error is not None
+        assert results[1].error is None
+        assert results[1].pyfunc is not None
+
+    def test_mid_batch_store_corruption_recompiles(self, tmp_path):
+        """An artifact that goes bad *between* the existence probe and
+        the read inside one batch (a concurrent eviction or truncation)
+        is a silent recompile, never a crash."""
+        from repro.pipeline.faults import FaultPlan
+        warm = CompilationEngine(build_module(),
+                                 SpecializeOptions(cache_dir=str(tmp_path)))
+        warm.compile_batch(make_requests())  # populate the store
+        options = SpecializeOptions(
+            cache_dir=str(tmp_path),
+            fault_plan=FaultPlan.once("store_read", index=0))
+        engine = CompilationEngine(build_module(), options)
+        results = engine.compile_batch(make_requests())
+        assert all(r.error is None for r in results)
+        assert engine.stats.artifact_invalid == 1
+        assert engine.stats.functions_specialized == 1  # the corrupt one
+        assert engine.stats.artifact_hits == 1          # the healthy one
+        assert print_function(results[0].function, order="id") == \
+            print_function(warm.compile_batch(make_requests())[0].function,
+                           order="id")
+
+    def test_store_write_outage_degrades_to_memory(self, tmp_path):
+        from repro.pipeline.faults import FaultPlan
+        from repro.pipeline.artifacts import DEGRADE_AFTER_WRITE_FAILURES
+        options = SpecializeOptions(
+            cache_dir=str(tmp_path),
+            fault_plan=FaultPlan.always("store_write"))
+        engine = CompilationEngine(build_module(), options)
+        first = engine.compile_batch(make_requests())
+        assert all(r.error is None for r in first)
+        store = engine.store
+        assert store.write_failures >= 2
+        # Keep compiling until the degrade threshold trips.
+        engine.compile_batch([
+            dataclasses.replace(r, specialized_name=r.specialized_name
+                                + ".2") for r in make_requests()])
+        assert store.degraded
+        assert store.health()["memory_entries"] > 0
+        assert engine.stats.store_degraded == 1
+        # Nothing leaked to disk, but the memory overlay now serves
+        # warm loads within this process.
+        fresh = CompilationEngine(build_module(),
+                                  SpecializeOptions(cache_dir=str(tmp_path)))
+        assert fresh.compile_batch(
+            make_requests())[0].specialized  # disk really is empty
+        again = engine.compile_batch(make_requests())
+        assert all(r.artifact_hit for r in again)
+
+    def test_run_all_survives_raising_thunk(self):
+        """A raising thunk propagates, queued thunks are cancelled, and
+        the engine (with a fresh executor per batch) stays usable."""
+        engine = CompilationEngine(build_module(),
+                                   SpecializeOptions(jobs=2))
+        def boom():
+            raise RuntimeError("task crash")
+        with pytest.raises(RuntimeError, match="task crash"):
+            engine._run_all([boom, lambda: 1, lambda: 2])
+        results = engine.compile_batch(make_requests())
+        assert [r.function.name for r in results] == ["spec_a", "spec_b"]
+
+    def test_process_worker_faults_are_contained(self, tmp_path):
+        """Injected faults inside process-pool workers come back as
+        per-request errors, not as a broken pool."""
+        from repro.pipeline.faults import FaultPlan
+        options = SpecializeOptions(
+            jobs=2, pool="process",
+            fault_plan=FaultPlan.always("specialize"))
+        engine = CompilationEngine(build_module(), options)
+        results = engine.compile_batch(make_requests())
+        assert all(r.error is not None for r in results)
+        assert engine.stats.pool_rebuilds == 0  # the pool never broke
+        assert engine.pool == "process"

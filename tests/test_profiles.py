@@ -355,3 +355,96 @@ class TestChurnHeatKeys:
         assert len(adopted) == 1
         assert serve(vm_b, endpoint) == serve(vm_a, endpoint)
         assert controller_b.stats.tier0_calls == 0
+
+
+# ---------------------------------------------------------------------------
+# Fault containment (PR 9): merge failures, degraded mode, and the
+# publish high-water-mark race.
+# ---------------------------------------------------------------------------
+class TestProfileFaultContainment:
+    def test_heat_accrued_during_merge_is_not_lost(self, tmp_path):
+        """Regression: publish_heat used to snap the published marks to
+        the *live* counters after a merge — heat arriving while the
+        merge was in flight (another thread, or the workload re-entering
+        through a host call) was silently marked as published and never
+        reached the fleet."""
+        program = sum_to_n_program(5)
+        vm, controller = make_tiered_min(
+            program, threshold=float("inf"),
+            options=SpecializeOptions(backend="vm"))
+        for _ in range(3):
+            vm.call("min_interp", _args(program, 1))
+        profile = next(iter(controller.profiles.values()))
+        store = ProfileStore(str(tmp_path))
+        real_merge = store.merge
+
+        def racing_merge(deltas):
+            ok = real_merge(deltas)
+            profile.calls += 2  # heat landing mid-merge
+            return ok
+
+        store.merge = racing_merge
+        assert controller.publish_heat(store)
+        # Only the merged delta was marked published; the racing calls
+        # remain pending...
+        assert profile.published_calls == 3
+        assert profile.calls - profile.published_calls == 2
+        store.merge = real_merge
+        assert controller.publish_heat(store)
+        key = profile_key("min_interp", PROGRAM_BASE)
+        # ... and the next publish delivers them: nothing lost, nothing
+        # double-counted.
+        assert store.load()[key]["calls"] == 5
+
+    def test_merge_outage_degrades_to_memory_heat(self, tmp_path):
+        from repro.pipeline.faults import FaultPlan
+        from repro.pipeline.profiles import DEGRADE_AFTER_MERGE_FAILURES
+        store = ProfileStore(str(tmp_path),
+                             fault_plan=FaultPlan.always("heat_merge"))
+        delta = {"f@0x10": {"calls": 2, "backedges": 10}}
+        for _ in range(DEGRADE_AFTER_MERGE_FAILURES - 1):
+            assert not store.merge(delta)  # failed, delta retained
+        assert not store.degraded
+        assert store.merge(delta)  # threshold trip: absorbed in memory
+        assert store.degraded
+        assert store.health()["memory_records"] == 1
+        # Degraded-mode heat keeps accumulating and stays visible to
+        # this process's own loads...
+        assert store.merge(delta)
+        assert store.load() == {"f@0x10": {"calls": 4, "backedges": 20}}
+        # ... but never reached the disk.
+        assert ProfileStore(str(tmp_path)).load() == {}
+
+    def test_successful_merge_resets_failure_streak(self, tmp_path):
+        from repro.pipeline.faults import FaultPlan
+        # Fires on consults 0 and 1, then heals: two failures, then a
+        # success must reset the consecutive counter (no degrade).
+        plan = FaultPlan(at={"heat_merge": (0, 1)})
+        store = ProfileStore(str(tmp_path), fault_plan=plan)
+        delta = {"f@0x10": {"calls": 1, "backedges": 0}}
+        assert not store.merge(delta)
+        assert not store.merge(delta)
+        assert store.merge(delta)  # landed on disk
+        assert not store.degraded
+        assert store.merge_failures == 2
+        assert store.health()["memory_records"] == 0
+        assert ProfileStore(str(tmp_path)).load() == \
+            {"f@0x10": {"calls": 1, "backedges": 0}}
+
+    def test_degraded_publish_keeps_promotion_decisions_warm(self, tmp_path):
+        """A worker whose profile store degraded still adopts its own
+        memory heat (load folds the overlay), so local promotion
+        decisions keep working while fleet sharing is suspended."""
+        from repro.pipeline.faults import FaultPlan
+        store = ProfileStore(str(tmp_path),
+                             fault_plan=FaultPlan.always("heat_merge"))
+        delta = {profile_key("min_interp", PROGRAM_BASE):
+                 {"calls": 50, "backedges": 0}}
+        while not store.degraded:
+            store.merge(delta)
+        program = sum_to_n_program(10)
+        vm, controller = make_tiered_min(
+            program, threshold=3,
+            options=SpecializeOptions(backend="vm"))
+        adopted = controller.adopt_heat(store)
+        assert len(adopted) == 1  # memory-only heat still promotes

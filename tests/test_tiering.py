@@ -395,8 +395,16 @@ class TestControllerPolicy:
             compile_threshold=2)
         attempts = []
         real = controller.compiler.compile_backend
-        controller.compiler.compile_backend = \
-            lambda names: attempts.append(names) or {}  # simulate fallback
+
+        def fake_fallback(names):
+            # A real emitter fallback records itself (that record is what
+            # distinguishes the permanent "cannot express" verdict from a
+            # transient emit crash, which PR 9 quarantines and retries).
+            attempts.append(names)
+            controller.compiler.backend_fallbacks.extend(
+                (name, "simulated fallback") for name in names)
+            return {}
+        controller.compiler.compile_backend = fake_fallback
         ref = VM(build_min_module(program))
         for _ in range(10):
             assert vm.call("min_interp", _args(program, 5)) == \
