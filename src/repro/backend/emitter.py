@@ -16,10 +16,16 @@ observable semantics:
   byte-identical totals to the VM on every execution that does not trap
   mid-block, and the fuel-limit check fires at the same block boundary
   the VM checks at;
-* guest calls and intrinsic/host calls bridge back through
-  ``vm.call`` / ``vm.call_table``, so compiled and interpreted functions
-  can call each other freely (the VM consults its ``compiled`` table on
-  every call).
+* guest calls go through per-site link slots
+  (:class:`repro.pipeline.links.CallLinkTable`): every slot starts as a
+  bridge that re-enters ``vm.call`` / ``vm.call_table`` — so compiled
+  and interpreted functions mix freely — and is patched to the callee's
+  raw fixed-arity entry point once the callee is steady tier-2 code,
+  making the settled call boundary a single positional Python call.
+  Entry points are fixed-arity (``def _compiled(vm, v3, v5)``) with the
+  depth check in their own prologue; the VM's ``_dispatch`` recognizes
+  them by their ``_nparams`` attribute and skips its own boxing and
+  depth bookkeeping.
 
 Two emission modes share the per-instruction lowering:
 
@@ -132,9 +138,11 @@ def _float_literal(value: float) -> Tuple[str, bool]:
 class CompiledFunction:
     """One IR function lowered to a Python callable.
 
-    ``pyfunc`` has signature ``(vm, *args)`` — the same calling
-    convention the VM uses for its own functions — and ``source`` is the
-    exact Python text that was compiled (golden-testable).
+    ``pyfunc`` is a fixed-arity entry point ``(vm, v<p0>, v<p1>, ...)``
+    carrying an ``_nparams`` attribute (the VM's ``_dispatch`` unboxes
+    argument lists positionally and leaves depth bookkeeping to the
+    callee prologue), and ``source`` is the exact Python text that was
+    compiled (golden-testable).
     """
 
     name: str
@@ -164,6 +172,11 @@ class PyEmitter:
         self._chain_next: Dict[int, int] = {}
         self.dispatch_blocks = 0
         self.fallthrough_links = 0
+        # Call-site link descriptors, in site order (PR 10): ("c",
+        # callee, argc) for direct calls, ("t", argc) for indirect.
+        # Derived purely from the function body, so cached sources stay
+        # byte-stable.
+        self.link_sites: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Block ordering and dispatch indices.
@@ -254,23 +267,30 @@ class PyEmitter:
         lines: List[str] = []
         lines.append(f"# {func.name}{func.sig} — compiled from residual IR "
                      f"by repro.backend.PyEmitter")
-        lines.append("def _compiled(vm, *_args):")
         entry = func.entry_block()
         nparams = len(entry.params)
-        lines.append(f"{_INDENT}if len(_args) != {nparams}:")
-        lines.append(
-            f'{_INDENT * 2}raise VMTrap("{func.name}: expected {nparams} '
-            f'args, got %d" % len(_args))')
-        if nparams:
-            names = ", ".join(f"v{v}" for v, _ in entry.params)
-            trailing = "," if nparams == 1 else ""
-            lines.append(f"{_INDENT}{names}{trailing} = _args")
+        params = "".join(f", v{v}" for v, _ in entry.params)
+        lines.append(f"def _compiled(vm{params}):")
+        lines.extend(_INDENT + line for line in self._prologue())
         for binding in self._preamble():
             lines.append(_INDENT + binding)
-        lines.append(f"{_INDENT}_b = 0")
-        lines.append(f"{_INDENT}while True:")
-        lines.extend(self._emit_tree(chains, bodies, depth=2))
+        lines.append(f"{_INDENT}try:")
+        lines.append(f"{_INDENT * 2}_b = 0")
+        lines.append(f"{_INDENT * 2}while True:")
+        lines.extend(self._emit_tree(chains, bodies, depth=3))
+        lines.append(f"{_INDENT}finally:")
+        lines.append(f"{_INDENT * 2}vm._call_depth -= 1")
+        lines.append(f"_compiled._nparams = {nparams}")
         return "\n".join(lines) + "\n"
+
+    def _prologue(self) -> List[str]:
+        """Per-call depth bookkeeping, hoisted from ``VM._dispatch`` into
+        the callee so raw-linked calls (which bypass the VM entirely)
+        still honor the guest depth limit with the same trap."""
+        return [
+            "vm._call_depth = _d = vm._call_depth + 1",
+            f"if _d > vm._max_call_depth: _exhaust(vm, {self.func.name!r})",
+        ]
 
     def _preamble(self) -> List[str]:
         used = self.used
@@ -285,6 +305,14 @@ class PyEmitter:
             bindings.append("_call = vm.call")
         if "_ctab" in used:
             bindings.append("_ctab = vm.call_table")
+        if "_lk" in used:
+            # The slot list identity is stable across invalidations
+            # (slots are reset in place), so binding it once per
+            # invocation is sound even if linking events fire mid-frame.
+            name = self.func.name
+            bindings.append(f"_lk = vm._link_slots.get({name!r})")
+            bindings.append(f"if _lk is None: _lk = vm.links.bind("
+                            f"{name!r}, {tuple(self.link_sites)!r})")
         if "_int" in used:
             bindings.append("_int = int")
         if "_ifb" in used:
@@ -562,22 +590,41 @@ class PyEmitter:
 
         if op == "call":
             counters["calls"] += 1
-            self.used.add("_call")
-            call_args = ", ".join(f"v{a}" for a in args)
-            trailing = "," if len(args) == 1 else ""
-            expr = f"_call({instr.imm!r}, ({call_args}{trailing}))"
+            self.used.add("_lk")
+            site = len(self.link_sites)
+            self.link_sites.append(("c", instr.imm, len(args)))
+            call_args = "".join(f", v{a}" for a in args)
+            # The slot is read at the call, not bound in the preamble, so
+            # an invalidation between two executions of this site is
+            # always observed.  Bridged: full vm.call.  Linked: one raw
+            # positional call into the callee's fixed-arity entry.
+            expr = f"_lk[{site}](vm{call_args})"
             if r is not None:
                 return [f"{r} = {expr}"]
             return [expr]
         if op == "call_indirect":
-            self.used.add("_ctab")
+            self.used.add("_lk")
+            site = len(self.link_sites)
             rest = args[1:]
-            call_args = ", ".join(f"v{a}" for a in rest)
+            self.link_sites.append(("t", len(rest)))
+            raw_args = "".join(f", v{a}" for a in rest)
+            boxed = ", ".join(f"v{a}" for a in rest)
             trailing = "," if len(rest) == 1 else ""
-            expr = f"_ctab(v{args[0]}, ({call_args}{trailing}))"
-            if r is not None:
-                return [f"{r} = {expr}"]
-            return [expr]
+            assign = f"{r} = " if r is not None else ""
+            # Monomorphic inline cache [expected_index, raw_target,
+            # miss_bridge]: a hit charges the indirect-call counter the
+            # way vm.call_table would and calls the raw target; misses
+            # (and the unlinked state, expected_index == -1) take the
+            # bridge through the full vm.call_table path.
+            return [
+                f"_s = _lk[{site}]",
+                f"if v{args[0]} == _s[0]:",
+                f"{_INDENT}S.indirect_calls += 1",
+                f"{_INDENT}{assign}_s[1](vm{raw_args})",
+                "else:",
+                f"{_INDENT}{assign}_s[2](vm, v{args[0]}, "
+                f"({boxed}{trailing}))",
+            ]
 
         if op == "global_get":
             self.used.add("G")
@@ -733,8 +780,9 @@ def _tarjan_sccs(succs: Dict[int, List[int]], entry: int
 
 
 # Indentation budget: CPython's parser rejects nesting around 100
-# levels; leave generous headroom for the skeleton and peepholes.
-_MAX_DEPTH = 88
+# levels; leave generous headroom for the skeleton, peepholes, and the
+# extra level the indirect-call inline cache nests inside a block.
+_MAX_DEPTH = 86
 
 
 class StructuredEmitter(PyEmitter):
@@ -1152,7 +1200,9 @@ class StructuredEmitter(PyEmitter):
             if attr in used_counters]
 
         self._lines = []
-        self._depth = 2 if self.batch_fuel else 1
+        # The body always lives inside the depth-bookkeeping try (plus
+        # the function def itself): two levels.
+        self._depth = 2
         self._scopes: List[_Scope] = []
         self._inline_map: Dict[int, object] = {}
         self._st_sets = 0
@@ -1166,17 +1216,11 @@ class StructuredEmitter(PyEmitter):
         lines: List[str] = []
         lines.append(f"# {func.name}{func.sig} — compiled from residual "
                      f"IR by repro.backend.StructuredEmitter")
-        lines.append("def _compiled(vm, *_args):")
         entry = func.entry_block()
         nparams = len(entry.params)
-        lines.append(f"{_INDENT}if len(_args) != {nparams}:")
-        lines.append(
-            f'{_INDENT * 2}raise VMTrap("{func.name}: expected {nparams} '
-            f'args, got %d" % len(_args))')
-        if nparams:
-            names = ", ".join(f"v{v}" for v, _ in entry.params)
-            trailing = "," if nparams == 1 else ""
-            lines.append(f"{_INDENT}{names}{trailing} = _args")
+        params = "".join(f", v{v}" for v, _ in entry.params)
+        lines.append(f"def _compiled(vm{params}):")
+        lines.extend(_INDENT + line for line in self._prologue())
         for binding in self._preamble():
             lines.append(_INDENT + binding)
         if self.batch_fuel:
@@ -1185,31 +1229,36 @@ class StructuredEmitter(PyEmitter):
                 lines.append(f"{_INDENT}{local} = 0")
         if self._st_sets:
             lines.append(f"{_INDENT}_st = -1")
+        lines.append(f"{_INDENT}try:")
+        lines.extend(body)
+        lines.append(f"{_INDENT}finally:")
         if self.batch_fuel:
-            lines.append(f"{_INDENT}try:")
-            lines.extend(body)
-            lines.append(f"{_INDENT}finally:")
             lines.append(f"{_INDENT * 2}S.fuel += _fu")
             for attr, local in self._counter_locals:
                 lines.append(f"{_INDENT * 2}S.{attr} += {local}")
-        else:
-            lines.extend(body)
+        lines.append(f"{_INDENT * 2}vm._call_depth -= 1")
+        lines.append(f"_compiled._nparams = {nparams}")
         return "\n".join(lines) + "\n"
 
 
-def compile_python_source(name: str, source: str) -> Callable:
+def compile_python_source(name: str, source: str,
+                          code: Optional[object] = None) -> Callable:
     """``compile()``/``exec()`` emitted backend source into a callable.
 
     Split out from :func:`compile_function` so warm-loaded sources from
     the artifact store (:mod:`repro.pipeline`) take the exact same path
-    as freshly emitted ones.
+    as freshly emitted ones.  ``code`` may carry a precompiled code
+    object for ``source`` (the tier-3½ codegen rung: unmarshaled from
+    the artifact store, or compiled in a parallel emit stage), in which
+    case the ``compile()`` step is skipped.
     """
     env = dict(BACKEND_GLOBALS)
-    try:
-        code = compile(source, f"<pybackend:{name}>", "exec")
-    except (SyntaxError, RecursionError, MemoryError) as exc:
-        raise UnsupportedConstruct(
-            f"{name}: emitted source does not compile: {exc}") from exc
+    if code is None:
+        try:
+            code = compile(source, f"<pybackend:{name}>", "exec")
+        except (SyntaxError, RecursionError, MemoryError) as exc:
+            raise UnsupportedConstruct(
+                f"{name}: emitted source does not compile: {exc}") from exc
     exec(code, env)
     pyfunc = env["_compiled"]
     pyfunc.__name__ = name

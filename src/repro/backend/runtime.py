@@ -100,6 +100,18 @@ def _sext(raw: int, bits: int) -> int:
     return raw & MASK64
 
 
+def _exhaust(vm, name: str) -> None:
+    """Depth-limit trap for the compiled-callee prologue (PR 10).
+
+    The prologue has already incremented ``vm._call_depth`` but has not
+    entered the ``try`` whose ``finally`` decrements it, so the
+    roll-back happens here — mirroring ``VM._dispatch``'s
+    increment/check/decrement order and trap message exactly.
+    """
+    vm._call_depth -= 1
+    raise VMTrap(f"call stack exhausted in {name}")
+
+
 # The global namespace for emitted code (copied per compiled function so
 # nothing can leak between modules).
 BACKEND_GLOBALS = {
@@ -119,6 +131,7 @@ BACKEND_GLOBALS = {
     "_bits_ftoi": _bits_ftoi,
     "_bits_itof": _bits_itof,
     "_sext": _sext,
+    "_exhaust": _exhaust,
     "_upf": struct.unpack_from,
     "_pki": struct.pack_into,
     "_abs": abs,

@@ -1,5 +1,10 @@
 """Benchmark harness utilities shared by the scripts in ``benchmarks/``."""
 
+from repro.bench.callprof import (
+    CallProfile,
+    best_ns_per_op,
+    profile_call_boundary,
+)
 from repro.bench.harness import (
     BackendComparison,
     EngineCacheReport,
@@ -19,6 +24,9 @@ from repro.bench.harness import (
 
 __all__ = [
     "BackendComparison",
+    "CallProfile",
+    "best_ns_per_op",
+    "profile_call_boundary",
     "EngineCacheReport",
     "WorkloadResult",
     "dispatch_stats",

@@ -1,0 +1,197 @@
+"""Call-boundary microprofiler (PR 10).
+
+"Measure first": before the call-boundary fast path existed, every
+steady-state guest call that crossed ``vm.call`` paid a fixed tax that
+had nothing to do with the callee's body — name-resolution dict probes,
+tier-hook and deopt-fallback membership probes, argument boxing
+(building a list only for ``fn(self, *args)`` to unpack it again), and
+caller-side depth bookkeeping.  This module decomposes that tax into
+its components with isolated best-of timing loops against a *live*,
+settled VM, so the numbers reflect the real dict sizes, real attribute
+layouts, and the real compiled callee — not a synthetic mock.
+
+Two end-to-end rows anchor the decomposition:
+
+* ``bridge`` — one full ``vm.call(name, args)`` round trip, the cost a
+  dispatch pays when a call site is *not* linked;
+* ``linked`` — one raw ``fn(vm, a, b)`` positional call of the same
+  compiled entry point, the cost after
+  :class:`~repro.pipeline.links.CallLinkTable` patches the site.
+
+The gap between them is the budget the link-slot optimization can
+recover; the component rows say where it goes.  All figures are
+nanoseconds per call, best-of-``repeats`` over ``loops``-iteration
+inner loops (best-of is robust to one-sided scheduler noise — the same
+policy as the steady-state latency benches).
+
+The profiler snapshots and restores ``vm.stats`` around the timed
+callee executions, so profiling is invisible to the deterministic fuel
+accounting that the correctness tiers assert on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+def best_ns_per_op(op: Callable[[], None], loops: int = 2000,
+                   repeats: int = 7) -> float:
+    """Best-of wall time of ``op`` in ns, amortized over a tight loop.
+
+    The loop overhead (range iteration, the ``op`` local load) is *not*
+    subtracted: it is identical across components, so comparisons stay
+    fair, and the absolute figures stay conservative (real cost is
+    never higher than reported).
+    """
+    best = float("inf")
+    r = range(loops)
+    for _ in range(repeats):
+        begin = time.perf_counter_ns()
+        for _ in r:
+            op()
+        best = min(best, time.perf_counter_ns() - begin)
+    return best / loops
+
+
+@dataclasses.dataclass
+class CallProfile:
+    """One decomposed call-boundary measurement (all fields ns/call)."""
+
+    name: str                       # callee profiled
+    argc: int
+    bridge_ns: float                # full vm.call(name, args)
+    linked_ns: float                # raw fn(vm, a, b) positional
+    components: Dict[str, float]    # component label -> ns/op
+
+    def overhead_ns(self) -> float:
+        """The per-call tax linking removes."""
+        return self.bridge_ns - self.linked_ns
+
+    def speedup(self) -> float:
+        return self.bridge_ns / self.linked_ns if self.linked_ns else 0.0
+
+    def rows(self) -> List[List[object]]:
+        """Table rows (label, ns/call, share-of-overhead) for reports."""
+        overhead = max(self.overhead_ns(), 1e-9)
+        rows: List[List[object]] = [
+            ["vm.call bridge (unlinked)", f"{self.bridge_ns:.0f}ns",
+             "full boundary"],
+            ["linked direct call", f"{self.linked_ns:.0f}ns",
+             f"{self.speedup():.2f}x less per call"],
+        ]
+        for label, ns in self.components.items():
+            rows.append([f"  of which: {label}", f"{ns:.0f}ns",
+                         f"~{100.0 * ns / overhead:.0f}% of the gap"])
+        return rows
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "argc": self.argc,
+            "bridge_ns": self.bridge_ns,
+            "linked_ns": self.linked_ns,
+            "overhead_ns": self.overhead_ns(),
+            "speedup": self.speedup(),
+            "components_ns": dict(self.components),
+        }
+
+
+def profile_call_boundary(vm, name: str, args: Sequence[object],
+                          loops: int = 2000,
+                          repeats: int = 7) -> Optional[CallProfile]:
+    """Decompose the steady-state cost of ``vm.call(name, args)``.
+
+    ``name`` must resolve to an installed tier-2 compiled entry point
+    (the steady-state case the linker targets); returns ``None``
+    otherwise so benches can assert the service actually settled.
+    Components measured, mirroring ``vm.call`` line by line:
+
+    * ``resolve`` — the two name-resolution probes (imports miss,
+      compiled hit);
+    * ``hook probes`` — tier-hook and deopt-fallback membership tests;
+    * ``arg boxing`` — building the args list and ``*args`` unpacking,
+      versus passing the same values positionally;
+    * ``depth (caller-side)`` — the legacy inc/check/try-finally-dec
+      sequence the fixed-arity convention hoists into the callee.
+    """
+    fn = vm.compiled.get(name)
+    if fn is None or getattr(fn, "_nparams", None) != len(args):
+        return None
+    args = list(args)
+    argv = tuple(args)
+    saved = vm.stats.snapshot()
+    try:
+        # End-to-end anchors.  ``linked`` builds the exact positional
+        # call a patched link slot makes (no list, no unpacking).
+        bridge_ns = best_ns_per_op(lambda: vm.call(name, args),
+                                   loops, repeats)
+        if len(argv) == 2:
+            a0, a1 = argv
+            linked = lambda: fn(vm, a0, a1)  # noqa: E731
+        elif len(argv) == 1:
+            a0, = argv
+            linked = lambda: fn(vm, a0)      # noqa: E731
+        else:
+            linked = lambda: fn(vm, *argv)   # noqa: E731
+        linked_ns = best_ns_per_op(linked, loops, repeats)
+    finally:
+        vm.stats.restore(saved)
+
+    # Component loops: each isolates one boundary line against the
+    # VM's real dicts and attributes.
+    imports_get = vm._imports_get
+    compiled_get = vm._compiled_get
+    generics = vm.tier_generics
+    fallbacks = vm.deopt_fallbacks
+
+    def resolve():
+        if imports_get(name) is None:
+            compiled_get(name)
+
+    def hook_probes():
+        if vm.tier_hook is not None and name in generics:
+            pass
+        if fallbacks and name in fallbacks:
+            pass
+
+    sink = _sink_for(len(argv))
+
+    def boxing():
+        sink(vm, *list(argv))
+
+    def positional():
+        sink(vm, *argv)
+
+    def depth():
+        vm._call_depth += 1
+        if vm._call_depth > vm._max_call_depth:
+            vm._call_depth -= 1
+            raise RuntimeError("unreachable")
+        try:
+            pass
+        finally:
+            vm._call_depth -= 1
+
+    components = {
+        "name resolution": best_ns_per_op(resolve, loops, repeats),
+        "hook probes": best_ns_per_op(hook_probes, loops, repeats),
+        "arg boxing": (best_ns_per_op(boxing, loops, repeats) -
+                       best_ns_per_op(positional, loops, repeats)),
+        "depth (caller-side)": best_ns_per_op(depth, loops, repeats),
+    }
+    return CallProfile(name=name, argc=len(argv), bridge_ns=bridge_ns,
+                       linked_ns=linked_ns, components=components)
+
+
+def _sink_for(argc: int) -> Callable:
+    """A no-op callable with the same positional arity as the callee,
+    so the boxing measurement times list-build + unpack, not the body."""
+    if argc == 1:
+        return lambda vm, a: None
+    if argc == 2:
+        return lambda vm, a, b: None
+    if argc == 3:
+        return lambda vm, a, b, c: None
+    return lambda vm, *rest: None

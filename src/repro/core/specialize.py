@@ -119,6 +119,14 @@ class SpecializeOptions:
     # residual IR is unaffected, so this is not part of the specializer
     # cache key — but it IS part of the emitted-artifact key.
     emit_mode: str = "structured"
+    # Artifact granularity for the py backend's warm start: "code"
+    # additionally persists the ``compile()``d code object (marshal,
+    # keyed by the interpreter magic) beside the emitted source, so a
+    # warm restart skips parsing/compiling entirely; "source" stores
+    # text only.  Loads silently fall back to source on any
+    # marshal/interpreter skew, so results are identical either way —
+    # this knob is NOT part of any cache key.
+    codegen: str = "code"
     # Compilation-engine knobs (repro.pipeline): worker count for batch
     # compilation and the root of the persistent on-disk artifact store
     # (None disables persistence).  Neither affects specialization
@@ -161,6 +169,8 @@ class SpecializeOptions:
             raise ValueError(f"bad backend {self.backend!r}")
         if self.emit_mode not in ("structured", "dispatch"):
             raise ValueError(f"bad emit_mode {self.emit_mode!r}")
+        if self.codegen not in ("source", "code"):
+            raise ValueError(f"bad codegen {self.codegen!r}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if self.pool not in ("thread", "process"):

@@ -96,6 +96,8 @@ class EngineStats:
     artifacts_written: int = 0
     backend_emitted: int = 0         # fresh PyEmitter runs
     backend_source_hits: int = 0     # emitted source loaded from disk
+    backend_code_hits: int = 0       # ... of which with a usable code
+                                     # object (no re-parse/compile)
     backend_fallbacks: int = 0
     inline_requests: int = 0         # requests carrying an inline plan
     specialize_seconds: float = 0.0  # summed across workers (CPU-ish)

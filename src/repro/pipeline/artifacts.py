@@ -78,7 +78,7 @@ ARTIFACT_VERSION = 3  # 3: inline plans in request keys, guard imm forms
 # Bump on any change to the Python backend's emitted-code shape (the
 # ``py/`` entries cache emitter *output*, so the emitter itself is part
 # of their identity).
-EMITTER_VERSION = 3  # 3: structured (relooper) emission mode
+EMITTER_VERSION = 4  # 4: link slots, fixed-arity entries, callee depth
 
 HIT = "hit"
 MISS = "miss"
@@ -392,14 +392,23 @@ class ArtifactStore:
                             _digest((residual_fp, EMITTER_VERSION, mode))
                             + ".json")
 
-    def load_py_source(self, residual_fp: str, mode: str = "structured"
+    def load_py_source(self, residual_fp: str, mode: str = "structured",
+                       want_code: bool = False
                        ) -> Tuple[Optional[Tuple[Optional[str],
-                                                 Optional[str]]], str]:
-        """Return ``((source, fallback_reason), status)``.
+                                                 Optional[str],
+                                                 Optional[object]]], str]:
+        """Return ``((source, fallback_reason, code), status)``.
 
-        On a hit exactly one of the pair is non-``None``: a stored
-        fallback marker means the emitter already determined this
+        On a hit exactly one of source/fallback is non-``None``: a
+        stored fallback marker means the emitter already determined this
         residual cannot be compiled, so warm runs skip the re-attempt.
+
+        ``code`` is the tier-3½ rung: with ``want_code``, an entry that
+        carries a marshaled code object *for this interpreter's bytecode
+        magic* yields it unmarshaled, so the caller skips ``compile()``.
+        Any skew — missing field, different magic (another Python
+        version wrote the entry), marshal format drift, corrupt payload
+        — silently yields ``None``; the source is still a full hit.
         """
         data, status = self._load_json(self.py_path(residual_fp, mode))
         if data is None:
@@ -410,14 +419,45 @@ class ArtifactStore:
                 not isinstance(source if source is not None else fallback,
                                str):
             return None, INVALID
-        return (source, fallback), HIT
+        code = None
+        if want_code and source is not None:
+            code = self._decode_code(data)
+        return (source, fallback, code), HIT
+
+    @staticmethod
+    def _decode_code(data: dict) -> Optional[object]:
+        import importlib.util
+        import marshal
+        encoded = data.get("code")
+        if not isinstance(encoded, str) or \
+                data.get("py_magic") != importlib.util.MAGIC_NUMBER.hex():
+            return None
+        import base64
+        try:
+            code = marshal.loads(base64.b64decode(encoded))
+        except (ValueError, EOFError, TypeError):
+            return None
+        import types
+        return code if isinstance(code, types.CodeType) else None
 
     def store_py_source(self, residual_fp: str, source: Optional[str],
                         fallback: Optional[str] = None,
-                        mode: str = "structured") -> bool:
-        return self._write_json(self.py_path(residual_fp, mode), {
+                        mode: str = "structured",
+                        code_bytes: Optional[bytes] = None) -> bool:
+        """Persist one emitted-source entry; ``code_bytes`` optionally
+        attaches ``marshal.dumps`` of the compiled code object, tagged
+        with this interpreter's bytecode magic so readers on another
+        Python version fall back to the source."""
+        payload = {
             "version": ARTIFACT_VERSION,
             "source": source,
             "fallback": fallback,
-        }, stored_ok=lambda d: (
+        }
+        if code_bytes is not None and source is not None:
+            import base64
+            import importlib.util
+            payload["code"] = base64.b64encode(code_bytes).decode("ascii")
+            payload["py_magic"] = importlib.util.MAGIC_NUMBER.hex()
+        return self._write_json(self.py_path(residual_fp, mode), payload,
+                                stored_ok=lambda d: (
             d.get("source") == source and d.get("fallback") == fallback))

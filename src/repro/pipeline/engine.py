@@ -39,6 +39,7 @@ count.  Either way the order-sensitive stage 3 stays in the parent.
 from __future__ import annotations
 
 import dataclasses
+import marshal
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -207,7 +208,8 @@ class _Plan:
 
     __slots__ = ("request", "name", "key", "func", "cache_hit",
                  "artifact_hit", "specialized", "dup_of",
-                 "py_source", "py_fallback", "py_from_store", "error")
+                 "py_source", "py_fallback", "py_code", "py_from_store",
+                 "error")
 
     def __init__(self, request: SpecializationRequest, name: str,
                  key: tuple):
@@ -221,6 +223,7 @@ class _Plan:
         self.dup_of: Optional[int] = None
         self.py_source: Optional[str] = None
         self.py_fallback: Optional[str] = None
+        self.py_code: Optional[object] = None
         self.py_from_store = False
         self.error: Optional[str] = None
 
@@ -355,13 +358,14 @@ class CompilationEngine:
             emit_plans = [plan for plan in plans if plan.error is None]
             emitted = self._run_all(
                 [self._make_emit_task(plan) for plan in emit_plans])
-            for plan, (source, fallback, status, seconds) in zip(
+            for plan, (source, fallback, code, status, seconds) in zip(
                     emit_plans, emitted):
                 if isinstance(source, _TaskFailure):
                     plan.error = source.message
                 else:
                     plan.py_source = source
                     plan.py_fallback = fallback
+                    plan.py_code = code
                     plan.py_from_store = status == HIT
                 if status == INVALID:
                     stats.artifact_invalid += 1
@@ -531,27 +535,40 @@ class CompilationEngine:
         def task():
             begin = time.perf_counter()
             try:
-                source, fallback, status = self._emit_one(plan.func)
+                source, fallback, code, status = self._emit_one(plan.func)
             except Exception as exc:
                 return (_TaskFailure(f"{type(exc).__name__}: {exc}"),
-                        None, MISS, time.perf_counter() - begin)
-            return source, fallback, status, time.perf_counter() - begin
+                        None, None, MISS, time.perf_counter() - begin)
+            return (source, fallback, code, status,
+                    time.perf_counter() - begin)
         return task
 
     def _emit_one(self, func: Function
-                  ) -> Tuple[Optional[str], Optional[str], str]:
+                  ) -> Tuple[Optional[str], Optional[str], Optional[object],
+                             str]:
         """Emit (or warm-load) backend source for one residual function.
 
-        Returns ``(source, fallback_reason, store_status)``.
+        Returns ``(source, fallback_reason, code, store_status)``.
+
+        ``code`` is the tier-3½ rung (``options.codegen == "code"``): the
+        ``compile()``d code object for ``source``, either unmarshaled
+        from the artifact store (warm start skips parse+compile
+        entirely) or compiled here — i.e. inside the *parallel* emit
+        stage — so the serial ``exec`` in :meth:`_finalize` only has to
+        bind globals.  ``None`` means "compile from source as before";
+        any marshal/interpreter skew in the store degrades to that
+        silently.
         """
         from repro.backend import UnsupportedConstruct, emit_function_source
         mode = self.options.emit_mode
+        want_code = self.options.codegen == "code"
         fp = None
         if self.store is not None:
             fp = residual_fingerprint(print_function(func, order="id"))
-            cached, status = self.store.load_py_source(fp, mode)
+            cached, status = self.store.load_py_source(
+                fp, mode, want_code=want_code)
             if cached is not None:
-                return cached[0], cached[1], status
+                return cached[0], cached[1], cached[2], status
         if self.fault_plan is not None:
             self.fault_plan.check("emit")
         try:
@@ -560,9 +577,29 @@ class CompilationEngine:
             fallback = None
         except UnsupportedConstruct as exc:
             source, fallback = None, str(exc)
+        code = code_bytes = None
+        if want_code and source is not None:
+            code, code_bytes = self._precompile(func.name, source)
         if self.store is not None:
-            self.store.store_py_source(fp, source, fallback, mode)
-        return source, fallback, MISS
+            self.store.store_py_source(fp, source, fallback, mode,
+                                       code_bytes=code_bytes)
+        return source, fallback, code, MISS
+
+    @staticmethod
+    def _precompile(name: str, source: str) -> Tuple[Optional[object],
+                                                     Optional[bytes]]:
+        """``compile()`` emitted source ahead of the serial stage.
+
+        The filename matches ``compile_python_source`` exactly so
+        tracebacks are identical on both paths.  A source that does not
+        compile returns ``(None, None)`` — the serial stage recompiles
+        and converts the failure into a backend fallback as before.
+        """
+        try:
+            code = compile(source, f"<pybackend:{name}>", "exec")
+            return code, marshal.dumps(code)
+        except Exception:
+            return None, None
 
     def _finalize(self, plan: _Plan) -> EngineResult:
         """Turn a finished plan into a result; ``exec`` emitted source
@@ -572,7 +609,8 @@ class CompilationEngine:
         pyfunc = None
         if plan.py_source is not None:
             try:
-                pyfunc = compile_python_source(plan.name, plan.py_source)
+                pyfunc = compile_python_source(plan.name, plan.py_source,
+                                               code=plan.py_code)
             except UnsupportedConstruct as exc:
                 plan.py_source, plan.py_fallback = None, str(exc)
             except Exception as exc:
@@ -585,6 +623,8 @@ class CompilationEngine:
         if plan.py_source is not None or plan.py_fallback is not None:
             if plan.py_from_store:
                 stats.backend_source_hits += 1
+                if plan.py_code is not None:
+                    stats.backend_code_hits += 1
             else:
                 stats.backend_emitted += 1
             if plan.py_fallback is not None:
@@ -629,7 +669,8 @@ class CompilationEngine:
                 todo.append(name)
         outcomes = self._run_all([
             self._make_named_emit_task(name) for name in todo])
-        for name, (source, fallback, status, seconds) in zip(todo, outcomes):
+        for name, (source, fallback, code, status,
+                   seconds) in zip(todo, outcomes):
             stats.emit_seconds += seconds
             if isinstance(source, _TaskFailure):
                 # Contained emit crash.  Deliberately *neither* compiled
@@ -641,7 +682,8 @@ class CompilationEngine:
                 continue
             if source is not None:
                 try:
-                    compiled[name] = compile_python_source(name, source)
+                    compiled[name] = compile_python_source(name, source,
+                                                           code=code)
                 except UnsupportedConstruct as exc:
                     source, fallback = None, str(exc)
                 except Exception as exc:
@@ -650,6 +692,8 @@ class CompilationEngine:
                 fallbacks.append((name, fallback))
             if status == HIT:
                 stats.backend_source_hits += 1
+                if code is not None:
+                    stats.backend_code_hits += 1
             else:
                 stats.backend_emitted += 1
             if status == INVALID:
@@ -662,10 +706,11 @@ class CompilationEngine:
         def task():
             begin = time.perf_counter()
             try:
-                source, fallback, status = self._emit_one(
+                source, fallback, code, status = self._emit_one(
                     self.module.functions[name])
             except Exception as exc:
                 return (_TaskFailure(f"{type(exc).__name__}: {exc}"),
-                        None, MISS, time.perf_counter() - begin)
-            return source, fallback, status, time.perf_counter() - begin
+                        None, None, MISS, time.perf_counter() - begin)
+            return (source, fallback, code, status,
+                    time.perf_counter() - begin)
         return task

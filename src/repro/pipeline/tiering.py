@@ -297,6 +297,20 @@ class TieringController:
     # ------------------------------------------------------------------
     # Setup.
     # ------------------------------------------------------------------
+    def _bump_links(self) -> None:
+        """Reset the VM's call link slots (PR 10) after a
+        dispatch-changing event the VM cannot observe itself.
+
+        ``VM.install_compiled`` invalidates on its own, which covers
+        every install path (promotion, staged tier-2, per-site repair,
+        heat adoption); this hook handles the rest — (un)registration
+        changing ``tier_generics``, blacklist/storm verdicts, fallback
+        registration, and demotions — so a raw-linked call can never
+        outlive the conditions its link probe checked.
+        """
+        if self.vm is not None:
+            self.vm.links.invalidate()
+
     def register(self, entry: TierEntry) -> None:
         """Declare one tierable function (before or after attaching)."""
         index = self._key_index.setdefault(entry.generic, entry.key_index)
@@ -308,6 +322,7 @@ class TieringController:
         self.profiles[(entry.generic, entry.key)] = FunctionProfile(entry)
         if self.vm is not None:
             self.vm.tier_generics = frozenset(self._key_index)
+            self._bump_links()
 
     def unregister(self, entry: TierEntry) -> None:
         """Retire one registered function (endpoint churn).
@@ -331,6 +346,7 @@ class TieringController:
                 self._speculative.pop(profile.installed_name, None)
         if self.vm is not None:
             self.vm.store_u64(entry.result_addr, 0)
+        self._bump_links()
 
     def attach(self, vm: VM) -> VM:
         """Bind the controller to a live VM and enable profiling."""
@@ -344,6 +360,9 @@ class TieringController:
             vm.site_profile_hook = self._on_site
             vm.site_miss_hook = self._on_site_miss
             vm.site_profile_functions = frozenset(self._site_profiled)
+        # Activating the tier hook changes what generic names dispatch
+        # to; drop any links made before attachment.
+        self._bump_links()
         return vm
 
     # ------------------------------------------------------------------
@@ -572,6 +591,7 @@ class TieringController:
                     # Force heap-level dispatch back to the generic path
                     # (a staged install may have patched the slot).
                     self.vm.store_u64(profile.entry.result_addr, 0)
+                self._bump_links()
             return
         if profile.compile_failures == 1:
             self.stats.quarantines += 1
@@ -611,6 +631,7 @@ class TieringController:
         self.stats.storm_pins += 1
         if self.vm is not None:
             self.vm.store_u64(profile.entry.result_addr, 0)
+        self._bump_links()
         name = profile.installed_name
         if name is not None:
             self._speculative.pop(name, None)
@@ -670,6 +691,7 @@ class TieringController:
             vm.deopt_fallbacks[name] = entry.generic
             self._speculative[name] = profile
             self.stats.speculative_promotions += 1
+            self._bump_links()
         if self._staged_tier2:
             # Keep dispatch flowing through the hook until the function
             # earns its backend compile: un-patch the slot the snapshot
@@ -814,6 +836,7 @@ class TieringController:
             self._speculative[name] = self._speculative.pop(old_name)
         if self._needs_fallback(name):
             self.vm.deopt_fallbacks[name] = entry.generic
+            self._bump_links()
 
     def _needs_fallback(self, name: str) -> bool:
         """True when the installed residual contains an *unwinding*
@@ -916,6 +939,7 @@ class TieringController:
         profile.no_speculate = True
         profile.tier = 0
         self.stats.demotions += 1
+        self._bump_links()
         if self._record_deopt_event(profile):
             return  # storm breaker: pinned generic, no replacement
         # Respecialize without the failed speculation and install the

@@ -120,6 +120,15 @@ class VM:
         # observable semantics as interpreting the IR body.  Consulted on
         # every call, so compiled and interpreted functions mix freely.
         self.compiled: Dict[str, object] = dict(compiled or {})
+        # Call-boundary fast path (PR 10): the module's ``imports`` dict
+        # and ``table`` list are append-only and never rebound (see
+        # repro.ir.module), and ``self.compiled`` is created just above
+        # and only ever ``.update()``d, so the per-call probes can bind
+        # the containers (and their bound lookup methods) once here
+        # instead of re-resolving ``self.module.imports`` etc. per call.
+        self._imports_get = module.imports.get
+        self._table = module.table
+        self._compiled_get = self.compiled.get
         # Dynamic-tiering hooks (repro.pipeline.tiering).  ``tier_hook``
         # fires before a call to any function named in ``tier_generics``
         # and may return a replacement function name (a just-promoted
@@ -154,6 +163,15 @@ class VM:
         self._backedge_cache: Dict[str, tuple] = {}
         self._call_depth = 0
         self._max_call_depth = 1000
+        # Per-site direct call linking (PR 10).  Imported lazily: the
+        # pipeline package imports this module at its own top level, so
+        # a module-level import here would be circular.
+        from repro.pipeline.links import CallLinkTable
+        self.links = CallLinkTable(self)
+        # Emitted preambles bind their slot list via this dict (one
+        # ``.get`` per invocation); it is the link table's own mapping,
+        # shared by reference.
+        self._link_slots = self.links._functions
         # Guest calls map to Python recursion (a handful of Python frames
         # per guest frame); make sure the guest limit is hit first.
         import sys
@@ -198,13 +216,24 @@ class VM:
     # ------------------------------------------------------------------
     def install_compiled(self, compiled: Dict[str, object]) -> None:
         """Register tier-2 backend callables (name -> ``fn(vm, *args)``)."""
+        links = self.links
+        for name in compiled:
+            if name in links._functions:
+                # The name is being rebound to a (potentially different)
+                # body: its recorded call-site descriptors no longer
+                # describe the new entry point.
+                links.discard(name)
         self.compiled.update(compiled)
+        # Installing is a dispatch-changing event: any site may now link
+        # (or must unlink) differently.  This covers every controller
+        # install path — promote, per-site demote, heat adoption.
+        links.invalidate()
 
     def call(self, name: str, args: List[object] = ()) -> object:
         """Call a function (host import, compiled, or IR) by name."""
-        if name in self.module.imports:
+        host = self._imports_get(name)
+        if host is not None:
             self.stats.host_calls += 1
-            host = self.module.imports[name]
             return host.fn(self, *args)
         if self.tier_hook is not None and name in self.tier_generics:
             # Profile the call; a freshly promoted specialization is
@@ -221,8 +250,18 @@ class VM:
 
     def _dispatch(self, name: str, args) -> object:
         """Run a compiled or IR function by name (post-hook)."""
-        fn = self.compiled.get(name)
+        fn = self._compiled_get(name)
         if fn is not None:
+            nparams = getattr(fn, "_nparams", None)
+            if nparams is not None:
+                # Fixed-arity tier-2 entry point: the callee prologue
+                # owns the depth bookkeeping, so the only boundary work
+                # left here is the arity trap (same message _eval
+                # raises for the interpreted body).
+                if len(args) != nparams:
+                    raise VMTrap(f"{name}: expected {nparams} args, "
+                                 f"got {len(args)}")
+                return fn(self, *args)
             self._call_depth += 1
             if self._call_depth > self._max_call_depth:
                 self._call_depth -= 1
@@ -269,9 +308,10 @@ class VM:
 
     def call_table(self, index: int, args: List[object]) -> object:
         self.stats.indirect_calls += 1
-        if index <= 0 or index >= len(self.module.table):
+        table = self._table
+        if index <= 0 or index >= len(table):
             raise VMTrap(f"indirect call to bad table index {index}")
-        name = self.module.table[index]
+        name = table[index]
         if name is None:
             raise VMTrap(f"indirect call to null table entry {index}")
         return self.call(name, args)
